@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test test-short bench ablation cover tools examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+ablation:
+	$(GO) test -bench=Ablation -benchtime 1x -run XXX .
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/p2pdetect
+	$(GO) run ./examples/validation
+	$(GO) run ./examples/campus -duration 5m
+
+clean:
+	rm -rf bin

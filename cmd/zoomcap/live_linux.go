@@ -1,0 +1,24 @@
+//go:build linux
+
+package main
+
+import (
+	"time"
+
+	"zoomlens/internal/pcap"
+)
+
+// openLive is the Linux AF_PACKET implementation.
+func openLive(ifname string, snaplen int) (next func() (pcap.Record, error), closeFn func() error, err error) {
+	src, err := pcap.OpenLive(ifname, snaplen)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A short receive timeout lets the caller's loop re-check its
+	// stop condition; timeouts surface as transient errors.
+	if err := src.SetReadDeadlineBestEffort(500 * time.Millisecond); err != nil {
+		src.Close()
+		return nil, nil, err
+	}
+	return src.Next, src.Close, nil
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package main
+
+import (
+	"errors"
+
+	"zoomlens/internal/pcap"
+)
+
+func openLive(ifname string, snaplen int) (func() (pcap.Record, error), func() error, error) {
+	return nil, nil, errors.New("live capture requires Linux (AF_PACKET)")
+}

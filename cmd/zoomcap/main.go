@@ -1,0 +1,162 @@
+// Command zoomcap is the software twin of the paper's Tofino capture
+// program (§6.1, Figure 13): it reads a pcap, keeps only Zoom traffic
+// (server-based, STUN, and stateful P2P), optionally anonymizes campus
+// addresses, and writes a filtered pcap.
+//
+// Usage:
+//
+//	zoomcap -i all.pcap -o zoom.pcap [-anon -key secret] [-resources]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"zoomlens"
+	"zoomlens/internal/capture"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/pcap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zoomcap: ")
+	var (
+		in        = flag.String("i", "", "input pcap path")
+		live      = flag.String("live", "", "capture live from this interface instead of a file (Linux, needs CAP_NET_RAW)")
+		duration  = flag.Duration("duration", 0, "stop live capture after this long (0 = until interrupted)")
+		out       = flag.String("o", "zoom.pcap", "output pcap path")
+		campus    = flag.String("campus", "10.8.0.0/16", "comma-separated campus prefixes")
+		anon      = flag.Bool("anon", false, "anonymize campus addresses")
+		anonMode  = flag.String("anon-mode", "hash", "anonymization mode: hash | prefix (prefix-preserving Crypto-PAn)")
+		key       = flag.String("key", "zoomlens", "anonymization key")
+		validate  = flag.Bool("validate-p2p", true, "reject P2P table hits whose payload is not Zoom media format")
+		resources = flag.Bool("resources", false, "print the Table 5 hardware resource model and exit")
+		exportP4  = flag.Bool("export-p4", false, "print the generated P4 capture program and exit")
+	)
+	flag.Parse()
+
+	if *resources {
+		fmt.Print(zoomlens.Table5())
+		return
+	}
+	if *exportP4 {
+		fmt.Print(capture.GenerateP4(zoomlens.DefaultZoomNetworks(), 1<<16))
+		return
+	}
+	if *in == "" && *live == "" {
+		log.Fatal("missing -i input pcap (or -live interface)")
+	}
+	campusNets, err := parsePrefixes(*campus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var next func() (pcap.Record, error)
+	var stopAt time.Time
+	nano := true
+	if *live != "" {
+		liveNext, closeFn, err := openLive(*live, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeFn()
+		next = liveNext
+		if *duration > 0 {
+			stopAt = time.Now().Add(*duration)
+		}
+	} else {
+		inF, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer inF.Close()
+		r, err := pcap.NewReader(inF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nano = r.Header().Nanosecond
+		next = func() (pcap.Record, error) { return r.Next() }
+	}
+	outF, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer outF.Close()
+	w, err := pcap.NewWriter(outF, pcap.WriterOptions{Nanosecond: nano})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	filter := capture.NewFilter(capture.Config{
+		ZoomNetworks:       zoomlens.DefaultZoomNetworks(),
+		CampusNetworks:     campusNets,
+		ValidateP2PPayload: *validate,
+	})
+	var anonymizer *capture.Anonymizer
+	if *anon {
+		switch *anonMode {
+		case "hash":
+			anonymizer = capture.NewAnonymizer([]byte(*key), campusNets)
+		case "prefix":
+			anonymizer = capture.NewPrefixAnonymizer([]byte(*key), campusNets)
+		default:
+			log.Fatalf("unknown -anon-mode %q", *anonMode)
+		}
+	}
+
+	parser := &layers.Parser{}
+	var pkt layers.Packet
+	for {
+		if !stopAt.IsZero() && time.Now().After(stopAt) {
+			break
+		}
+		rec, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if *live != "" {
+				continue // transient receive error on a live socket
+			}
+			log.Fatal(err)
+		}
+		if parser.Parse(rec.Data, &pkt) != nil {
+			continue
+		}
+		if !filter.Classify(&pkt, rec.Timestamp).Keep() {
+			continue
+		}
+		if anonymizer != nil {
+			anonymizer.AnonymizeInPlace(rec.Data)
+		}
+		if err := w.WriteRecord(rec.Timestamp, rec.Data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := filter.Stats()
+	fmt.Printf("processed %d packets: server %d, stun %d, p2p %d (format-rejected %d), dropped %d\n",
+		st.Processed, st.ZoomServer, st.ZoomSTUN, st.ZoomP2P, st.P2PFormatRejected, st.Dropped)
+}
+
+func parsePrefixes(s string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := netip.ParsePrefix(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad prefix %q: %w", part, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Command zoomdissect is the text equivalent of the paper's Wireshark
+// plugin (Appendix C): it prints a per-packet field tree for Zoom
+// traffic in a pcap — SFU encapsulation, media encapsulation, RTP or
+// RTCP, and STUN.
+//
+// Usage:
+//
+//	zoomdissect -i zoom.pcap [-n 20] [-filter media|rtcp|stun|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"zoomlens"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/stun"
+	"zoomlens/internal/zoom"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zoomdissect: ")
+	var (
+		in        = flag.String("i", "", "input pcap path")
+		limit     = flag.Int("n", 20, "max packets to dissect (0 = all)")
+		filter    = flag.String("filter", "all", "packet filter: media | rtcp | stun | all")
+		exportLua = flag.Bool("export-lua", false, "print the generated Wireshark dissector plugin and exit")
+	)
+	flag.Parse()
+	if *exportLua {
+		fmt.Print(zoom.GenerateLuaDissector())
+		return
+	}
+	if *in == "" {
+		log.Fatal("missing -i input pcap")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	parser := &layers.Parser{}
+	var pkt layers.Packet
+	shown, index := 0, 0
+	for *limit == 0 || shown < *limit {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		index++
+		if parser.Parse(rec.Data, &pkt) != nil || !pkt.HasUDP {
+			continue
+		}
+		if stun.Is(pkt.Payload) {
+			if *filter != "all" && *filter != "stun" {
+				continue
+			}
+			m, err := stun.Parse(pkt.Payload)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("#%d %s %s:%d -> %s:%d UDP STUN\n", index, rec.Timestamp.Format("15:04:05.000000"),
+				pkt.SrcAddr(), pkt.UDP.SrcPort, pkt.DstAddr(), pkt.UDP.DstPort)
+			kind := "binding request"
+			if m.IsBindingResponse() {
+				kind = "binding success response"
+			}
+			fmt.Printf("    STUN %s, transaction %x\n", kind, m.TransactionID)
+			if addr, ok := m.MappedAddress(); ok {
+				fmt.Printf("    XOR-MAPPED-ADDRESS: %s\n", addr)
+			}
+			shown++
+			continue
+		}
+		zp, err := zoomlens.ParseZoomPacket(pkt.Payload)
+		if err != nil {
+			continue
+		}
+		isMedia := zp.IsMedia()
+		if *filter == "media" && !isMedia {
+			continue
+		}
+		if *filter == "rtcp" && isMedia {
+			continue
+		}
+		fmt.Printf("#%d %s %s:%d -> %s:%d UDP len=%d\n", index, rec.Timestamp.Format("15:04:05.000000"),
+			pkt.SrcAddr(), pkt.UDP.SrcPort, pkt.DstAddr(), pkt.UDP.DstPort, len(pkt.Payload))
+		if zp.ServerBased {
+			dir := "to SFU"
+			if zp.SFU.FromSFU() {
+				dir = "from SFU"
+			}
+			fmt.Printf("    Zoom SFU Encapsulation: type=%d seq=%d direction=%s\n", zp.SFU.Type, zp.SFU.Sequence, dir)
+		} else {
+			fmt.Printf("    (P2P layout: no SFU encapsulation)\n")
+		}
+		fmt.Printf("    Zoom Media Encapsulation: type=%d (%s) seq=%d ts=%d", uint8(zp.Media.Type), zp.Media.Type, zp.Media.Sequence, zp.Media.Timestamp)
+		if zp.Media.Type == zoom.TypeVideo {
+			fmt.Printf(" frame_seq=%d pkts_in_frame=%d", zp.Media.FrameSequence, zp.Media.PacketsInFrame)
+		}
+		fmt.Println()
+		if isMedia {
+			sub := zoom.ClassifySubstream(zp.Media.Type, zp.RTP.PayloadType)
+			fmt.Printf("    RTP: pt=%d (%s) seq=%d ts=%d ssrc=%d marker=%v payload=%dB\n",
+				zp.RTP.PayloadType, sub, zp.RTP.SequenceNumber, zp.RTP.Timestamp, zp.RTP.SSRC, zp.RTP.Marker, len(zp.RTP.Payload))
+		} else {
+			for _, sr := range zp.RTCP.SenderReports {
+				fmt.Printf("    RTCP SR: ssrc=%d ntp=%s rtp_ts=%d packets=%d octets=%d\n",
+					sr.SSRC, sr.NTPTS.Time().Format("15:04:05.000"), sr.RTPTS, sr.PacketCount, sr.OctetCount)
+			}
+			if len(zp.RTCP.SDES) > 0 {
+				fmt.Printf("    RTCP SDES: %d chunk(s), empty per Zoom convention\n", len(zp.RTCP.SDES))
+			}
+		}
+		shown++
+	}
+}

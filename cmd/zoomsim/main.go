@@ -1,0 +1,122 @@
+// Command zoomsim synthesizes Zoom traffic into a pcap file: either a
+// controlled two-party experiment (like the paper's §5 validation runs)
+// or a campus-scale day (§6). The output is byte-exact Zoom wire format
+// and can be fed to zoomcap, zoomflows, zoomqoe, zoomdissect, or any
+// pcap tool.
+//
+// Usage:
+//
+//	zoomsim -o meeting.pcap -mode meeting -duration 2m [-p2p] [-congest]
+//	zoomsim -o campus.pcap  -mode campus  -duration 30m -rate 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"zoomlens"
+	"zoomlens/internal/netsim"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/sim"
+	"zoomlens/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zoomsim: ")
+	var (
+		out      = flag.String("o", "zoom.pcap", "output pcap path")
+		mode     = flag.String("mode", "meeting", "workload: meeting | campus")
+		duration = flag.Duration("duration", 2*time.Minute, "simulated duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		p2p      = flag.Bool("p2p", false, "meeting mode: enable the P2P switch (second peer off campus)")
+		congest  = flag.Bool("congest", false, "meeting mode: inject two cross-traffic episodes")
+		screen   = flag.Bool("screen", false, "meeting mode: first participant shares a screen")
+		rate     = flag.Float64("rate", 12, "campus mode: peak meetings per hour")
+		bgPPS    = flag.Float64("bg", 400, "campus mode: background packet rate")
+		format   = flag.String("format", "pcap", "output format: pcap | pcapng")
+	)
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var write func(time.Time, []byte) error
+	switch *format {
+	case "pcap":
+		w, err := pcap.NewWriter(f, pcap.WriterOptions{Nanosecond: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		write = w.WriteRecord
+	case "pcapng":
+		w, err := pcap.NewNGWriter(f, uint16(pcap.LinkTypeEthernet))
+		if err != nil {
+			log.Fatal(err)
+		}
+		write = w.WriteRecord
+	default:
+		log.Fatalf("unknown -format %q", *format)
+	}
+	var packets, bytes int64
+	monitor := func(at time.Time, frame []byte) {
+		if err := write(at, frame); err != nil {
+			log.Fatal(err)
+		}
+		packets++
+		bytes += int64(len(frame))
+	}
+
+	switch *mode {
+	case "meeting":
+		opts := sim.DefaultOptions()
+		opts.Seed = *seed
+		world := sim.NewWorld(opts)
+		world.Monitor = monitor
+		m := world.NewMeeting()
+		if *p2p {
+			m.EnableP2P(10 * time.Second)
+		}
+		set := sim.DefaultMediaSet()
+		a := world.NewClient("alice", true)
+		b := world.NewClient("bob", !*p2p) // P2P peer sits off campus so media crosses the monitor
+		if *screen {
+			set.Screen = true
+		}
+		m.Join(a, set)
+		m.Join(b, sim.DefaultMediaSet())
+		if *congest {
+			d := *duration
+			world.WanDown.Episodes = append(world.WanDown.Episodes,
+				netsim.Congestion{Start: opts.Start.Add(d / 4), End: opts.Start.Add(d/4 + 15*time.Second), ExtraDelay: 25 * time.Millisecond, ExtraJitter: 35 * time.Millisecond, LossRate: 0.02},
+				netsim.Congestion{Start: opts.Start.Add(2 * d / 3), End: opts.Start.Add(2*d/3 + 20*time.Second), ExtraDelay: 35 * time.Millisecond, ExtraJitter: 45 * time.Millisecond, LossRate: 0.03},
+			)
+		}
+		world.Run(opts.Start.Add(*duration))
+	case "campus":
+		cfg := zoomlens.DefaultCampusConfig()
+		cfg.Seed = *seed
+		cfg.Duration = *duration
+		cfg.MeetingsPerHourPeak = *rate
+		cfg.BackgroundPPS = *bgPPS
+		opts := sim.DefaultOptions()
+		opts.Seed = *seed
+		opts.Start = cfg.Start
+		opts.SkipExternalDelivery = true
+		world := sim.NewWorld(opts)
+		world.Monitor = monitor
+		r := trace.NewRunner(cfg, world)
+		plans := trace.Schedule(cfg)
+		r.Install(plans)
+		fmt.Printf("scheduled %d meetings over %s\n", len(plans), cfg.Duration)
+		world.Run(cfg.Start.Add(cfg.Duration))
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	fmt.Printf("wrote %d packets (%d bytes) to %s\n", packets, bytes, *out)
+}

@@ -1,0 +1,87 @@
+// P2pdetect walks through §4.1's peer-to-peer connection detection: a
+// two-party meeting starts server-based, exchanges STUN with a zone
+// controller, switches to a direct connection from the STUN-announced
+// port, and reverts to the SFU when a third participant joins — while a
+// stateful filter at the border classifies every packet in real time.
+//
+// Run with:
+//
+//	go run ./examples/p2pdetect
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"zoomlens"
+	"zoomlens/internal/layers"
+)
+
+func main() {
+	opts := zoomlens.DefaultWorldOptions()
+	world := zoomlens.NewWorld(opts)
+
+	// The same stateful filter the capture pipeline uses (Figure 13).
+	filter := zoomlens.NewFilter(zoomlens.FilterConfig{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	})
+
+	parser := &layers.Parser{}
+	var pkt layers.Packet
+	counts := map[string]int{}
+	var events []string
+	lastVerdict := ""
+	world.Monitor = func(at time.Time, frame []byte) {
+		if parser.Parse(frame, &pkt) != nil {
+			return
+		}
+		v := filter.Classify(&pkt, at)
+		counts[v.String()]++
+		if v.String() != lastVerdict {
+			events = append(events, fmt.Sprintf("%s  first %-7s packet  %s:%d -> %s:%d",
+				at.Format("15:04:05.000"), v, pkt.SrcAddr(), pkt.SrcPort(), pkt.DstAddr(), pkt.DstPort()))
+			lastVerdict = v.String()
+		}
+	}
+
+	meeting := world.NewMeeting()
+	meeting.EnableP2P(10 * time.Second)
+	alice := world.NewClient("alice", true)
+	bob := world.NewClient("bob", false) // off campus: P2P media crosses the border
+	meeting.Join(alice, zoomlens.DefaultMediaSet())
+	meeting.Join(bob, zoomlens.DefaultMediaSet())
+	world.Run(opts.Start.Add(20 * time.Second))
+
+	fmt.Println("phase 1: server-based meeting + STUN exchange + P2P switch")
+	for _, e := range events {
+		fmt.Println("  " + e)
+	}
+	fmt.Printf("  meeting is P2P: %v\n\n", meeting.IsP2P())
+
+	// A third participant forces the revert; the meeting then stays on
+	// the SFU even after they leave (§3).
+	events = events[:0]
+	lastVerdict = ""
+	carol := world.NewClient("carol", true)
+	meeting.Join(carol, zoomlens.DefaultMediaSet())
+	world.Run(opts.Start.Add(25 * time.Second))
+	meeting.Leave(carol)
+	world.Run(opts.Start.Add(35 * time.Second))
+
+	fmt.Println("phase 2: third join forces revert to the SFU")
+	for i, e := range events {
+		if i >= 4 {
+			break
+		}
+		fmt.Println("  " + e)
+	}
+	fmt.Printf("  meeting is P2P after revert (must stay false): %v\n\n", meeting.IsP2P())
+
+	fmt.Println("filter verdict totals:")
+	for _, k := range []string{"server", "stun", "p2p", "drop"} {
+		fmt.Printf("  %-7s %d\n", k, counts[k])
+	}
+	fmt.Printf("armed P2P endpoints remaining in the table: %d\n", filter.P2PTableLen())
+}

@@ -1,0 +1,3 @@
+module zoomlens
+
+go 1.22

@@ -1,0 +1,232 @@
+// Package analysis provides the statistical toolkit used to regenerate
+// the paper's figures: empirical CDFs (Figure 15), percentiles,
+// correlation (Figure 16), time binning (Figures 14 and 17), and plain
+// text table/series rendering.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the samples.
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	pos := q * float64(len(c.sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c.sorted) {
+		return c.sorted[lo]
+	}
+	return c.sorted[lo]*(1-frac) + c.sorted[lo+1]*frac
+}
+
+// Points samples the CDF at n evenly spaced values across the sample
+// range, for plotting (x, P(X≤x)).
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out = append(out, [2]float64{x, c.At(x)})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of samples.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := Mean(samples)
+	var ss float64
+	for _, v := range samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)))
+}
+
+// Pearson computes the correlation coefficient between paired samples.
+// Returns NaN for fewer than two pairs or zero variance.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x[:n]), Mean(y[:n])
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MeanAbsError returns the mean absolute difference between paired
+// series, used to quantify estimation accuracy against ground truth
+// (Figure 10).
+func MeanAbsError(estimate, truth []float64) float64 {
+	n := len(estimate)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(estimate[i] - truth[i])
+	}
+	return sum / float64(n)
+}
+
+// Table renders rows as aligned plain text, in the spirit of the paper's
+// tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float with the given decimals, for table cells.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Histogram counts samples into fixed-width buckets over [lo, hi);
+// values outside clamp to the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	total   int
+}
+
+// NewHistogram builds a histogram with n buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	n := len(h.Buckets)
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Buckets[idx]++
+	h.total++
+}
+
+// Fraction returns the share of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() int { return h.total }

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotCDFs renders one or more labeled CDFs as an ASCII chart — the
+// terminal rendering of the Figure 15 panels. The x axis spans [0, xMax]
+// (pass 0 to use the largest p99 across series, keeping long tails from
+// flattening the plot); the y axis is cumulative probability.
+func PlotCDFs(series map[string]*CDF, xMax float64, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	// Stable label order.
+	labels := make([]string, 0, len(series))
+	for l := range series {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+
+	if xMax <= 0 {
+		for _, l := range labels {
+			if c := series[l]; c.N() > 0 {
+				if v := c.Quantile(0.99); v > xMax {
+					xMax = v
+				}
+			}
+		}
+	}
+	if xMax <= 0 || math.IsNaN(xMax) {
+		return "(no samples)\n"
+	}
+
+	marks := "abcdefghij"
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for li, l := range labels {
+		c := series[l]
+		if c.N() == 0 {
+			continue
+		}
+		mark := marks[li%len(marks)]
+		for x := 0; x < width; x++ {
+			v := xMax * float64(x) / float64(width-1)
+			p := c.At(v)
+			y := int(p * float64(height-1))
+			row := height - 1 - y
+			if grid[row][x] == ' ' {
+				grid[row][x] = mark
+			} else {
+				grid[row][x] = '*' // overlap
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("P(X<=x)\n")
+	for i, row := range grid {
+		p := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", p, row)
+	}
+	fmt.Fprintf(&b, "      0%s%.4g\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", xMax))), xMax)
+	for li, l := range labels {
+		fmt.Fprintf(&b, "      %c = %s (n=%d)\n", marks[li%len(marks)], l, series[l].N())
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package capture
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestGenerateP4Structure(t *testing.T) {
+	nets := []netip.Prefix{
+		netip.MustParsePrefix("52.81.0.0/16"),
+		netip.MustParsePrefix("149.137.0.0/17"),
+	}
+	src := GenerateP4(nets, 1<<16)
+
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"PORT_STUN   = 3478",
+		"P2P_SLOTS   = 65536",
+		"table zoom_src_net",
+		"table zoom_dst_net",
+		"register<bit<48>>(P2P_SLOTS) p2p_sources",
+		"mark_to_drop",
+		"V1Switch(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated P4 missing %q", want)
+		}
+	}
+	// Each prefix appears in both tables.
+	if got := strings.Count(src, "0x34510000 &&& 0xffff0000"); got != 2 {
+		t.Errorf("52.81.0.0/16 entry count = %d, want 2", got)
+	}
+	if got := strings.Count(src, "0x95890000 &&& 0xffff8000"); got != 2 {
+		t.Errorf("149.137.0.0/17 entry count = %d, want 2", got)
+	}
+	// Balanced braces (a cheap syntactic sanity check).
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Error("unbalanced braces in generated P4")
+	}
+}
+
+func TestGenerateP4DefaultSlots(t *testing.T) {
+	src := GenerateP4(nil, 0)
+	if !strings.Contains(src, "P2P_SLOTS   = 65536") {
+		t.Error("default slot count not applied")
+	}
+}
+
+func TestMaskFor(t *testing.T) {
+	cases := map[int]uint32{0: 0, 8: 0xff000000, 16: 0xffff0000, 24: 0xffffff00, 32: 0xffffffff, 40: 0xffffffff}
+	for bits, want := range cases {
+		if got := maskFor(bits); got != want {
+			t.Errorf("maskFor(%d) = %#08x, want %#08x", bits, got, want)
+		}
+	}
+}

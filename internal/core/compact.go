@@ -1,0 +1,67 @@
+package core
+
+import (
+	"time"
+
+	"zoomlens/internal/flow"
+	"zoomlens/internal/metrics"
+)
+
+// This file keeps the analyzer's memory bounded over long captures (the
+// paper's deployment ran for 12+ hours against ~60 k streams): streams
+// that have gone idle are finalized, their metric engines archived, and
+// the hot maps shrunk. Archived results remain available for reports.
+
+// FinishedStream is an archived, finalized stream.
+type FinishedStream struct {
+	ID       flow.MediaStreamID
+	LastSeen time.Time
+	Metrics  *metrics.StreamMetrics
+}
+
+// Compact finalizes and archives every stream whose last packet is
+// older than cutoff, returning how many were archived. Archived streams
+// disappear from StreamIDs/MetricsFor and appear in Finished; flow-level
+// accounting (Tables 2/3/6) is unaffected.
+func (a *Analyzer) Compact(cutoff time.Time) int {
+	n := 0
+	for id, sm := range a.StreamMetrics {
+		st, ok := a.Flows.Stream(id)
+		if !ok || st.LastSeen.After(cutoff) {
+			continue
+		}
+		sm.Finish()
+		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: st.LastSeen, Metrics: sm})
+		delete(a.StreamMetrics, id)
+		n++
+	}
+	if n > 0 {
+		a.Dedup.Evict(cutoff)
+	}
+	return n
+}
+
+// AutoCompact enables periodic compaction: every `every` packets, the
+// analyzer archives streams idle longer than idle. Zero disables.
+func (a *Analyzer) AutoCompact(every uint64, idle time.Duration) {
+	a.compactEvery = every
+	a.compactIdle = idle
+}
+
+// maybeCompact is called from the packet path.
+func (a *Analyzer) maybeCompact(at time.Time) {
+	if a.compactEvery == 0 || a.Packets == 0 || a.Packets%a.compactEvery != 0 {
+		return
+	}
+	a.Compact(at.Add(-a.compactIdle))
+}
+
+// AllStreamMetrics visits live and finished streams alike.
+func (a *Analyzer) AllStreamMetrics(visit func(flow.MediaStreamID, *metrics.StreamMetrics)) {
+	for _, f := range a.Finished {
+		visit(f.ID, f.Metrics)
+	}
+	for id, sm := range a.StreamMetrics {
+		visit(id, sm)
+	}
+}

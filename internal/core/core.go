@@ -1,0 +1,290 @@
+// Package core assembles the paper's full passive-measurement pipeline:
+// packets in, per-stream performance metrics and per-meeting structure
+// out.
+//
+// The Analyzer consumes captured packets (from a pcap file or live from
+// the simulator), applies the capture filter (§4.1/§6.1), parses Zoom
+// encapsulations (§4.2), demultiplexes flows and streams (Figure 6),
+// unifies stream copies and groups them into meetings (§4.3), and
+// computes every metric of §5: bit rates, frame rate/size, latency (RTP
+// copy matching and TCP RTT), frame-level jitter, loss/retransmission,
+// and frame delay.
+package core
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"zoomlens/internal/capture"
+	"zoomlens/internal/flow"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/tcprtt"
+	"zoomlens/internal/zoom"
+)
+
+// Config parameterizes an Analyzer.
+type Config struct {
+	// ZoomNetworks and CampusNetworks configure the capture filter.
+	ZoomNetworks   []netip.Prefix
+	CampusNetworks []netip.Prefix
+	// PreFiltered indicates the input contains only Zoom traffic (e.g.
+	// the output of cmd/zoomcap); the filter still runs for P2P
+	// bookkeeping but non-matching packets are analyzed anyway.
+	PreFiltered bool
+}
+
+// Analyzer is the end-to-end pipeline. Feed packets in capture order via
+// Packet (or a whole file via ReadPCAP), then call Finish once before
+// reading results.
+type Analyzer struct {
+	cfg    Config
+	filter *capture.Filter
+	parser layers.Parser
+
+	Flows *flow.Table
+	Dedup *meeting.Dedup
+	// StreamMetrics holds one metric engine per observed stream record
+	// (per flow+SSRC+type, not per unified stream: SFU copies are
+	// analyzed independently, as the paper does).
+	StreamMetrics map[flow.MediaStreamID]*metrics.StreamMetrics
+	// Copies matches stream copies for §5.3 method-1 RTT samples.
+	Copies *metrics.CopyMatcher
+	// TCP holds one RTT tracker per Zoom control connection, keyed by
+	// the client-side endpoint.
+	TCP map[netip.AddrPort]*tcprtt.Tracker
+
+	// Totals.
+	Packets         uint64
+	Bytes           uint64
+	ZoomUDP         uint64
+	Undecodable     uint64
+	TCPPackets      uint64
+	STUNPackets     uint64
+	DroppedByFilter uint64
+	// UDPKeptPackets/UDPKeptBytes cover kept (Zoom) UDP traffic whether
+	// or not it decoded — the Table 2/3 denominators.
+	UDPKeptPackets uint64
+	UDPKeptBytes   uint64
+
+	// Finished holds archived streams from Compact.
+	Finished []FinishedStream
+
+	compactEvery uint64
+	compactIdle  time.Duration
+
+	firstTS time.Time
+	lastTS  time.Time
+}
+
+// NewAnalyzer builds an analyzer.
+func NewAnalyzer(cfg Config) *Analyzer {
+	return &Analyzer{
+		cfg: cfg,
+		filter: capture.NewFilter(capture.Config{
+			ZoomNetworks:   cfg.ZoomNetworks,
+			CampusNetworks: cfg.CampusNetworks,
+		}),
+		Flows:         flow.NewTable(),
+		Dedup:         meeting.NewDedup(),
+		StreamMetrics: make(map[flow.MediaStreamID]*metrics.StreamMetrics),
+		Copies:        metrics.NewCopyMatcher(),
+		TCP:           make(map[netip.AddrPort]*tcprtt.Tracker),
+	}
+}
+
+// Packet ingests one captured frame.
+func (a *Analyzer) Packet(at time.Time, frame []byte) {
+	a.Packets++
+	a.Bytes += uint64(len(frame))
+	if a.firstTS.IsZero() || at.Before(a.firstTS) {
+		a.firstTS = at
+	}
+	if at.After(a.lastTS) {
+		a.lastTS = at
+	}
+
+	var pkt layers.Packet
+	if err := a.parser.Parse(frame, &pkt); err != nil {
+		a.Undecodable++
+		return
+	}
+	verdict := a.filter.Classify(&pkt, at)
+	if !verdict.Keep() && !a.cfg.PreFiltered {
+		a.DroppedByFilter++
+		return
+	}
+
+	switch {
+	case pkt.HasTCP:
+		a.TCPPackets++
+		a.observeTCP(at, &pkt)
+	case pkt.HasUDP:
+		a.observeUDP(at, &pkt, len(frame))
+	}
+	a.maybeCompact(at)
+}
+
+func (a *Analyzer) observeTCP(at time.Time, pkt *layers.Packet) {
+	fromClient := a.isZoomAddr(pkt.DstAddr()) && !a.isZoomAddr(pkt.SrcAddr())
+	var client netip.AddrPort
+	if fromClient {
+		client = netip.AddrPortFrom(pkt.SrcAddr(), pkt.TCP.SrcPort)
+	} else {
+		client = netip.AddrPortFrom(pkt.DstAddr(), pkt.TCP.DstPort)
+	}
+	tr := a.TCP[client]
+	if tr == nil {
+		tr = tcprtt.NewTracker()
+		a.TCP[client] = tr
+	}
+	tr.Observe(at, fromClient, &pkt.TCP, len(pkt.Payload))
+}
+
+func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
+	if pkt.UDP.SrcPort == 3478 || pkt.UDP.DstPort == 3478 {
+		a.STUNPackets++
+		return
+	}
+	a.UDPKeptPackets++
+	a.UDPKeptBytes += uint64(wireLen)
+	zp, err := zoom.ParsePacket(pkt.Payload, zoom.ModeAuto)
+	if err != nil {
+		a.Undecodable++
+		return
+	}
+	a.ZoomUDP++
+	ft, ok := pkt.FiveTuple()
+	if !ok {
+		return
+	}
+	rec := &flow.Record{
+		Time:          at,
+		Flow:          ft,
+		WireLen:       wireLen,
+		UDPPayloadLen: len(pkt.Payload),
+		Z:             zp,
+	}
+	a.Flows.Observe(rec)
+
+	if !zp.IsMedia() {
+		return
+	}
+	key := zoom.StreamKey{SSRC: zp.RTP.SSRC, Type: zp.Media.Type}
+	unified := a.Dedup.Observe(meeting.StreamObs{
+		Time: at, Flow: ft, Key: key,
+		Seq: zp.RTP.SequenceNumber, TS: zp.RTP.Timestamp,
+	})
+	a.Copies.Observe(unified, ft, zp.RTP.PayloadType, zp.RTP.SequenceNumber, zp.RTP.Timestamp, at)
+
+	id := flow.MediaStreamID{Flow: ft, Key: key}
+	sm := a.StreamMetrics[id]
+	if sm == nil {
+		sm = metrics.NewStreamMetrics(zp.Media.Type)
+		a.StreamMetrics[id] = sm
+	}
+	sm.Observe(at, wireLen, &zp.Media, &zp.RTP)
+}
+
+func (a *Analyzer) isZoomAddr(addr netip.Addr) bool {
+	for _, p := range a.cfg.ZoomNetworks {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish flushes all per-stream state. Call once after the last packet.
+func (a *Analyzer) Finish() {
+	for _, sm := range a.StreamMetrics {
+		sm.Finish()
+	}
+}
+
+// ReadPCAP feeds an entire capture stream (classic pcap or pcapng)
+// through the analyzer and finishes.
+func (a *Analyzer) ReadPCAP(r io.Reader) error {
+	next, err := pcap.OpenAny(r)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		a.Packet(rec.Timestamp, rec.Data)
+	}
+	a.Finish()
+	return nil
+}
+
+// Meetings runs the §4.3 grouping over everything observed.
+func (a *Analyzer) Meetings() []meeting.Meeting {
+	clientOf := meeting.ClientOf(a.isZoomAddr)
+	return meeting.Group(a.Dedup.Records(clientOf))
+}
+
+// Summary is the Table 6 style capture roll-up.
+type Summary struct {
+	Duration    time.Duration
+	Packets     uint64
+	Bytes       uint64
+	ZoomUDP     uint64
+	TCPPackets  uint64
+	STUNPackets uint64
+	Undecodable uint64
+	Flows       int
+	Streams     int
+	Meetings    int
+}
+
+// Summary computes the capture roll-up.
+func (a *Analyzer) Summary() Summary {
+	tot := a.Flows.Totals()
+	return Summary{
+		Duration:    a.lastTS.Sub(a.firstTS),
+		Packets:     a.Packets,
+		Bytes:       a.Bytes,
+		ZoomUDP:     a.ZoomUDP,
+		TCPPackets:  a.TCPPackets,
+		STUNPackets: a.STUNPackets,
+		Undecodable: a.Undecodable,
+		Flows:       tot.Flows,
+		Streams:     tot.Streams,
+		Meetings:    len(a.Meetings()),
+	}
+}
+
+// StreamIDs returns the observed stream identifiers in deterministic
+// order.
+func (a *Analyzer) StreamIDs() []flow.MediaStreamID {
+	out := make([]flow.MediaStreamID, 0, len(a.StreamMetrics))
+	for id := range a.StreamMetrics {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.SSRC != out[j].Key.SSRC {
+			return out[i].Key.SSRC < out[j].Key.SSRC
+		}
+		if out[i].Key.Type != out[j].Key.Type {
+			return out[i].Key.Type < out[j].Key.Type
+		}
+		return out[i].Flow.String() < out[j].Flow.String()
+	})
+	return out
+}
+
+// MetricsFor returns the metric engine of one stream.
+func (a *Analyzer) MetricsFor(id flow.MediaStreamID) (*metrics.StreamMetrics, bool) {
+	sm, ok := a.StreamMetrics[id]
+	return sm, ok
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"zoomlens/internal/sim"
+)
+
+func TestMeetingReportHealthy(t *testing.T) {
+	a, _ := runMeetingCapture(t, 20, false)
+	reps := a.MeetingReports()
+	if len(reps) != 1 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	r := reps[0]
+	if len(r.Participants) != 2 {
+		t.Fatalf("participants = %d", len(r.Participants))
+	}
+	if r.MeetingWideDegradation {
+		t.Error("healthy meeting flagged degraded")
+	}
+	for _, p := range r.Participants {
+		if p.Degraded {
+			t.Errorf("participant %v degraded on a clean network", p.Client)
+		}
+		if p.VideoFPSMean < 20 {
+			t.Errorf("participant %v fps = %v", p.Client, p.VideoFPSMean)
+		}
+		if p.Streams == 0 {
+			t.Errorf("participant %v has no streams", p.Client)
+		}
+	}
+	if r.MeanRTT <= 0 {
+		t.Error("no RTT estimate for the meeting")
+	}
+}
+
+// TestMeetingReportSingleAffectedParticipant gives one participant a
+// bad last mile: only that participant should be flagged, and the
+// meeting must not be marked as suffering overall — the exact
+// distinction §4.3 sets out to enable.
+func TestMeetingReportSingleAffectedParticipant(t *testing.T) {
+	opts := sim.DefaultOptions()
+	w := sim.NewWorld(opts)
+	a := analyzerFor(opts)
+	w.Monitor = a.Packet
+	m := w.NewMeeting()
+	good := w.NewClient("good", true)
+	bad := w.NewClient("bad", true)
+	third := w.NewClient("third", true)
+	m.Join(good, sim.DefaultMediaSet())
+	m.Join(bad, sim.DefaultMediaSet())
+	m.Join(third, sim.DefaultMediaSet())
+
+	// Degrade only bad's access links, persistently.
+	bad.DegradeAccess(120*time.Millisecond, 0.05)
+	w.Run(opts.Start.Add(30 * time.Second))
+	a.Finish()
+
+	reps := a.MeetingReports()
+	if len(reps) != 1 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	r := reps[0]
+	if len(r.Participants) != 3 {
+		t.Fatalf("participants = %d", len(r.Participants))
+	}
+	var degraded, healthy int
+	for _, p := range r.Participants {
+		if p.Degraded {
+			degraded++
+		} else {
+			healthy++
+		}
+	}
+	if degraded == 0 {
+		t.Error("impaired participant not flagged")
+	}
+	if degraded > 1 {
+		t.Errorf("flagged %d participants, only one path is impaired", degraded)
+	}
+	if r.MeetingWideDegradation {
+		t.Error("meeting-wide flag set when only one path is impaired")
+	}
+}

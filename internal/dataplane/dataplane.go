@@ -1,0 +1,208 @@
+// Package dataplane is a feasibility study of the paper's §8 proposal to
+// run the performance analysis *inside* a programmable switch: "we can
+// already identify and parse Zoom headers in the data plane; the
+// computations of our performance metrics can be implemented in a
+// streaming fashion … The space constraints of high-speed programmable
+// switches may require approximate data structures limiting overall
+// accuracy."
+//
+// Monitor computes per-stream frame counts, byte/packet counters, and a
+// frame-level jitter estimate under switch-like constraints:
+//
+//   - a fixed-size direct-indexed slot table (register arrays): streams
+//     hash to slots, and colliding streams overwrite each other exactly
+//     as a P4 register would;
+//   - integer-only arithmetic: jitter is a Q8 fixed-point EWMA updated
+//     with shifts (j += (|d|−j) >> 4), timestamps are microseconds in
+//     uint32 (wrap-tolerant);
+//   - one pass, one touch per packet, O(1) state per touch.
+//
+// The ablation benchmark (BenchmarkAblationDataplaneAccuracy) measures
+// how accuracy degrades with table size relative to the exact software
+// pipeline.
+package dataplane
+
+import (
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/zoom"
+)
+
+// Config sizes the monitor.
+type Config struct {
+	// Slots is the size of the stream table (a power of two).
+	Slots int
+}
+
+// Slot is the per-stream register state, sized like a wide switch
+// register entry (< 64 bytes).
+type Slot struct {
+	// Fingerprint identifies the occupying stream (0 = empty).
+	Fingerprint uint64
+	SSRC        uint32
+	MediaType   uint8
+
+	// Counters.
+	Packets uint32
+	Bytes   uint32
+	Frames  uint32
+
+	// lastTS is the last RTP timestamp seen (frame boundary detection).
+	lastTS uint32
+	// lastArrivalUS is the arrival clock at the last frame boundary, in
+	// µs (wraps ~71 min, like a real switch timestamp register).
+	lastArrivalUS uint32
+	// JitterQ8 is the RFC 3550 jitter in Q8 fixed-point microseconds.
+	JitterQ8 uint32
+
+	started bool
+}
+
+// JitterMS converts the fixed-point jitter to milliseconds.
+func (s *Slot) JitterMS() float64 { return float64(s.JitterQ8) / 256 / 1000 }
+
+// Monitor is the switch-like metric engine.
+type Monitor struct {
+	slots []Slot
+	mask  uint64
+
+	// Collisions counts slot takeovers — the accuracy loss mechanism.
+	Collisions uint64
+	// Processed counts media packets touched.
+	Processed uint64
+}
+
+// NewMonitor builds a monitor with the given slot count (rounded up to
+// a power of two, minimum 16).
+func NewMonitor(cfg Config) *Monitor {
+	n := 16
+	for n < cfg.Slots {
+		n <<= 1
+	}
+	return &Monitor{slots: make([]Slot, n), mask: uint64(n - 1)}
+}
+
+// SlotCount returns the table size.
+func (m *Monitor) SlotCount() int { return len(m.slots) }
+
+// Process touches one parsed media packet. Only video is tracked for
+// jitter (the 90 kHz clock is known); other media still count packets
+// and bytes.
+func (m *Monitor) Process(at time.Time, ft layers.FiveTuple, zp *zoom.Packet) {
+	if !zp.IsMedia() {
+		return
+	}
+	m.Processed++
+	fp := fingerprint(ft, zp.RTP.SSRC, uint8(zp.Media.Type))
+	idx := fp & m.mask
+	s := &m.slots[idx]
+	if s.Fingerprint != fp {
+		if s.Fingerprint != 0 {
+			m.Collisions++
+		}
+		*s = Slot{Fingerprint: fp, SSRC: zp.RTP.SSRC, MediaType: uint8(zp.Media.Type)}
+	}
+	s.Packets++
+	s.Bytes += uint32(len(zp.RTP.Payload))
+
+	if zoom.ClassifySubstream(zp.Media.Type, zp.RTP.PayloadType).IsFEC() {
+		return // FEC shares timestamps; do not disturb frame detection
+	}
+	ts := zp.RTP.Timestamp
+	nowUS := uint32(at.UnixNano() / 1000)
+	if !s.started {
+		s.started = true
+		s.lastTS = ts
+		s.lastArrivalUS = nowUS
+		s.Frames = 1
+		return
+	}
+	if ts == s.lastTS {
+		return // same frame
+	}
+	s.Frames++
+	if zp.Media.Type == zoom.TypeVideo {
+		// D = (R_j − R_i) − (S_j − S_i), all integer µs. The RTP delta
+		// converts at 90 kHz: ticks × 100 / 9 µs, done in integer math.
+		dR := nowUS - s.lastArrivalUS // wraps correctly in uint32
+		dSticks := ts - s.lastTS      // serial arithmetic
+		dS := uint32(uint64(dSticks) * 100 / 9)
+		var d uint32
+		if dR >= dS {
+			d = dR - dS
+		} else {
+			d = dS - dR
+		}
+		// Clamp implausible gaps (idle periods, timestamp jumps) the way
+		// a P4 program would bound its register update.
+		const clampUS = 1 << 20 // ~1 s
+		if d < clampUS {
+			dq := d << 8
+			if dq >= s.JitterQ8 {
+				s.JitterQ8 += (dq - s.JitterQ8) >> 4
+			} else {
+				s.JitterQ8 -= (s.JitterQ8 - dq) >> 4
+			}
+		}
+	}
+	s.lastTS = ts
+	s.lastArrivalUS = nowUS
+}
+
+// Snapshot returns the occupied slots.
+func (m *Monitor) Snapshot() []Slot {
+	var out []Slot
+	for i := range m.slots {
+		if m.slots[i].Fingerprint != 0 {
+			out = append(out, m.slots[i])
+		}
+	}
+	return out
+}
+
+// Lookup finds the slot currently owned by a stream, if any.
+func (m *Monitor) Lookup(ft layers.FiveTuple, ssrc uint32, mt zoom.MediaType) (Slot, bool) {
+	fp := fingerprint(ft, ssrc, uint8(mt))
+	s := m.slots[fp&m.mask]
+	if s.Fingerprint != fp {
+		return Slot{}, false
+	}
+	return s, true
+}
+
+// fingerprint hashes a stream identity to 64 bits (FNV-1a over the
+// 5-tuple, SSRC, and media type). A real switch would use its CRC
+// units; the collision behaviour is what matters here.
+func fingerprint(ft layers.FiveTuple, ssrc uint32, mt uint8) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	src, dst := ft.Src.As16(), ft.Dst.As16()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(ft.SrcPort >> 8))
+	mix(byte(ft.SrcPort))
+	mix(byte(ft.DstPort >> 8))
+	mix(byte(ft.DstPort))
+	mix(ft.Proto)
+	mix(byte(ssrc >> 24))
+	mix(byte(ssrc >> 16))
+	mix(byte(ssrc >> 8))
+	mix(byte(ssrc))
+	mix(mt)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,160 @@
+package dataplane
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+var (
+	t0  = time.Date(2022, 5, 5, 9, 0, 0, 0, time.UTC)
+	ftA = layers.FiveTuple{Src: netip.MustParseAddr("10.8.1.2"), Dst: netip.MustParseAddr("52.81.3.4"), SrcPort: 50000, DstPort: 8801, Proto: layers.ProtoUDP}
+)
+
+func videoPkt(ssrc uint32, seq uint16, ts uint32, marker bool) *zoom.Packet {
+	return &zoom.Packet{
+		ServerBased: true,
+		Media:       zoom.MediaEncap{Type: zoom.TypeVideo, Timestamp: ts, PacketsInFrame: 1},
+		RTP: rtp.Packet{
+			Header:  rtp.Header{PayloadType: zoom.PTVideoMain, SequenceNumber: seq, Timestamp: ts, SSRC: ssrc, Marker: marker},
+			Payload: make([]byte, 900),
+		},
+	}
+}
+
+func TestFrameCountingAndCounters(t *testing.T) {
+	m := NewMonitor(Config{Slots: 64})
+	at := t0
+	ts := uint32(0)
+	seq := uint16(0)
+	for f := 0; f < 30; f++ {
+		for p := 0; p < 2; p++ { // two packets per frame, same TS
+			m.Process(at, ftA, videoPkt(7, seq, ts, p == 1))
+			seq++
+			at = at.Add(250 * time.Microsecond)
+		}
+		ts += 3000
+		at = at.Add(33 * time.Millisecond)
+	}
+	s, ok := m.Lookup(ftA, 7, zoom.TypeVideo)
+	if !ok {
+		t.Fatal("stream not found")
+	}
+	if s.Frames != 30 {
+		t.Errorf("frames = %d, want 30", s.Frames)
+	}
+	if s.Packets != 60 {
+		t.Errorf("packets = %d, want 60", s.Packets)
+	}
+	if s.Bytes != 60*900 {
+		t.Errorf("bytes = %d", s.Bytes)
+	}
+	if m.Collisions != 0 {
+		t.Errorf("collisions = %d", m.Collisions)
+	}
+}
+
+func TestJitterIntegerEWMAOnSmoothStream(t *testing.T) {
+	m := NewMonitor(Config{Slots: 64})
+	at := t0
+	ts := uint32(0)
+	for f := 0; f < 300; f++ {
+		m.Process(at, ftA, videoPkt(7, uint16(f), ts, true))
+		ts += 2970 // 33 ms at 90 kHz
+		at = at.Add(33 * time.Millisecond)
+	}
+	s, _ := m.Lookup(ftA, 7, zoom.TypeVideo)
+	if j := s.JitterMS(); j > 0.2 {
+		t.Errorf("jitter = %v ms on a perfectly smooth stream", j)
+	}
+}
+
+func TestJitterRespondsToVariance(t *testing.T) {
+	m := NewMonitor(Config{Slots: 64})
+	at := t0
+	ts := uint32(0)
+	for f := 0; f < 300; f++ {
+		gap := 33 * time.Millisecond
+		if f%2 == 0 {
+			gap += 10 * time.Millisecond
+		}
+		at = at.Add(gap)
+		m.Process(at, ftA, videoPkt(7, uint16(f), ts, true))
+		ts += 2970
+	}
+	s, _ := m.Lookup(ftA, 7, zoom.TypeVideo)
+	j := s.JitterMS()
+	if j < 3 || j > 13 {
+		t.Errorf("jitter = %v ms, want near the ±10 ms oscillation scale", j)
+	}
+}
+
+func TestCollisionEviction(t *testing.T) {
+	m := NewMonitor(Config{Slots: 16})
+	// Flood with many distinct streams: with 16 slots and 200 streams,
+	// evictions must occur and be counted.
+	for i := 0; i < 200; i++ {
+		ft := ftA
+		ft.SrcPort = uint16(40000 + i)
+		m.Process(t0, ft, videoPkt(uint32(100+i), 0, 0, true))
+	}
+	if m.Collisions == 0 {
+		t.Error("no collisions despite 200 streams in 16 slots")
+	}
+	if got := len(m.Snapshot()); got > 16 {
+		t.Errorf("snapshot = %d slots, table is 16", got)
+	}
+}
+
+func TestFECDoesNotDisturbFrames(t *testing.T) {
+	m := NewMonitor(Config{Slots: 64})
+	at := t0
+	// Frame 1 main, FEC with same TS, frame 2 main.
+	m.Process(at, ftA, videoPkt(7, 0, 0, true))
+	fec := videoPkt(7, 100, 0, false)
+	fec.RTP.PayloadType = zoom.PTFEC
+	m.Process(at.Add(time.Millisecond), ftA, fec)
+	m.Process(at.Add(33*time.Millisecond), ftA, videoPkt(7, 1, 3000, true))
+	s, _ := m.Lookup(ftA, 7, zoom.TypeVideo)
+	if s.Frames != 2 {
+		t.Errorf("frames = %d, want 2 (FEC must not add frames)", s.Frames)
+	}
+	if s.Packets != 3 {
+		t.Errorf("packets = %d, want 3 (FEC still counted)", s.Packets)
+	}
+}
+
+func TestRTCPIgnored(t *testing.T) {
+	m := NewMonitor(Config{Slots: 16})
+	zp := &zoom.Packet{Media: zoom.MediaEncap{Type: zoom.TypeRTCPSR}}
+	m.Process(t0, ftA, zp)
+	if m.Processed != 0 || len(m.Snapshot()) != 0 {
+		t.Error("RTCP packet touched the table")
+	}
+}
+
+func TestSlotCountPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 16}, {16, 16}, {17, 32}, {1000, 1024}} {
+		if got := NewMonitor(Config{Slots: c.in}).SlotCount(); got != c.want {
+			t.Errorf("SlotCount(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	m := NewMonitor(Config{Slots: 4096})
+	pkt := videoPkt(7, 0, 0, true)
+	at := t0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.RTP.SequenceNumber = uint16(i)
+		pkt.RTP.Timestamp = uint32(i) * 3000
+		at = at.Add(33 * time.Millisecond)
+		m.Process(at, ftA, pkt)
+	}
+}

@@ -1,0 +1,255 @@
+// Package entropy implements the header-analysis methodology of §4.2.1:
+// extract 8-, 16-, and 32-bit value sequences at every offset of a UDP
+// flow's payloads and classify each sequence as encrypted/random,
+// identifier-like (horizontal lines in the paper's plots), or
+// counter-like (angled lines: sequence numbers, timestamps), reproducing
+// Figures 3–5 programmatically.
+package entropy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FieldClass is the inferred nature of a byte range.
+type FieldClass int
+
+// Classification outcomes, mirroring Figure 4.
+const (
+	// ClassRandom marks near-uniform values: encrypted payload or MACs.
+	ClassRandom FieldClass = iota
+	// ClassIdentifier marks few distinct values (stream IDs, type codes,
+	// bitmasks) — horizontal lines.
+	ClassIdentifier
+	// ClassCounter marks mostly monotone values with regular increments
+	// (sequence numbers, timestamps) — angled lines, possibly wrapping.
+	ClassCounter
+	// ClassConstant marks a single value.
+	ClassConstant
+	// ClassMixed marks sequences with structure that fits none of the
+	// above cleanly (e.g. several interleaved counters).
+	ClassMixed
+)
+
+func (c FieldClass) String() string {
+	switch c {
+	case ClassRandom:
+		return "random"
+	case ClassIdentifier:
+		return "identifier"
+	case ClassCounter:
+		return "counter"
+	case ClassConstant:
+		return "constant"
+	case ClassMixed:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// Sequence is the value series of one (offset, width) slot across a
+// flow's packets.
+type Sequence struct {
+	Offset int
+	Width  int // bytes: 1, 2, or 4
+	Values []uint64
+}
+
+// Extract pulls the value sequence at (offset, width) from each payload
+// long enough to contain it.
+func Extract(payloads [][]byte, offset, width int) Sequence {
+	s := Sequence{Offset: offset, Width: width}
+	for _, p := range payloads {
+		if len(p) < offset+width {
+			continue
+		}
+		var v uint64
+		switch width {
+		case 1:
+			v = uint64(p[offset])
+		case 2:
+			v = uint64(binary.BigEndian.Uint16(p[offset:]))
+		case 4:
+			v = uint64(binary.BigEndian.Uint32(p[offset:]))
+		default:
+			panic(fmt.Sprintf("entropy: unsupported width %d", width))
+		}
+		s.Values = append(s.Values, v)
+	}
+	return s
+}
+
+// Analysis is the classification of one sequence with its evidence.
+type Analysis struct {
+	Sequence
+	Class FieldClass
+	// NormEntropy is the Shannon entropy of the observed values
+	// normalized by the maximum possible for the width (1.0 = uniform).
+	NormEntropy float64
+	// DistinctRatio is |distinct values| / |values|.
+	DistinctRatio float64
+	// MonotoneRatio is the fraction of consecutive deltas that are
+	// non-negative in serial arithmetic (counters wrap).
+	MonotoneRatio float64
+	// CoverageRatio is the span of values relative to the width's range.
+	CoverageRatio float64
+}
+
+// Classify analyzes one sequence. Sequences shorter than 8 samples
+// return ClassMixed (insufficient evidence).
+func Classify(s Sequence) Analysis {
+	a := Analysis{Sequence: s, Class: ClassMixed}
+	n := len(s.Values)
+	if n < 8 {
+		return a
+	}
+	distinct := map[uint64]struct{}{}
+	var mn, mx uint64 = math.MaxUint64, 0
+	for _, v := range s.Values {
+		distinct[v] = struct{}{}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	a.DistinctRatio = float64(len(distinct)) / float64(n)
+	space := math.Pow(2, float64(8*s.Width))
+	a.CoverageRatio = float64(mx-mn) / (space - 1)
+	a.NormEntropy = normEntropy(s.Values, s.Width)
+	a.MonotoneRatio = monotoneRatio(s.Values, s.Width)
+
+	switch {
+	case len(distinct) == 1:
+		a.Class = ClassConstant
+	case a.MonotoneRatio >= 0.78 && len(distinct) > 16:
+		// Angled lines: consistently advancing values. Values may repeat
+		// (an RTP timestamp is shared by every packet of a frame) and a
+		// minority substream may interleave its own counter (FEC uses a
+		// separate sequence space, §4.2.3), so the threshold tolerates
+		// some backward steps.
+		a.Class = ClassCounter
+	case a.DistinctRatio <= 0.1 || (len(distinct) <= 8 && n >= 16):
+		// Horizontal lines: few values repeated many times.
+		a.Class = ClassIdentifier
+	case a.NormEntropy >= 0.85 && a.CoverageRatio >= 0.5:
+		// Near-uniform over most of the space: encrypted.
+		a.Class = ClassRandom
+	default:
+		a.Class = ClassMixed
+	}
+	return a
+}
+
+func normEntropy(vals []uint64, width int) float64 {
+	// For 32-bit fields, bucket by the top 16 bits to keep the histogram
+	// meaningful at realistic sample counts.
+	shift := 0
+	bits := 8 * width
+	if bits > 16 {
+		shift = bits - 16
+		bits = 16
+	}
+	counts := map[uint64]int{}
+	for _, v := range vals {
+		counts[v>>shift]++
+	}
+	var h float64
+	n := float64(len(vals))
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	maxH := math.Min(float64(bits), math.Log2(n))
+	if maxH <= 0 {
+		return 0
+	}
+	return h / maxH
+}
+
+func monotoneRatio(vals []uint64, width int) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	half := uint64(1) << (8*width - 1)
+	mask := uint64(1)<<(8*width) - 1
+	nonneg := 0
+	for i := 1; i < len(vals); i++ {
+		d := (vals[i] - vals[i-1]) & mask
+		// Serial arithmetic: a forward step is one smaller than half the
+		// space (this treats wraparound as forward).
+		if d < half {
+			nonneg++
+		}
+	}
+	return float64(nonneg) / float64(len(vals)-1)
+}
+
+// Sweep runs Extract+Classify for all offsets up to maxOffset at widths
+// 1, 2 and 4, returning analyses ordered by offset then width — the
+// automated version of the paper's "hundreds of such plots".
+func Sweep(payloads [][]byte, maxOffset int) []Analysis {
+	var out []Analysis
+	for off := 0; off < maxOffset; off++ {
+		for _, w := range []int{1, 2, 4} {
+			seq := Extract(payloads, off, w)
+			if len(seq.Values) == 0 {
+				continue
+			}
+			out = append(out, Classify(seq))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Offset != out[j].Offset {
+			return out[i].Offset < out[j].Offset
+		}
+		return out[i].Width < out[j].Width
+	})
+	return out
+}
+
+// RTPSignature describes the pattern the paper searched for first: a
+// 2-byte counter (RTP sequence number) followed by a 4-byte counter (RTP
+// timestamp) followed by a 4-byte identifier (SSRC).
+type RTPSignature struct {
+	// Offset of the 2-byte sequence-number field; the timestamp begins at
+	// Offset+2 and the SSRC at Offset+6.
+	Offset int
+	// SSRCValues is the distinct identifier values seen.
+	SSRCValues []uint64
+}
+
+// FindRTP scans a sweep result for offsets matching the RTP header
+// signature (§4.2.1). The returned offsets are candidates for "the RTP
+// header starts at offset X-2" (the signature begins at the sequence
+// number, which is 2 bytes into the RTP header).
+func FindRTP(payloads [][]byte, maxOffset int) []RTPSignature {
+	var out []RTPSignature
+	for off := 0; off+10 <= maxOffset; off++ {
+		seq2 := Classify(Extract(payloads, off, 2))
+		if seq2.Class != ClassCounter {
+			continue
+		}
+		ts4 := Classify(Extract(payloads, off+2, 4))
+		if ts4.Class != ClassCounter {
+			continue
+		}
+		ssrc4 := Classify(Extract(payloads, off+6, 4))
+		if ssrc4.Class != ClassIdentifier && ssrc4.Class != ClassConstant {
+			continue
+		}
+		sig := RTPSignature{Offset: off}
+		seen := map[uint64]struct{}{}
+		for _, v := range ssrc4.Values {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				sig.SSRCValues = append(sig.SSRCValues, v)
+			}
+		}
+		out = append(out, sig)
+	}
+	return out
+}

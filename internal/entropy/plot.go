@@ -1,0 +1,63 @@
+package entropy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plot renders a value sequence as an ASCII scatter — the terminal
+// version of the paper's Figure 3/5 plots (packet index on the x axis,
+// field value on the y axis) used to "quickly and visually inspect"
+// candidate header fields.
+//
+// width and height are the plot dimensions in characters; the value
+// axis is scaled to the full range of the field's width so that
+// identifiers appear as horizontal lines, counters as angled lines that
+// wrap, and encrypted data as uniform noise, exactly as in the paper.
+func Plot(s Sequence, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(s.Values) == 0 {
+		return "(no samples)\n"
+	}
+	space := float64(uint64(1)<<(8*s.Width) - 1)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	n := len(s.Values)
+	for i, v := range s.Values {
+		x := i * width / n
+		if x >= width {
+			x = width - 1
+		}
+		y := int(float64(v) / space * float64(height-1))
+		if y >= height {
+			y = height - 1
+		}
+		row := height - 1 - y // origin bottom-left
+		if grid[row][x] == ' ' {
+			grid[row][x] = '.'
+		} else if grid[row][x] == '.' {
+			grid[row][x] = 'o'
+		} else {
+			grid[row][x] = '@'
+		}
+	}
+	var b strings.Builder
+	maxLabel := fmt.Sprintf("%d", uint64(1)<<(8*s.Width)-1)
+	fmt.Fprintf(&b, "offset %d, width %d — %d samples (y: 0..%s, x: packet index)\n",
+		s.Offset, s.Width, n, maxLabel)
+	b.WriteString("^\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + ">\n")
+	return b.String()
+}

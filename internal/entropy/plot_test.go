@@ -1,0 +1,86 @@
+package entropy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func plotRows(s string) []string {
+	var rows []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "|") {
+			rows = append(rows, line[1:])
+		}
+	}
+	return rows
+}
+
+func TestPlotConstantIsOneHorizontalLine(t *testing.T) {
+	s := Sequence{Width: 1}
+	for i := 0; i < 100; i++ {
+		s.Values = append(s.Values, 128)
+	}
+	rows := plotRows(Plot(s, 40, 10))
+	occupied := 0
+	for _, r := range rows {
+		if strings.TrimSpace(r) != "" {
+			occupied++
+		}
+	}
+	if occupied != 1 {
+		t.Errorf("constant plotted on %d rows, want 1", occupied)
+	}
+}
+
+func TestPlotCounterWrapsAcrossRows(t *testing.T) {
+	s := Sequence{Width: 2}
+	v := uint64(0)
+	for i := 0; i < 400; i++ {
+		s.Values = append(s.Values, v&0xffff)
+		v += 400 // wraps ~2.5 times
+	}
+	rows := plotRows(Plot(s, 60, 12))
+	occupied := 0
+	for _, r := range rows {
+		if strings.TrimSpace(r) != "" {
+			occupied++
+		}
+	}
+	// An angled, wrapping line touches most rows.
+	if occupied < 9 {
+		t.Errorf("counter touched %d rows, want nearly all", occupied)
+	}
+}
+
+func TestPlotRandomFillsPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Sequence{Width: 2}
+	for i := 0; i < 2000; i++ {
+		s.Values = append(s.Values, uint64(rng.Intn(1<<16)))
+	}
+	rows := plotRows(Plot(s, 40, 10))
+	var cells, filled int
+	for _, r := range rows {
+		for _, c := range r {
+			cells++
+			if c != ' ' {
+				filled++
+			}
+		}
+	}
+	if frac := float64(filled) / float64(cells); frac < 0.6 {
+		t.Errorf("random data filled %.2f of the plane, want most", frac)
+	}
+}
+
+func TestPlotEmptyAndTinyDimensions(t *testing.T) {
+	if got := Plot(Sequence{Width: 1}, 40, 10); !strings.Contains(got, "no samples") {
+		t.Errorf("empty plot: %q", got)
+	}
+	// Degenerate dimensions clamp, never panic.
+	s := Sequence{Width: 1, Values: []uint64{1, 2, 3}}
+	if got := Plot(s, 0, 0); len(got) == 0 {
+		t.Error("tiny plot empty")
+	}
+}

@@ -1,0 +1,228 @@
+// Package features turns per-stream metric series into per-second
+// feature vectors for machine-learned QoE inference — the application
+// the paper proposes in §8 ("our system can help automatically generate
+// large, feature-rich data sets from real-world traffic", citing
+// Bronzino et al.'s encrypted-video QoE work).
+//
+// Each row describes one stream-second: passive, in-network observables
+// only. When ground truth is available (simulation, or an instrumented
+// client), rows can be joined with labels to train models; LabelFromQoS
+// derives a simple quality label from the client's own statistics.
+package features
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/qos"
+	"zoomlens/internal/zoom"
+)
+
+// Row is one stream-second feature vector.
+type Row struct {
+	Time      time.Time
+	SSRC      uint32
+	MediaType zoom.MediaType
+
+	// Passive observables (§5 metrics, binned to the second).
+	MediaKbps     float64
+	WireKbps      float64
+	FPSDelivered  float64
+	FPSEncoder    float64
+	MeanFrameSize float64
+	MaxFrameSize  float64
+	JitterMS      float64
+	FrameDelayMS  float64
+	Frames        float64
+	// Stalled reports the stall model's state during this second.
+	Stalled bool
+}
+
+// Columns is the CSV header, kept in sync with WriteCSV.
+var Columns = []string{
+	"time", "ssrc", "media_type",
+	"media_kbps", "wire_kbps", "fps_delivered", "fps_encoder",
+	"mean_frame_bytes", "max_frame_bytes", "jitter_ms", "frame_delay_ms",
+	"frames", "stalled",
+}
+
+// Extract converts one stream's metrics into per-second rows covering
+// the stream's active interval.
+func Extract(ssrc uint32, mt zoom.MediaType, sm *metrics.StreamMetrics) []Row {
+	if len(sm.MediaRate.Samples) == 0 {
+		return nil
+	}
+	origin := sm.MediaRate.Samples[0].Time.Truncate(time.Second)
+	sec := func(s []metrics.Sample) map[int64]float64 {
+		out := make(map[int64]float64, len(s))
+		for _, x := range s {
+			out[x.Time.Unix()] = x.Value
+		}
+		return out
+	}
+	media := sec(sm.MediaRate.Samples) // already 1-second bins
+	wire := sec(sm.WireRate.Samples)
+	fps := sec(sm.FrameRate.Bin(origin, time.Second, "last"))
+	enc := sec(sm.EncoderRate.Bin(origin, time.Second, "mean"))
+	meanSize := sec(sm.FrameSize.Bin(origin, time.Second, "mean"))
+	maxSize := sec(maxBin(sm.FrameSize, origin))
+	jit := sec(sm.JitterMS.Bin(origin, time.Second, "mean"))
+	delay := sec(sm.FrameDelay.Bin(origin, time.Second, "mean"))
+	frames := sec(sm.FrameSize.Bin(origin, time.Second, "count"))
+
+	stalledAt := map[int64]bool{}
+	if sm.Stall != nil {
+		for _, e := range sm.Stall.Events {
+			for t := e.Start.Unix(); t <= e.Start.Add(e.Duration).Unix(); t++ {
+				stalledAt[t] = true
+			}
+		}
+	}
+
+	keys := make([]int64, 0, len(media))
+	for k := range media {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	rows := make([]Row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, Row{
+			Time:          time.Unix(k, 0).UTC(),
+			SSRC:          ssrc,
+			MediaType:     mt,
+			MediaKbps:     media[k] / 1000,
+			WireKbps:      wire[k] / 1000,
+			FPSDelivered:  fps[k],
+			FPSEncoder:    enc[k],
+			MeanFrameSize: meanSize[k],
+			MaxFrameSize:  maxSize[k],
+			JitterMS:      jit[k],
+			FrameDelayMS:  delay[k],
+			Frames:        frames[k],
+			Stalled:       stalledAt[k],
+		})
+	}
+	return rows
+}
+
+func maxBin(s metrics.Series, origin time.Time) []metrics.Sample {
+	byBin := map[int64]float64{}
+	for _, sm := range s.Samples {
+		k := sm.Time.Unix()
+		if sm.Value > byBin[k] {
+			byBin[k] = sm.Value
+		}
+	}
+	out := make([]metrics.Sample, 0, len(byBin))
+	for k, v := range byBin {
+		out = append(out, metrics.Sample{Time: time.Unix(k, 0).UTC(), Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Label is a coarse quality label for supervised training.
+type Label int
+
+// Quality labels derived from client-side ground truth.
+const (
+	LabelGood Label = iota
+	LabelDegraded
+	LabelBad
+)
+
+func (l Label) String() string {
+	switch l {
+	case LabelGood:
+		return "good"
+	case LabelDegraded:
+		return "degraded"
+	case LabelBad:
+		return "bad"
+	}
+	return "unknown"
+}
+
+// LabelFromQoS derives a label from a client's QoS entry: full frame
+// rate and low latency → good; halved frame rate or elevated latency →
+// degraded; worse → bad. targetFPS is the nominal sender rate.
+func LabelFromQoS(e qos.Entry, targetFPS float64) Label {
+	switch {
+	case e.VideoFPS >= 0.8*targetFPS && e.LatencyMS < 150:
+		return LabelGood
+	case e.VideoFPS >= 0.45*targetFPS && e.LatencyMS < 300:
+		return LabelDegraded
+	default:
+		return LabelBad
+	}
+}
+
+// LabeledRow joins a feature row with a ground-truth label.
+type LabeledRow struct {
+	Row
+	Label Label
+}
+
+// Join matches rows to QoS entries by second. Rows without a matching
+// entry are dropped (the client was not recording).
+func Join(rows []Row, entries []qos.Entry, targetFPS float64) []LabeledRow {
+	byTime := make(map[int64]qos.Entry, len(entries))
+	for _, e := range entries {
+		byTime[e.Time.Unix()] = e
+	}
+	out := make([]LabeledRow, 0, len(rows))
+	for _, r := range rows {
+		e, ok := byTime[r.Time.Unix()]
+		if !ok {
+			continue
+		}
+		out = append(out, LabeledRow{Row: r, Label: LabelFromQoS(e, targetFPS)})
+	}
+	return out
+}
+
+// WriteCSV writes rows (with an optional header) to w.
+func WriteCSV(w io.Writer, rows []Row, header bool) error {
+	if header {
+		if err := writeLine(w, Columns); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Time.Format(time.RFC3339),
+			strconv.FormatUint(uint64(r.SSRC), 10),
+			r.MediaType.String(),
+			f1(r.MediaKbps), f1(r.WireKbps), f1(r.FPSDelivered), f1(r.FPSEncoder),
+			f1(r.MeanFrameSize), f1(r.MaxFrameSize), f2(r.JitterMS), f2(r.FrameDelayMS),
+			f1(r.Frames), strconv.FormatBool(r.Stalled),
+		}
+		if err := writeLine(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLine(w io.Writer, fields []string) error {
+	for i, f := range fields {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, f); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,146 @@
+package features
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/qos"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+var t0 = time.Date(2022, 5, 5, 9, 0, 0, 0, time.UTC)
+
+func streamWithTraffic(t *testing.T, seconds int) *metrics.StreamMetrics {
+	t.Helper()
+	sm := metrics.NewStreamMetrics(zoom.TypeVideo)
+	ts := uint32(0)
+	at := t0
+	for i := 0; i < seconds*30; i++ {
+		media := zoom.MediaEncap{Type: zoom.TypeVideo, Timestamp: ts, PacketsInFrame: 1}
+		pkt := rtp.Packet{Header: rtp.Header{PayloadType: zoom.PTVideoMain, SequenceNumber: uint16(i), Timestamp: ts, SSRC: 42, Marker: true}, Payload: make([]byte, 900)}
+		sm.Observe(at, 970, &media, &pkt)
+		ts += 3000
+		at = at.Add(time.Second / 30)
+	}
+	sm.Finish()
+	return sm
+}
+
+func TestExtractRows(t *testing.T) {
+	sm := streamWithTraffic(t, 10)
+	rows := Extract(42, zoom.TypeVideo, sm)
+	if len(rows) < 8 || len(rows) > 11 {
+		t.Fatalf("rows = %d for a 10 s stream", len(rows))
+	}
+	mid := rows[len(rows)/2]
+	if mid.SSRC != 42 || mid.MediaType != zoom.TypeVideo {
+		t.Errorf("identity: %+v", mid)
+	}
+	// 30 fps × 900 B ≈ 216 kbps media.
+	if mid.MediaKbps < 150 || mid.MediaKbps > 280 {
+		t.Errorf("media kbps = %v", mid.MediaKbps)
+	}
+	if mid.WireKbps <= mid.MediaKbps {
+		t.Errorf("wire (%v) should exceed media (%v)", mid.WireKbps, mid.MediaKbps)
+	}
+	if mid.FPSDelivered < 25 || mid.FPSDelivered > 33 {
+		t.Errorf("fps = %v", mid.FPSDelivered)
+	}
+	if mid.FPSEncoder < 29 || mid.FPSEncoder > 31 {
+		t.Errorf("encoder fps = %v", mid.FPSEncoder)
+	}
+	if mid.MeanFrameSize != 900 || mid.MaxFrameSize != 900 {
+		t.Errorf("frame sizes = %v/%v", mid.MeanFrameSize, mid.MaxFrameSize)
+	}
+	if mid.Stalled {
+		t.Error("healthy second marked stalled")
+	}
+	// Rows ordered by time.
+	for i := 1; i < len(rows); i++ {
+		if !rows[i].Time.After(rows[i-1].Time) {
+			t.Fatal("rows out of order")
+		}
+	}
+}
+
+func TestExtractEmptyStream(t *testing.T) {
+	sm := metrics.NewStreamMetrics(zoom.TypeAudio)
+	if rows := Extract(1, zoom.TypeAudio, sm); rows != nil {
+		t.Errorf("rows = %v for empty stream", rows)
+	}
+}
+
+func TestLabelFromQoS(t *testing.T) {
+	cases := []struct {
+		fps, lat float64
+		want     Label
+	}{
+		{28, 20, LabelGood},
+		{23, 120, LabelGood},
+		{14, 40, LabelDegraded},
+		{28, 200, LabelDegraded},
+		{5, 40, LabelBad},
+		{14, 500, LabelBad},
+	}
+	for _, c := range cases {
+		e := qos.Entry{Stats: qos.Stats{VideoFPS: c.fps, LatencyMS: c.lat}}
+		if got := LabelFromQoS(e, 28); got != c.want {
+			t.Errorf("LabelFromQoS(fps=%v lat=%v) = %v, want %v", c.fps, c.lat, got, c.want)
+		}
+	}
+	if LabelGood.String() != "good" || LabelBad.String() != "bad" {
+		t.Error("label strings")
+	}
+}
+
+func TestJoinMatchesBySecond(t *testing.T) {
+	sm := streamWithTraffic(t, 6)
+	rows := Extract(42, zoom.TypeVideo, sm)
+	rec := qos.NewRecorder("c")
+	for i := 0; i < 6; i++ {
+		rec.Record(t0.Add(time.Duration(i)*time.Second), qos.Stats{VideoFPS: 28, LatencyMS: 25})
+	}
+	labeled := Join(rows, rec.Entries, 28)
+	if len(labeled) == 0 {
+		t.Fatal("no joined rows")
+	}
+	for _, lr := range labeled {
+		if lr.Label != LabelGood {
+			t.Errorf("label = %v at %v", lr.Label, lr.Time)
+		}
+	}
+	// QoS entries from a different period: nothing joins.
+	rec2 := qos.NewRecorder("c2")
+	rec2.Record(t0.Add(time.Hour), qos.Stats{})
+	if got := Join(rows, rec2.Entries, 28); len(got) != 0 {
+		t.Errorf("joined = %d, want 0", len(got))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sm := streamWithTraffic(t, 3)
+	rows := Extract(42, zoom.TypeVideo, sm)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("lines = %d, want %d", len(lines), len(rows)+1)
+	}
+	if got := strings.Split(lines[0], ","); len(got) != len(Columns) {
+		t.Errorf("header fields = %d, want %d", len(got), len(Columns))
+	}
+	for _, line := range lines[1:] {
+		if n := len(strings.Split(line, ",")); n != len(Columns) {
+			t.Errorf("row fields = %d, want %d: %s", n, len(Columns), line)
+		}
+	}
+	if !strings.Contains(lines[1], "video") {
+		t.Errorf("row: %s", lines[1])
+	}
+}

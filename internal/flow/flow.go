@@ -1,0 +1,344 @@
+// Package flow tracks the aggregation levels of Figure 6 in the paper:
+// UDP flows (IP 5-tuples) carry media streams (identified by SSRC and
+// Zoom media type), each of which carries up to three substreams
+// (identified by RTP payload type), which in turn carry frames
+// (identified by RTP timestamp) split across packets (identified by RTP
+// sequence number).
+//
+// The Table keeps per-flow and per-stream accounting used by the Table
+// 2/3/6 reproductions and hands structured records to downstream
+// consumers (meeting grouping, metrics).
+package flow
+
+import (
+	"sort"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/zoom"
+)
+
+// Record is one parsed Zoom packet in its flow context. It is the unit
+// handed to metric engines and the meeting-grouping heuristic.
+type Record struct {
+	Time time.Time
+	Flow layers.FiveTuple
+	// WireLen is the full frame length on the wire, for overall bit
+	// rates (§5.1).
+	WireLen int
+	// UDPPayloadLen is the Zoom payload length.
+	UDPPayloadLen int
+	// Z is the parsed Zoom packet.
+	Z zoom.Packet
+}
+
+// MediaStreamID identifies a media stream at the vantage point: the same
+// SSRC+type can legitimately appear on several flows (stream copies
+// forwarded by the SFU, or an SFU→P2P transition), which step 1 of the
+// grouping heuristic detects (§4.3.2).
+type MediaStreamID struct {
+	Flow layers.FiveTuple
+	Key  zoom.StreamKey
+}
+
+// SubstreamStats accumulates per-payload-type counters within a stream.
+type SubstreamStats struct {
+	PayloadType uint8
+	Packets     uint64
+	Bytes       uint64 // RTP payload bytes
+}
+
+// StreamStats is the per-media-stream accounting record.
+type StreamStats struct {
+	ID         MediaStreamID
+	FirstSeen  time.Time
+	LastSeen   time.Time
+	Packets    uint64
+	WireBytes  uint64
+	MediaBytes uint64 // RTP payload bytes across substreams
+	// FirstRTPTimestamp and LastRTPTimestamp are the stream's RTP
+	// timestamp range, consumed by duplicate-stream detection.
+	FirstRTPTimestamp uint32
+	LastRTPTimestamp  uint32
+	FirstSeq          uint16
+	LastSeq           uint16
+	Substreams        map[uint8]*SubstreamStats
+	RTCPPackets       uint64
+}
+
+// FlowStats is the per-5-tuple accounting record.
+type FlowStats struct {
+	Flow        layers.FiveTuple
+	FirstSeen   time.Time
+	LastSeen    time.Time
+	Packets     uint64
+	WireBytes   uint64
+	ServerBased uint64 // packets with an SFU encapsulation
+	P2P         uint64
+	// ByEncapType counts packets per media encapsulation type value
+	// (Table 2).
+	ByEncapType map[zoom.MediaType]uint64
+}
+
+// Table demultiplexes records into flows and streams.
+type Table struct {
+	flows   map[layers.FiveTuple]*FlowStats
+	streams map[MediaStreamID]*StreamStats
+
+	// Totals for Table 2/6.
+	totalPackets uint64
+	totalBytes   uint64
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		flows:   make(map[layers.FiveTuple]*FlowStats),
+		streams: make(map[MediaStreamID]*StreamStats),
+	}
+}
+
+// Observe ingests one record, updating flow and stream state. It returns
+// the stream's stats entry (nil for RTCP-only bookkeeping is never nil:
+// RTCP packets are attributed to the stream of their first referenced
+// SSRC when one exists).
+func (t *Table) Observe(r *Record) *StreamStats {
+	t.totalPackets++
+	t.totalBytes += uint64(r.WireLen)
+
+	f := t.flows[r.Flow]
+	if f == nil {
+		f = &FlowStats{Flow: r.Flow, FirstSeen: r.Time, ByEncapType: make(map[zoom.MediaType]uint64)}
+		t.flows[r.Flow] = f
+	}
+	f.LastSeen = r.Time
+	f.Packets++
+	f.WireBytes += uint64(r.WireLen)
+	f.ByEncapType[r.Z.Media.Type]++
+	if r.Z.ServerBased {
+		f.ServerBased++
+	} else {
+		f.P2P++
+	}
+
+	var key zoom.StreamKey
+	switch {
+	case r.Z.IsMedia():
+		key = zoom.StreamKey{SSRC: r.Z.RTP.SSRC, Type: r.Z.Media.Type}
+	case r.Z.Media.Type.IsRTCP() && len(r.Z.RTCP.SenderReports) > 0:
+		// Attribute the report to the stream it describes. RTCP SRs for a
+		// media stream use the media type of their carrying encapsulation
+		// only (33/34), so find any existing stream on this flow with the
+		// SSRC.
+		ssrc := r.Z.RTCP.SenderReports[0].SSRC
+		if s := t.findStreamBySSRC(r.Flow, ssrc); s != nil {
+			s.RTCPPackets++
+			s.LastSeen = r.Time
+			return s
+		}
+		return nil
+	default:
+		return nil
+	}
+
+	id := MediaStreamID{Flow: r.Flow, Key: key}
+	s := t.streams[id]
+	if s == nil {
+		s = &StreamStats{
+			ID:                id,
+			FirstSeen:         r.Time,
+			FirstRTPTimestamp: r.Z.RTP.Timestamp,
+			FirstSeq:          r.Z.RTP.SequenceNumber,
+			Substreams:        make(map[uint8]*SubstreamStats),
+		}
+		t.streams[id] = s
+	}
+	s.LastSeen = r.Time
+	s.Packets++
+	s.WireBytes += uint64(r.WireLen)
+	s.MediaBytes += uint64(len(r.Z.RTP.Payload))
+	s.LastRTPTimestamp = r.Z.RTP.Timestamp
+	s.LastSeq = r.Z.RTP.SequenceNumber
+	sub := s.Substreams[r.Z.RTP.PayloadType]
+	if sub == nil {
+		sub = &SubstreamStats{PayloadType: r.Z.RTP.PayloadType}
+		s.Substreams[r.Z.RTP.PayloadType] = sub
+	}
+	sub.Packets++
+	sub.Bytes += uint64(len(r.Z.RTP.Payload))
+	return s
+}
+
+func (t *Table) findStreamBySSRC(ft layers.FiveTuple, ssrc uint32) *StreamStats {
+	for _, mt := range []zoom.MediaType{zoom.TypeVideo, zoom.TypeAudio, zoom.TypeScreenShare} {
+		if s, ok := t.streams[MediaStreamID{Flow: ft, Key: zoom.StreamKey{SSRC: ssrc, Type: mt}}]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// Flows returns all flow records, ordered by first-seen time.
+func (t *Table) Flows() []*FlowStats {
+	out := make([]*FlowStats, 0, len(t.flows))
+	for _, f := range t.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
+			return out[i].FirstSeen.Before(out[j].FirstSeen)
+		}
+		return out[i].Flow.String() < out[j].Flow.String()
+	})
+	return out
+}
+
+// Streams returns all stream records, ordered by first-seen time.
+func (t *Table) Streams() []*StreamStats {
+	out := make([]*StreamStats, 0, len(t.streams))
+	for _, s := range t.streams {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
+			return out[i].FirstSeen.Before(out[j].FirstSeen)
+		}
+		if out[i].ID.Key.SSRC != out[j].ID.Key.SSRC {
+			return out[i].ID.Key.SSRC < out[j].ID.Key.SSRC
+		}
+		return out[i].ID.Flow.String() < out[j].ID.Flow.String()
+	})
+	return out
+}
+
+// Stream looks up one stream record.
+func (t *Table) Stream(id MediaStreamID) (*StreamStats, bool) {
+	s, ok := t.streams[id]
+	return s, ok
+}
+
+// Totals summarizes the table for the Table 6 reproduction.
+type Totals struct {
+	Packets uint64
+	Bytes   uint64
+	Flows   int
+	Streams int
+}
+
+// Totals returns the capture summary counters.
+func (t *Table) Totals() Totals {
+	return Totals{
+		Packets: t.totalPackets,
+		Bytes:   t.totalBytes,
+		Flows:   len(t.flows),
+		Streams: len(t.streams),
+	}
+}
+
+// EncapTypeShare is one row of the Table 2 reproduction.
+type EncapTypeShare struct {
+	Type       zoom.MediaType
+	Packets    uint64
+	Bytes      uint64
+	PacketsPct float64
+	BytesPct   float64
+}
+
+// EncapShares aggregates packet and byte shares by media encapsulation
+// type across all flows (Table 2). totalPackets/totalBytes are the
+// denominators; pass the capture totals including undecodable packets to
+// match the paper's accounting.
+func (t *Table) EncapShares(totalPackets, totalBytes uint64) []EncapTypeShare {
+	type agg struct{ pkts, bytes uint64 }
+	byType := map[zoom.MediaType]*agg{}
+	for _, s := range t.streams {
+		a := byType[s.ID.Key.Type]
+		if a == nil {
+			a = &agg{}
+			byType[s.ID.Key.Type] = a
+		}
+		a.pkts += s.Packets
+		a.bytes += s.WireBytes
+	}
+	// RTCP packets are not in stream records' packet counts; count them
+	// from flows.
+	for _, f := range t.flows {
+		for mt, n := range f.ByEncapType {
+			if !mt.IsRTCP() {
+				continue
+			}
+			a := byType[mt]
+			if a == nil {
+				a = &agg{}
+				byType[mt] = a
+			}
+			a.pkts += n
+		}
+	}
+	out := make([]EncapTypeShare, 0, len(byType))
+	for mt, a := range byType {
+		share := EncapTypeShare{Type: mt, Packets: a.pkts, Bytes: a.bytes}
+		if totalPackets > 0 {
+			share.PacketsPct = 100 * float64(a.pkts) / float64(totalPackets)
+		}
+		if totalBytes > 0 {
+			share.BytesPct = 100 * float64(a.bytes) / float64(totalBytes)
+		}
+		out = append(out, share)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Packets > out[j].Packets })
+	return out
+}
+
+// PayloadTypeShare is one row of the Table 3 reproduction.
+type PayloadTypeShare struct {
+	Media       zoom.MediaType
+	PayloadType uint8
+	Substream   zoom.Substream
+	Packets     uint64
+	Bytes       uint64
+	PacketsPct  float64
+	BytesPct    float64
+}
+
+// PayloadTypeShares aggregates substream shares by (media type, RTP PT)
+// across all streams (Table 3).
+func (t *Table) PayloadTypeShares(totalPackets, totalBytes uint64) []PayloadTypeShare {
+	type key struct {
+		mt zoom.MediaType
+		pt uint8
+	}
+	type agg struct{ pkts, bytes uint64 }
+	byKey := map[key]*agg{}
+	for _, s := range t.streams {
+		for pt, sub := range s.Substreams {
+			k := key{s.ID.Key.Type, pt}
+			a := byKey[k]
+			if a == nil {
+				a = &agg{}
+				byKey[k] = a
+			}
+			a.pkts += sub.Packets
+			a.bytes += sub.Bytes
+		}
+	}
+	out := make([]PayloadTypeShare, 0, len(byKey))
+	for k, a := range byKey {
+		share := PayloadTypeShare{
+			Media:       k.mt,
+			PayloadType: k.pt,
+			Substream:   zoom.ClassifySubstream(k.mt, k.pt),
+			Packets:     a.pkts,
+			Bytes:       a.bytes,
+		}
+		if totalPackets > 0 {
+			share.PacketsPct = 100 * float64(a.pkts) / float64(totalPackets)
+		}
+		if totalBytes > 0 {
+			share.BytesPct = 100 * float64(a.bytes) / float64(totalBytes)
+		}
+		out = append(out, share)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Packets > out[j].Packets })
+	return out
+}

@@ -1,0 +1,249 @@
+package layers
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Builder assembles wire-format packets for the simulator and for tests.
+// All methods append to an internal buffer that is reused across calls to
+// Reset, so steady-state packet construction allocates only the final
+// copy handed to the caller.
+type Builder struct {
+	buf []byte
+}
+
+// Reset clears the builder for a new packet.
+func (b *Builder) Reset() { b.buf = b.buf[:0] }
+
+// Bytes returns a copy of the assembled packet.
+func (b *Builder) Bytes() []byte {
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out
+}
+
+// AppendRaw appends arbitrary bytes (a payload).
+func (b *Builder) AppendRaw(p []byte) { b.buf = append(b.buf, p...) }
+
+// EthernetIPv4UDP builds a complete Ethernet+IPv4+UDP packet around
+// payload, with correct lengths and checksums. MAC addresses are derived
+// deterministically from the IP addresses (this repository never needs
+// real MACs).
+func EthernetIPv4UDP(src, dst netip.AddrPort, ttl uint8, payload []byte) []byte {
+	var b Builder
+	b.appendEthernet(src.Addr(), dst.Addr(), EtherTypeIPv4)
+	b.appendIPv4UDP(src, dst, ttl, payload)
+	return b.Bytes()
+}
+
+// EthernetIPv4TCP builds a complete Ethernet+IPv4+TCP packet. The TCP
+// header uses no options.
+func EthernetIPv4TCP(src, dst netip.AddrPort, ttl uint8, seq, ack uint32, flags TCPFlags, window uint16, payload []byte) []byte {
+	var b Builder
+	b.appendEthernet(src.Addr(), dst.Addr(), EtherTypeIPv4)
+	b.appendIPv4TCP(src, dst, ttl, seq, ack, flags, window, payload)
+	return b.Bytes()
+}
+
+// BuildUDP appends into b (after Reset) and returns the assembled bytes.
+// It is the allocation-conscious variant of EthernetIPv4UDP for the
+// simulator hot path.
+func (b *Builder) BuildUDP(src, dst netip.AddrPort, ttl uint8, payload []byte) []byte {
+	b.Reset()
+	b.appendEthernet(src.Addr(), dst.Addr(), EtherTypeIPv4)
+	b.appendIPv4UDP(src, dst, ttl, payload)
+	return b.Bytes()
+}
+
+// BuildTCP is the allocation-conscious variant of EthernetIPv4TCP.
+func (b *Builder) BuildTCP(src, dst netip.AddrPort, ttl uint8, seq, ack uint32, flags TCPFlags, window uint16, payload []byte) []byte {
+	b.Reset()
+	b.appendEthernet(src.Addr(), dst.Addr(), EtherTypeIPv4)
+	b.appendIPv4TCP(src, dst, ttl, seq, ack, flags, window, payload)
+	return b.Bytes()
+}
+
+func macFor(a netip.Addr) [6]byte {
+	var m [6]byte
+	b := a.As4()
+	m[0] = 0x02 // locally administered
+	m[1] = 0x5a // 'Z'
+	copy(m[2:], b[:])
+	return m
+}
+
+func (b *Builder) appendEthernet(src, dst netip.Addr, etherType uint16) {
+	sm, dm := macFor(src), macFor(dst)
+	b.buf = append(b.buf, dm[:]...)
+	b.buf = append(b.buf, sm[:]...)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, etherType)
+}
+
+func (b *Builder) appendIPv4UDP(src, dst netip.AddrPort, ttl uint8, payload []byte) {
+	totalLen := 20 + udpLen + len(payload)
+	b.appendIPv4Header(src.Addr(), dst.Addr(), ttl, ProtoUDP, totalLen)
+	udpStart := len(b.buf)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, src.Port())
+	b.buf = binary.BigEndian.AppendUint16(b.buf, dst.Port())
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(udpLen+len(payload)))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 0) // checksum placeholder
+	b.buf = append(b.buf, payload...)
+	cs := transportChecksum(src.Addr(), dst.Addr(), ProtoUDP, b.buf[udpStart:])
+	if cs == 0 {
+		cs = 0xffff // UDP: zero checksum means "not computed"
+	}
+	binary.BigEndian.PutUint16(b.buf[udpStart+6:], cs)
+}
+
+func (b *Builder) appendIPv4TCP(src, dst netip.AddrPort, ttl uint8, seq, ack uint32, flags TCPFlags, window uint16, payload []byte) {
+	totalLen := 20 + 20 + len(payload)
+	b.appendIPv4Header(src.Addr(), dst.Addr(), ttl, ProtoTCP, totalLen)
+	tcpStart := len(b.buf)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, src.Port())
+	b.buf = binary.BigEndian.AppendUint16(b.buf, dst.Port())
+	b.buf = binary.BigEndian.AppendUint32(b.buf, seq)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, ack)
+	b.buf = append(b.buf, 5<<4, byte(flags))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, window)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 0) // checksum placeholder
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 0) // urgent
+	b.buf = append(b.buf, payload...)
+	cs := transportChecksum(src.Addr(), dst.Addr(), ProtoTCP, b.buf[tcpStart:])
+	binary.BigEndian.PutUint16(b.buf[tcpStart+16:], cs)
+}
+
+func (b *Builder) appendIPv4Header(src, dst netip.Addr, ttl uint8, proto uint8, totalLen int) {
+	if !src.Is4() || !dst.Is4() {
+		panic(fmt.Sprintf("layers: appendIPv4Header requires IPv4 addresses, got %v -> %v", src, dst))
+	}
+	start := len(b.buf)
+	b.buf = append(b.buf, 0x45, 0) // version 4, IHL 5, TOS 0
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(totalLen))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 0)      // ID
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 0x4000) // DF
+	b.buf = append(b.buf, ttl, proto, 0, 0)              // checksum placeholder
+	s4, d4 := src.As4(), dst.As4()
+	b.buf = append(b.buf, s4[:]...)
+	b.buf = append(b.buf, d4[:]...)
+	cs := internetChecksum(b.buf[start : start+20])
+	binary.BigEndian.PutUint16(b.buf[start+10:], cs)
+}
+
+// internetChecksum computes the RFC 1071 ones-complement checksum of data.
+func internetChecksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the UDP/TCP checksum including the IPv4
+// pseudo-header.
+func transportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	var pseudo [12]byte
+	s4, d4 := src.As4(), dst.As4()
+	copy(pseudo[0:4], s4[:])
+	copy(pseudo[4:8], d4[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	var sum uint32
+	for i := 0; i < 12; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(pseudo[i : i+2]))
+	}
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPv4Checksum reports whether the IPv4 header checksum of a decoded
+// packet's raw header bytes is valid.
+func VerifyIPv4Checksum(header []byte) bool {
+	if len(header) < 20 {
+		return false
+	}
+	return internetChecksum(header) == 0
+}
+
+// EthernetIPv6UDP builds a complete Ethernet+IPv6+UDP packet around
+// payload with a correct UDP checksum (mandatory for IPv6).
+func EthernetIPv6UDP(src, dst netip.AddrPort, hopLimit uint8, payload []byte) []byte {
+	if !src.Addr().Is6() || src.Addr().Is4In6() || !dst.Addr().Is6() || dst.Addr().Is4In6() {
+		panic(fmt.Sprintf("layers: EthernetIPv6UDP requires IPv6 addresses, got %v -> %v", src.Addr(), dst.Addr()))
+	}
+	var b Builder
+	sm, dm := mac6For(src.Addr()), mac6For(dst.Addr())
+	b.buf = append(b.buf, dm[:]...)
+	b.buf = append(b.buf, sm[:]...)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, EtherTypeIPv6)
+
+	udpLenTotal := udpLen + len(payload)
+	b.buf = append(b.buf, 0x60, 0, 0, 0)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(udpLenTotal))
+	b.buf = append(b.buf, ProtoUDP, hopLimit)
+	s16, d16 := src.Addr().As16(), dst.Addr().As16()
+	b.buf = append(b.buf, s16[:]...)
+	b.buf = append(b.buf, d16[:]...)
+
+	udpStart := len(b.buf)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, src.Port())
+	b.buf = binary.BigEndian.AppendUint16(b.buf, dst.Port())
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(udpLenTotal))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 0)
+	b.buf = append(b.buf, payload...)
+	cs := transportChecksum6(src.Addr(), dst.Addr(), ProtoUDP, b.buf[udpStart:])
+	if cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(b.buf[udpStart+6:], cs)
+	return b.Bytes()
+}
+
+func mac6For(a netip.Addr) [6]byte {
+	var m [6]byte
+	b := a.As16()
+	m[0] = 0x02
+	m[1] = 0x5b
+	copy(m[2:], b[12:16])
+	return m
+}
+
+// transportChecksum6 computes the UDP/TCP checksum over the IPv6
+// pseudo-header.
+func transportChecksum6(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	var pseudo [40]byte
+	s16, d16 := src.As16(), dst.As16()
+	copy(pseudo[0:16], s16[:])
+	copy(pseudo[16:32], d16[:])
+	binary.BigEndian.PutUint32(pseudo[32:36], uint32(len(segment)))
+	pseudo[39] = proto
+	var sum uint32
+	for i := 0; i < len(pseudo); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(pseudo[i : i+2]))
+	}
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

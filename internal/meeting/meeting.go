@@ -1,0 +1,373 @@
+// Package meeting implements the two-step heuristic of §4.3 that groups
+// observed media streams into Zoom meetings without any meeting
+// identifier in the packets:
+//
+// Step 1 (duplicate detection): streams are keyed by IP 5-tuple and SSRC.
+// When a new stream starts, an existing stream with the same SSRC but a
+// different 5-tuple whose most recent RTP timestamp is within a small
+// range of the new stream's first timestamp is the *same media* — either
+// an SFU-forwarded copy traversing the monitor twice, or the same stream
+// after an SFU↔P2P transition (Zoom's SFU does not rewrite timestamps or
+// sequence numbers). All such streams share a unified stream ID.
+//
+// Step 2 (meeting assignment): stream records are assigned to meetings
+// via three mappings — unified stream ID, client IP, and client IP+port.
+// Any match joins the stream to that meeting; matches pointing at
+// different meetings merge them; no match creates a meeting.
+//
+// The heuristic's documented limitations (passive participants are
+// invisible; NAT can merge distinct meetings — Figure 9) hold here too
+// and are exercised in the tests.
+package meeting
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+// UnifiedID identifies one logical media stream (a participant's audio,
+// video, or screen share) across all its observed copies.
+type UnifiedID int
+
+// StreamObs is the per-packet observation fed to step 1.
+type StreamObs struct {
+	Time time.Time
+	Flow layers.FiveTuple
+	Key  zoom.StreamKey
+	Seq  uint16
+	TS   uint32
+}
+
+// streamState is the per-(flow, SSRC, type) record kept by the detector.
+type streamState struct {
+	unified   UnifiedID
+	firstSeen time.Time
+	lastSeen  time.Time
+	firstTS   uint32
+	lastTS    uint32
+	flow      layers.FiveTuple
+	key       zoom.StreamKey
+	// evicted marks states removed from the copy-linkage index by Evict.
+	evicted bool
+}
+
+// Dedup performs step 1. It is deliberately streaming: each observation
+// either lands in an existing stream or creates one, possibly linking it
+// to an existing unified stream.
+type Dedup struct {
+	// TSWindow is the maximum RTP-timestamp distance between an existing
+	// stream's most recent timestamp and a new stream's first timestamp
+	// for them to be considered copies. The default (§4.3.2 "a small
+	// range") corresponds to two seconds of 90 kHz video.
+	TSWindow int64
+	// TimeWindow bounds the wall-clock gap for the same linkage.
+	TimeWindow time.Duration
+
+	streams map[flowKey]*streamState
+	// bySSRC indexes live streams for copy lookup.
+	bySSRC map[zoom.StreamKey][]*streamState
+	nextID UnifiedID
+}
+
+type flowKey struct {
+	flow layers.FiveTuple
+	key  zoom.StreamKey
+}
+
+// NewDedup returns a detector with the default windows.
+func NewDedup() *Dedup {
+	return &Dedup{
+		TSWindow:   2 * zoom.VideoClockRate,
+		TimeWindow: 10 * time.Second,
+		streams:    make(map[flowKey]*streamState),
+		bySSRC:     make(map[zoom.StreamKey][]*streamState),
+	}
+}
+
+// Observe ingests one media packet observation and returns the unified
+// stream ID it belongs to.
+func (d *Dedup) Observe(o StreamObs) UnifiedID {
+	k := flowKey{o.Flow, o.Key}
+	if s, ok := d.streams[k]; ok {
+		s.lastSeen = o.Time
+		s.lastTS = o.TS
+		return s.unified
+	}
+	s := &streamState{
+		firstSeen: o.Time,
+		lastSeen:  o.Time,
+		firstTS:   o.TS,
+		lastTS:    o.TS,
+		flow:      o.Flow,
+		key:       o.Key,
+	}
+	// Step 1 linkage: same SSRC+type on a different 5-tuple with an RTP
+	// timestamp in range.
+	s.unified = d.matchExisting(o)
+	if s.unified == 0 {
+		d.nextID++
+		s.unified = d.nextID
+	}
+	d.streams[k] = s
+	d.bySSRC[o.Key] = append(d.bySSRC[o.Key], s)
+	return s.unified
+}
+
+func (d *Dedup) matchExisting(o StreamObs) UnifiedID {
+	best := UnifiedID(0)
+	var bestGap int64 = 1 << 62
+	for _, cand := range d.bySSRC[o.Key] {
+		if cand.flow == o.Flow {
+			continue
+		}
+		if o.Time.Sub(cand.lastSeen) > d.TimeWindow || cand.firstSeen.After(o.Time) {
+			continue
+		}
+		gap := rtp.TSDiff(cand.lastTS, o.TS)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= d.TSWindow && gap < bestGap {
+			bestGap = gap
+			best = cand.unified
+		}
+	}
+	return best
+}
+
+// StreamRecord is the step-2 input: one observed stream with its unified
+// identity and the endpoint judged to be the client.
+type StreamRecord struct {
+	Unified UnifiedID
+	Flow    layers.FiveTuple
+	Key     zoom.StreamKey
+	Start   time.Time
+	End     time.Time
+	// Client is the campus/client endpoint of the flow (not the SFU).
+	Client netip.AddrPort
+}
+
+// Evict drops live-matching state for streams idle since before cutoff.
+// Their identity survives in the records the detector has already
+// produced (and reproduces via Records); only the copy-linkage indexes
+// shrink, so very old streams can no longer be linked to new ones —
+// which is also correct, since the TimeWindow would reject them anyway.
+func (d *Dedup) Evict(cutoff time.Time) {
+	for _, s := range d.streams {
+		if s.evicted || s.lastSeen.After(cutoff) {
+			continue
+		}
+		// Remove from the SSRC index but keep the record for Records().
+		list := d.bySSRC[s.key]
+		for i, cand := range list {
+			if cand == s {
+				d.bySSRC[s.key] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(d.bySSRC[s.key]) == 0 {
+			delete(d.bySSRC, s.key)
+		}
+		s.evicted = true
+	}
+}
+
+// Records returns one StreamRecord per observed (flow, SSRC, type)
+// stream, ordered by start time, deriving the client endpoint with
+// clientOf.
+func (d *Dedup) Records(clientOf func(layers.FiveTuple) netip.AddrPort) []StreamRecord {
+	out := make([]StreamRecord, 0, len(d.streams))
+	for _, s := range d.streams {
+		out = append(out, StreamRecord{
+			Unified: s.unified,
+			Flow:    s.flow,
+			Key:     s.key,
+			Start:   s.firstSeen,
+			End:     s.lastSeen,
+			Client:  clientOf(s.flow),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Flow.String() < out[j].Flow.String()
+	})
+	return out
+}
+
+// ClientOf returns a 5-tuple's client endpoint using the convention of
+// the paper's capture: the side that is not a Zoom server. serverIs
+// reports whether an address belongs to Zoom; for P2P flows (neither side
+// a server) the source endpoint is used, so both directions of a P2P flow
+// yield that flow's two participants.
+func ClientOf(serverIs func(netip.Addr) bool) func(layers.FiveTuple) netip.AddrPort {
+	return func(ft layers.FiveTuple) netip.AddrPort {
+		switch {
+		case serverIs(ft.Src) && !serverIs(ft.Dst):
+			return netip.AddrPortFrom(ft.Dst, ft.DstPort)
+		case serverIs(ft.Dst) && !serverIs(ft.Src):
+			return netip.AddrPortFrom(ft.Src, ft.SrcPort)
+		default:
+			return netip.AddrPortFrom(ft.Src, ft.SrcPort)
+		}
+	}
+}
+
+// Meeting is one inferred meeting: the set of unified streams, client
+// endpoints, and its observed time span.
+type Meeting struct {
+	ID      int
+	Streams []UnifiedID
+	Clients []netip.AddrPort
+	Start   time.Time
+	End     time.Time
+}
+
+// Participants estimates the number of active participants as the count
+// of distinct client IP addresses (§4.3's accuracy caveats apply).
+func (m *Meeting) Participants() int {
+	ips := map[netip.Addr]struct{}{}
+	for _, c := range m.Clients {
+		ips[c.Addr()] = struct{}{}
+	}
+	return len(ips)
+}
+
+// Grouper performs step 2 over stream records.
+type Grouper struct {
+	nextMeeting int
+	byUnified   map[UnifiedID]int
+	byClientIP  map[netip.Addr]int
+	byClient    map[netip.AddrPort]int
+	meetings    map[int]*meetingState
+}
+
+type meetingState struct {
+	id      int
+	streams map[UnifiedID]struct{}
+	clients map[netip.AddrPort]struct{}
+	start   time.Time
+	end     time.Time
+}
+
+// NewGrouper returns an empty grouper.
+func NewGrouper() *Grouper {
+	return &Grouper{
+		byUnified:  make(map[UnifiedID]int),
+		byClientIP: make(map[netip.Addr]int),
+		byClient:   make(map[netip.AddrPort]int),
+		meetings:   make(map[int]*meetingState),
+	}
+}
+
+// Add assigns one stream record to a meeting, merging meetings when the
+// record's keys match more than one, and returns the meeting ID.
+func (g *Grouper) Add(r StreamRecord) int {
+	matches := map[int]struct{}{}
+	if id, ok := g.byUnified[r.Unified]; ok {
+		matches[id] = struct{}{}
+	}
+	if id, ok := g.byClient[r.Client]; ok {
+		matches[id] = struct{}{}
+	}
+	if id, ok := g.byClientIP[r.Client.Addr()]; ok {
+		matches[id] = struct{}{}
+	}
+	var target *meetingState
+	switch len(matches) {
+	case 0:
+		g.nextMeeting++
+		target = &meetingState{
+			id:      g.nextMeeting,
+			streams: make(map[UnifiedID]struct{}),
+			clients: make(map[netip.AddrPort]struct{}),
+			start:   r.Start,
+			end:     r.End,
+		}
+		g.meetings[target.id] = target
+	default:
+		ids := make([]int, 0, len(matches))
+		for id := range matches {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		target = g.meetings[ids[0]]
+		for _, id := range ids[1:] {
+			g.merge(target, g.meetings[id])
+		}
+	}
+	target.streams[r.Unified] = struct{}{}
+	target.clients[r.Client] = struct{}{}
+	if r.Start.Before(target.start) {
+		target.start = r.Start
+	}
+	if r.End.After(target.end) {
+		target.end = r.End
+	}
+	g.byUnified[r.Unified] = target.id
+	g.byClient[r.Client] = target.id
+	g.byClientIP[r.Client.Addr()] = target.id
+	return target.id
+}
+
+func (g *Grouper) merge(dst, src *meetingState) {
+	if src == dst || src == nil {
+		return
+	}
+	for s := range src.streams {
+		dst.streams[s] = struct{}{}
+		g.byUnified[s] = dst.id
+	}
+	for c := range src.clients {
+		dst.clients[c] = struct{}{}
+		g.byClient[c] = dst.id
+		g.byClientIP[c.Addr()] = dst.id
+	}
+	if src.start.Before(dst.start) {
+		dst.start = src.start
+	}
+	if src.end.After(dst.end) {
+		dst.end = src.end
+	}
+	delete(g.meetings, src.id)
+}
+
+// Group runs step 2 over a full set of records and returns the meetings
+// ordered by start time.
+func Group(records []StreamRecord) []Meeting {
+	g := NewGrouper()
+	for _, r := range records {
+		g.Add(r)
+	}
+	return g.Meetings()
+}
+
+// Meetings returns the current meetings, ordered by start time.
+func (g *Grouper) Meetings() []Meeting {
+	out := make([]Meeting, 0, len(g.meetings))
+	for _, m := range g.meetings {
+		mm := Meeting{ID: m.id, Start: m.start, End: m.end}
+		for s := range m.streams {
+			mm.Streams = append(mm.Streams, s)
+		}
+		sort.Slice(mm.Streams, func(i, j int) bool { return mm.Streams[i] < mm.Streams[j] })
+		for c := range m.clients {
+			mm.Clients = append(mm.Clients, c)
+		}
+		sort.Slice(mm.Clients, func(i, j int) bool { return mm.Clients[i].String() < mm.Clients[j].String() })
+		out = append(out, mm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

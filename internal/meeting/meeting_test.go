@@ -1,0 +1,229 @@
+package meeting
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/zoom"
+)
+
+var t0 = time.Date(2022, 5, 5, 10, 0, 0, 0, time.UTC)
+
+func ft(src string, sport uint16, dst string, dport uint16) layers.FiveTuple {
+	return layers.FiveTuple{
+		Src: netip.MustParseAddr(src), Dst: netip.MustParseAddr(dst),
+		SrcPort: sport, DstPort: dport, Proto: layers.ProtoUDP,
+	}
+}
+
+var (
+	sfu      = "52.81.3.4"
+	c1       = "10.8.1.2"
+	c2       = "10.8.7.7"
+	vKey     = zoom.StreamKey{SSRC: 100, Type: zoom.TypeVideo}
+	up1      = ft(c1, 52000, sfu, 8801) // C1 → SFU
+	down2    = ft(sfu, 8801, c2, 61000) // SFU → C2 (copy of C1's stream)
+	serverIs = func(a netip.Addr) bool { return a == netip.MustParseAddr(sfu) }
+)
+
+func feed(d *Dedup, flow layers.FiveTuple, key zoom.StreamKey, start time.Time, startSeq uint16, startTS uint32, n int) UnifiedID {
+	var last UnifiedID
+	for i := 0; i < n; i++ {
+		last = d.Observe(StreamObs{
+			Time: start.Add(time.Duration(i) * 33 * time.Millisecond),
+			Flow: flow, Key: key,
+			Seq: startSeq + uint16(i), TS: startTS + uint32(i)*2970,
+		})
+	}
+	return last
+}
+
+func TestDedupLinksSFUCopy(t *testing.T) {
+	d := NewDedup()
+	id1 := feed(d, up1, vKey, t0, 0, 10000, 30)
+	// The SFU-forwarded copy appears 40 ms later with the same SSRC and
+	// nearly the same timestamps on a different 5-tuple.
+	id2 := feed(d, down2, vKey, t0.Add(40*time.Millisecond), 0, 10000, 30)
+	if id1 != id2 {
+		t.Errorf("copy got unified ID %d, want %d", id2, id1)
+	}
+}
+
+func TestDedupLinksP2PTransition(t *testing.T) {
+	d := NewDedup()
+	id1 := feed(d, up1, vKey, t0, 0, 10000, 30)
+	// Meeting switches to P2P: new 5-tuple with fresh ports, same SSRC,
+	// RTP timeline continues.
+	p2p := ft(c1, 52999, "203.0.113.9", 47000)
+	id2 := feed(d, p2p, vKey, t0.Add(time.Second), 30, 10000+30*2970, 30)
+	if id1 != id2 {
+		t.Errorf("post-transition stream got ID %d, want %d", id2, id1)
+	}
+}
+
+func TestDedupDistinguishesSameSSRCFarApart(t *testing.T) {
+	d := NewDedup()
+	id1 := feed(d, up1, vKey, t0, 0, 10000, 10)
+	// Same SSRC in a *different meeting* hours later with unrelated
+	// timestamps: must NOT link (SSRCs are only unique per meeting).
+	other := ft(c2, 61500, sfu, 8801)
+	id2 := feed(d, other, vKey, t0.Add(3*time.Hour), 0, 3_000_000_000, 10)
+	if id1 == id2 {
+		t.Error("unrelated streams with recycled SSRC were linked")
+	}
+}
+
+func TestDedupTimestampWindowEnforced(t *testing.T) {
+	d := NewDedup()
+	id1 := feed(d, up1, vKey, t0, 0, 10000, 10)
+	// Same SSRC immediately after, but timestamps far outside the window.
+	other := ft(c2, 61500, sfu, 8801)
+	id2 := feed(d, other, vKey, t0.Add(time.Second), 0, 10000+100*zoom.VideoClockRate, 10)
+	if id1 == id2 {
+		t.Error("streams with distant RTP timestamps were linked")
+	}
+}
+
+func TestDedupSameFlowRestartKeepsID(t *testing.T) {
+	d := NewDedup()
+	id1 := feed(d, up1, vKey, t0, 0, 10000, 5)
+	id2 := feed(d, up1, vKey, t0.Add(time.Minute), 5, 10000+5*2970, 5)
+	if id1 != id2 {
+		t.Error("same (flow, SSRC) stream changed unified ID")
+	}
+}
+
+func TestClientOf(t *testing.T) {
+	co := ClientOf(serverIs)
+	if got := co(up1); got != netip.MustParseAddrPort("10.8.1.2:52000") {
+		t.Errorf("client of uplink = %v", got)
+	}
+	if got := co(down2); got != netip.MustParseAddrPort("10.8.7.7:61000") {
+		t.Errorf("client of downlink = %v", got)
+	}
+	p2p := ft(c1, 52999, "203.0.113.9", 47000)
+	if got := co(p2p); got != netip.MustParseAddrPort("10.8.1.2:52999") {
+		t.Errorf("client of p2p = %v", got)
+	}
+}
+
+// TestGroupTwoPartyMeeting reproduces Figure 8: two participants, each
+// sending an audio stream through the SFU, observed on four flows (two
+// uplinks, two downlinks). The heuristic must infer a single meeting with
+// two clients.
+func TestGroupTwoPartyMeeting(t *testing.T) {
+	d := NewDedup()
+	aKey1 := zoom.StreamKey{SSRC: 200, Type: zoom.TypeAudio}
+	aKey2 := zoom.StreamKey{SSRC: 201, Type: zoom.TypeAudio}
+	up1 := ft(c1, 52000, sfu, 8801)
+	down1 := ft(sfu, 8801, c1, 52000)
+	up2 := ft(c2, 61000, sfu, 8801)
+	down2 := ft(sfu, 8801, c2, 61000)
+
+	feed(d, up1, aKey1, t0, 0, 5000, 50)                            // S1: C1 → SFU
+	feed(d, down2, aKey1, t0.Add(45*time.Millisecond), 0, 5000, 50) // S1 copy: SFU → C2
+	feed(d, up2, aKey2, t0.Add(time.Second), 0, 9000, 50)           // S2: C2 → SFU
+	feed(d, down1, aKey2, t0.Add(time.Second+45*time.Millisecond), 0, 9000, 50)
+
+	meetings := Group(d.Records(ClientOf(serverIs)))
+	if len(meetings) != 1 {
+		t.Fatalf("meetings = %d, want 1", len(meetings))
+	}
+	m := meetings[0]
+	if got := m.Participants(); got != 2 {
+		t.Errorf("participants = %d, want 2", got)
+	}
+	if len(m.Streams) != 2 {
+		t.Errorf("unified streams = %d, want 2", len(m.Streams))
+	}
+}
+
+func TestGroupSeparateMeetingsStaySeparate(t *testing.T) {
+	d := NewDedup()
+	feed(d, ft(c1, 52000, sfu, 8801), zoom.StreamKey{SSRC: 300, Type: zoom.TypeVideo}, t0, 0, 1000, 20)
+	feed(d, ft(c2, 61000, sfu, 8801), zoom.StreamKey{SSRC: 301, Type: zoom.TypeVideo}, t0.Add(time.Minute), 0, 900000, 20)
+	meetings := Group(d.Records(ClientOf(serverIs)))
+	if len(meetings) != 2 {
+		t.Fatalf("meetings = %d, want 2", len(meetings))
+	}
+}
+
+func TestGroupMergesViaSharedClient(t *testing.T) {
+	// A client adds screen share mid-meeting: new SSRC, same client
+	// IP+port → same meeting.
+	d := NewDedup()
+	feed(d, ft(c1, 52000, sfu, 8801), zoom.StreamKey{SSRC: 400, Type: zoom.TypeVideo}, t0, 0, 1000, 20)
+	feed(d, ft(c1, 52000, sfu, 8801), zoom.StreamKey{SSRC: 401, Type: zoom.TypeScreenShare}, t0.Add(30*time.Second), 0, 500000, 20)
+	meetings := Group(d.Records(ClientOf(serverIs)))
+	if len(meetings) != 1 {
+		t.Fatalf("meetings = %d, want 1", len(meetings))
+	}
+	if len(meetings[0].Streams) != 2 {
+		t.Errorf("streams = %d, want 2", len(meetings[0].Streams))
+	}
+}
+
+func TestGroupMergeViaUnifiedStream(t *testing.T) {
+	// Two clients first appear as separate meetings; a stream copy that
+	// links them (same unified ID seen at both) must merge the meetings.
+	g := NewGrouper()
+	cl1 := netip.MustParseAddrPort("10.8.1.2:52000")
+	cl2 := netip.MustParseAddrPort("10.8.7.7:61000")
+	m1 := g.Add(StreamRecord{Unified: 1, Client: cl1, Start: t0, End: t0.Add(time.Minute)})
+	m2 := g.Add(StreamRecord{Unified: 2, Client: cl2, Start: t0, End: t0.Add(time.Minute)})
+	if m1 == m2 {
+		t.Fatal("expected two meetings initially")
+	}
+	// Stream 1's copy arrives at client 2.
+	m3 := g.Add(StreamRecord{Unified: 1, Client: cl2, Start: t0.Add(time.Second), End: t0.Add(time.Minute)})
+	ms := g.Meetings()
+	if len(ms) != 1 {
+		t.Fatalf("meetings after merge = %d, want 1", len(ms))
+	}
+	if m3 != ms[0].ID {
+		t.Errorf("Add returned %d, meeting is %d", m3, ms[0].ID)
+	}
+	if got := ms[0].Participants(); got != 2 {
+		t.Errorf("participants = %d", got)
+	}
+}
+
+// TestGroupNATLimitation documents the Figure 9 limitation: two distinct
+// meetings behind one NAT IP are (incorrectly but expectedly) merged.
+func TestGroupNATLimitation(t *testing.T) {
+	g := NewGrouper()
+	nat := netip.MustParseAddr("10.8.200.1")
+	g.Add(StreamRecord{Unified: 1, Client: netip.AddrPortFrom(nat, 40000), Start: t0, End: t0.Add(time.Minute)})
+	g.Add(StreamRecord{Unified: 2, Client: netip.AddrPortFrom(nat, 40001), Start: t0, End: t0.Add(time.Minute)})
+	if got := len(g.Meetings()); got != 1 {
+		t.Errorf("meetings = %d; the NAT limitation should merge them", got)
+	}
+}
+
+func TestMeetingTimeSpan(t *testing.T) {
+	g := NewGrouper()
+	cl := netip.MustParseAddrPort("10.8.1.2:52000")
+	g.Add(StreamRecord{Unified: 1, Client: cl, Start: t0.Add(time.Minute), End: t0.Add(2 * time.Minute)})
+	g.Add(StreamRecord{Unified: 2, Client: cl, Start: t0, End: t0.Add(90 * time.Second)})
+	m := g.Meetings()[0]
+	if !m.Start.Equal(t0) || !m.End.Equal(t0.Add(2*time.Minute)) {
+		t.Errorf("span = [%v, %v]", m.Start, m.End)
+	}
+}
+
+func BenchmarkDedupObserve(b *testing.B) {
+	d := NewDedup()
+	obs := StreamObs{Flow: up1, Key: vKey, TS: 1000}
+	at := t0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.Time = at
+		obs.Seq = uint16(i)
+		obs.TS = uint32(i) * 2970
+		d.Observe(obs)
+		at = at.Add(33 * time.Millisecond)
+	}
+}

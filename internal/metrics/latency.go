@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+)
+
+// RTTSample is one latency measurement.
+type RTTSample struct {
+	Time time.Time
+	RTT  time.Duration
+	// Unified is the stream whose copies produced the sample.
+	Unified meeting.UnifiedID
+}
+
+// CopyMatcher implements §5.3 method 1: when the monitor sees both the
+// uplink copy of a stream (client → SFU) and a downlink copy of the same
+// stream (SFU → another on-campus client), packets with matching RTP
+// sequence numbers measure the round trip from the monitor to the SFU
+// and back (Figure 11, solid lines).
+//
+// Matching is keyed on (unified stream, payload type, sequence number);
+// all four features of the duplicate-detection heuristic (time, SSRC,
+// seq, timestamp) participate because unified IDs already encode
+// SSRC/timestamp proximity and the age limit bounds time.
+type CopyMatcher struct {
+	// MaxAge bounds how long a first observation waits for its copy.
+	MaxAge time.Duration
+	// Samples receives each RTT measurement.
+	Samples []RTTSample
+
+	pending map[copyKey]obs
+}
+
+type copyKey struct {
+	unified meeting.UnifiedID
+	pt      uint8
+	seq     uint16
+	ts      uint32
+}
+
+type obs struct {
+	at   time.Time
+	flow layers.FiveTuple
+}
+
+// NewCopyMatcher returns a matcher with a 5-second age bound.
+func NewCopyMatcher() *CopyMatcher {
+	return &CopyMatcher{MaxAge: 5 * time.Second, pending: make(map[copyKey]obs)}
+}
+
+// Observe ingests one media packet observation annotated with its
+// unified stream ID and returns an RTT sample if this packet pairs with
+// an earlier copy on a different flow.
+func (cm *CopyMatcher) Observe(unified meeting.UnifiedID, flow layers.FiveTuple, pt uint8, seq uint16, ts uint32, at time.Time) (RTTSample, bool) {
+	k := copyKey{unified, pt, seq, ts}
+	if prev, ok := cm.pending[k]; ok {
+		if prev.flow != flow {
+			age := at.Sub(prev.at)
+			if age >= 0 && age <= cm.MaxAge {
+				s := RTTSample{Time: at, RTT: age, Unified: unified}
+				cm.Samples = append(cm.Samples, s)
+				delete(cm.pending, k)
+				return s, true
+			}
+		}
+		// Same flow (a retransmission) or stale: refresh the pending
+		// observation so later copies match the most recent send.
+		cm.pending[k] = obs{at: at, flow: prev.flow}
+		return RTTSample{}, false
+	}
+	cm.pending[k] = obs{at: at, flow: flow}
+	if len(cm.pending) > 1<<16 {
+		cm.gc(at)
+	}
+	return RTTSample{}, false
+}
+
+func (cm *CopyMatcher) gc(now time.Time) {
+	for k, o := range cm.pending {
+		if now.Sub(o.at) > cm.MaxAge {
+			delete(cm.pending, k)
+		}
+	}
+}
+
+// SeriesMS renders the samples as a millisecond time series.
+func (cm *CopyMatcher) SeriesMS() Series {
+	var s Series
+	s.Name = "rtt_ms"
+	for _, sm := range cm.Samples {
+		s.Add(sm.Time, float64(sm.RTT)/float64(time.Millisecond))
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+// feedFrameWithDelay pushes one 2-packet video frame whose second packet
+// arrives after the given delay.
+func feedFrameWithDelay(sm *StreamMetrics, at time.Time, seq *uint16, ts *uint32, delay time.Duration) {
+	media := zoom.MediaEncap{Type: zoom.TypeVideo, Timestamp: *ts, PacketsInFrame: 2}
+	mk := func(s uint16, marker bool) *rtp.Packet {
+		return &rtp.Packet{Header: rtp.Header{PayloadType: zoom.PTVideoMain, SequenceNumber: s, Timestamp: *ts, SSRC: 1, Marker: marker}, Payload: make([]byte, 600)}
+	}
+	sm.Observe(at, 670, &media, mk(*seq, false))
+	sm.Observe(at.Add(delay), 670, &media, mk(*seq+1, true))
+	*seq += 2
+	*ts += 3000
+}
+
+func TestEstimateRetransmissionsHealthy(t *testing.T) {
+	sm := NewStreamMetrics(zoom.TypeVideo)
+	at := t0
+	seq, ts := uint16(0), uint32(0)
+	for i := 0; i < 100; i++ {
+		feedFrameWithDelay(sm, at, &seq, &ts, 500*time.Microsecond)
+		at = at.Add(33 * time.Millisecond)
+	}
+	sm.Finish()
+	est := sm.EstimateRetransmissions(20 * time.Millisecond)
+	if est.FramesAnalyzed == 0 {
+		t.Fatal("no frames analyzed")
+	}
+	if est.SuspectedRetxFrames != 0 || est.StrongRetxFrames != 0 {
+		t.Errorf("healthy stream: %+v", est)
+	}
+}
+
+func TestEstimateRetransmissionsDetectsDelayedFrames(t *testing.T) {
+	sm := NewStreamMetrics(zoom.TypeVideo)
+	at := t0
+	seq, ts := uint16(0), uint32(0)
+	const rtt = 20 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		delay := 500 * time.Microsecond
+		switch {
+		case i%10 == 3:
+			delay = rtt + 5*time.Millisecond // weak signal: > RTT
+		case i%10 == 7:
+			delay = rtt + RetxTimeout + 10*time.Millisecond // strong signature
+		}
+		feedFrameWithDelay(sm, at, &seq, &ts, delay)
+		at = at.Add(200 * time.Millisecond)
+	}
+	sm.Finish()
+	est := sm.EstimateRetransmissions(rtt)
+	if est.SuspectedRetxFrames != 20 {
+		t.Errorf("suspected = %d, want 20 (both kinds exceed the RTT)", est.SuspectedRetxFrames)
+	}
+	if est.StrongRetxFrames != 10 {
+		t.Errorf("strong = %d, want 10", est.StrongRetxFrames)
+	}
+	if est.SuspectedRate < 0.19 || est.SuspectedRate > 0.21 {
+		t.Errorf("rate = %v", est.SuspectedRate)
+	}
+}
+
+func TestEstimateRetransmissionsEdgeCases(t *testing.T) {
+	sm := NewStreamMetrics(zoom.TypeVideo)
+	if est := sm.EstimateRetransmissions(20 * time.Millisecond); est.FramesAnalyzed != 0 {
+		t.Errorf("empty stream: %+v", est)
+	}
+	if est := sm.EstimateRetransmissions(0); est.FramesAnalyzed != 0 {
+		t.Errorf("zero rtt: %+v", est)
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"time"
+)
+
+// This file implements the stall analysis the paper sketches at the end
+// of §5.5 and leaves as future work: "we can compare a frame's
+// packetization time with its delay. If the delay is larger than the
+// packetization time over the course of several frames, the jitter
+// buffer gets drained and the video will eventually stall."
+//
+// StallDetector models a receiver-side jitter buffer in media time: each
+// completed frame contributes its packetization time (the media it
+// covers) and consumes the wall-clock delay it took to be delivered.
+// Sustained delivery deficits drain the buffer; when the modeled buffer
+// is empty, playback stalls until enough media accumulates again.
+
+// StallEvent is one predicted playback stall.
+type StallEvent struct {
+	// Start is when the modeled jitter buffer ran dry.
+	Start time.Time
+	// Duration is how long playback starved before the buffer refilled
+	// to the resume threshold.
+	Duration time.Duration
+	// FramesLate is the number of frames whose delivery deficit
+	// contributed to this stall.
+	FramesLate int
+}
+
+// StallDetector accumulates frame delivery timing and predicts stalls.
+type StallDetector struct {
+	// InitialBuffer is the media time buffered before playback starts
+	// (Zoom-like conferencing buffers are small; default 120 ms).
+	InitialBuffer time.Duration
+	// ResumeThreshold is the media time that must accumulate after a
+	// stall before playback resumes (default 60 ms).
+	ResumeThreshold time.Duration
+
+	// Events is the list of completed stalls.
+	Events []StallEvent
+
+	started  bool
+	buffer   time.Duration // buffered media time
+	stalled  bool
+	stallAt  time.Time
+	lateRun  int
+	lastSeen time.Time
+}
+
+// NewStallDetector returns a detector with conferencing-scale defaults.
+func NewStallDetector() *StallDetector {
+	return &StallDetector{
+		InitialBuffer:   120 * time.Millisecond,
+		ResumeThreshold: 60 * time.Millisecond,
+	}
+}
+
+// ObserveFrame feeds one completed frame: completed is its delivery
+// time, delay the §5.5 frame delay (first→last packet), packetization
+// the media time the frame covers (from §5.2 method 2). Returns true if
+// this observation opened a new stall.
+func (d *StallDetector) ObserveFrame(completed time.Time, delay, packetization time.Duration) bool {
+	if packetization <= 0 {
+		return false
+	}
+	if !d.started {
+		d.started = true
+		d.buffer = d.InitialBuffer
+		d.lastSeen = completed
+	}
+
+	// Frames deliver media worth `packetization`; getting them costs
+	// wall-clock `gap` since the previous frame (bounded below by the
+	// intra-frame delay). The difference drains or refills the buffer.
+	gap := completed.Sub(d.lastSeen)
+	if gap < 0 {
+		gap = 0
+	}
+	d.lastSeen = completed
+	cost := gap
+	if delay > cost {
+		cost = delay
+	}
+	d.buffer += packetization - cost
+
+	if delay > packetization {
+		d.lateRun++
+	} else {
+		d.lateRun = 0
+	}
+
+	const maxBuffer = 2 * time.Second
+	if d.buffer > maxBuffer {
+		d.buffer = maxBuffer
+	}
+
+	switch {
+	case !d.stalled && d.buffer <= 0:
+		d.stalled = true
+		d.stallAt = completed
+		d.buffer = 0
+		return true
+	case d.stalled && d.buffer >= d.ResumeThreshold:
+		d.Events = append(d.Events, StallEvent{
+			Start:      d.stallAt,
+			Duration:   completed.Sub(d.stallAt),
+			FramesLate: d.lateRun,
+		})
+		d.stalled = false
+		d.lateRun = 0
+	}
+	return false
+}
+
+// Stalled reports whether playback is currently starved.
+func (d *StallDetector) Stalled() bool { return d.stalled }
+
+// BufferedMedia returns the current modeled buffer level.
+func (d *StallDetector) BufferedMedia() time.Duration { return d.buffer }
+
+// Finish closes an open stall at the given end-of-stream time.
+func (d *StallDetector) Finish(end time.Time) {
+	if d.stalled {
+		d.Events = append(d.Events, StallEvent{
+			Start:      d.stallAt,
+			Duration:   end.Sub(d.stallAt),
+			FramesLate: d.lateRun,
+		})
+		d.stalled = false
+	}
+}
+
+// TotalStallTime sums all stall durations.
+func (d *StallDetector) TotalStallTime() time.Duration {
+	var sum time.Duration
+	for _, e := range d.Events {
+		sum += e.Duration
+	}
+	return sum
+}

@@ -1,0 +1,342 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+// Sample is one timestamped metric value.
+type Sample struct {
+	Time  time.Time
+	Value float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Time, v float64) { s.Samples = append(s.Samples, Sample{t, v}) }
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.Value
+	}
+	return out
+}
+
+// Bin aggregates the series into fixed bins of the given width starting
+// at origin, applying agg ("mean", "sum", "count", "last") per bin.
+// Empty bins between the first and last sample yield 0.
+func (s *Series) Bin(origin time.Time, width time.Duration, agg string) []Sample {
+	if len(s.Samples) == 0 {
+		return nil
+	}
+	type acc struct {
+		sum   float64
+		count int
+		last  float64
+	}
+	bins := map[int64]*acc{}
+	var minIdx, maxIdx int64
+	first := true
+	for _, sm := range s.Samples {
+		idx := int64(sm.Time.Sub(origin) / width)
+		a := bins[idx]
+		if a == nil {
+			a = &acc{}
+			bins[idx] = a
+		}
+		a.sum += sm.Value
+		a.count++
+		a.last = sm.Value
+		if first {
+			minIdx, maxIdx = idx, idx
+			first = false
+		} else {
+			if idx < minIdx {
+				minIdx = idx
+			}
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+	}
+	out := make([]Sample, 0, maxIdx-minIdx+1)
+	for i := minIdx; i <= maxIdx; i++ {
+		t := origin.Add(time.Duration(i) * width)
+		a := bins[i]
+		var v float64
+		if a != nil {
+			switch agg {
+			case "sum":
+				v = a.sum
+			case "count":
+				v = float64(a.count)
+			case "last":
+				v = a.last
+			default:
+				v = a.sum / float64(a.count)
+			}
+		}
+		out = append(out, Sample{t, v})
+	}
+	return out
+}
+
+// StreamMetrics analyzes one media stream (one SSRC + media type on one
+// or more flows after unification) and produces every per-stream metric
+// in Table 4.
+type StreamMetrics struct {
+	// ClockRate is the stream's RTP clock. Video uses
+	// zoom.VideoClockRate; for audio/screen share the paper (and we)
+	// treat the clock as unknown and skip wall-clock jitter.
+	ClockRate float64
+
+	MediaType zoom.MediaType
+
+	// Per-substream state, keyed by RTP payload type.
+	subs map[uint8]*substreamState
+
+	// Series produced. Frame-indexed series carry one sample per frame;
+	// rate series carry one sample per packet bin flush.
+	FrameRate     Series // §5.2 method 1, sampled at each frame completion
+	EncoderRate   Series // §5.2 method 2
+	FrameSize     Series // bytes per frame
+	FrameDelay    Series // §5.5, milliseconds
+	JitterMS      Series // §5.4 frame-level jitter, milliseconds
+	Packetization Series // milliseconds per frame
+
+	// Counters.
+	Packets          uint64
+	MediaBytes       uint64
+	WireBytes        uint64
+	FramesTotal      uint64
+	FramesIncomplete uint64
+
+	// mainSeq is the shared non-FEC sequence tracker (see sub()).
+	mainSeq *rtp.SeqTracker
+
+	// Stall predicts playback stalls from frame delay vs packetization
+	// time (§5.5's future-work analysis); only active when the clock
+	// rate is known.
+	Stall *StallDetector
+
+	// Talk quantifies speaking time from the audio substream split
+	// (§4.2.3); only active for audio streams.
+	Talk *TalkTracker
+
+	// frameObs records (completion time, RTP timestamp) per completed
+	// frame for clock-rate inference (§5.2's parameter sweep).
+	frameObs []FrameObservation
+
+	// rate accounting in one-second bins
+	binStart  time.Time
+	binWire   uint64
+	binMedia  uint64
+	haveBin   bool
+	MediaRate Series // bits per second, one sample per elapsed second
+	WireRate  Series
+}
+
+type substreamState struct {
+	assembler *FrameAssembler
+	seq       *rtp.SeqTracker
+	window    *FrameRateWindow
+	encoder   *EncoderFrameRate
+	jitter    *rtp.Jitter
+	isMain    bool
+	tsSeen    map[uint32]struct{}
+}
+
+// NewStreamMetrics builds an analyzer for one stream.
+func NewStreamMetrics(mt zoom.MediaType) *StreamMetrics {
+	sm := &StreamMetrics{MediaType: mt, subs: make(map[uint8]*substreamState)}
+	if mt == zoom.TypeVideo {
+		sm.ClockRate = zoom.VideoClockRate
+		sm.Stall = NewStallDetector()
+	}
+	if mt == zoom.TypeAudio {
+		sm.Talk = NewTalkTracker()
+	}
+	return sm
+}
+
+func (sm *StreamMetrics) sub(pt uint8) *substreamState {
+	st := sm.subs[pt]
+	if st == nil {
+		st = &substreamState{
+			window:  NewFrameRateWindow(time.Second),
+			encoder: NewEncoderFrameRate(sm.ClockRate),
+			isMain:  !zoom.ClassifySubstream(sm.MediaType, pt).IsFEC(),
+		}
+		// Sequence-number spaces: FEC uses its own sequence numbers; all
+		// other substreams of a stream share one space (§4.2.3 — audio
+		// types 99/112 interleave within a single counter). Share the
+		// tracker accordingly so mode flips do not register false loss.
+		if st.isMain {
+			if sm.mainSeq == nil {
+				sm.mainSeq = rtp.NewSeqTracker()
+			}
+			st.seq = sm.mainSeq
+		} else {
+			st.seq = rtp.NewSeqTracker()
+		}
+		if sm.ClockRate > 0 {
+			st.jitter = rtp.NewJitter(sm.ClockRate)
+		}
+		st.assembler = NewFrameAssembler(func(f Frame, complete bool) {
+			sm.onFrame(st, f, complete)
+		})
+		sm.subs[pt] = st
+	}
+	return st
+}
+
+// Observe ingests one media packet belonging to this stream. wireLen is
+// the packet's on-the-wire length.
+func (sm *StreamMetrics) Observe(at time.Time, wireLen int, media *zoom.MediaEncap, pkt *rtp.Packet) {
+	sm.Packets++
+	sm.MediaBytes += uint64(len(pkt.Payload))
+	sm.WireBytes += uint64(wireLen)
+	sm.binAdd(at, wireLen, len(pkt.Payload))
+
+	if sm.Talk != nil {
+		sm.Talk.Observe(at, pkt.PayloadType)
+	}
+	st := sm.sub(pkt.PayloadType)
+	st.seq.Observe(pkt.SequenceNumber)
+	if !st.isMain {
+		return // FEC substreams share timestamps; do not double-count frames
+	}
+	if st.jitter != nil {
+		// Frame-level jitter: sample on the first packet of each frame.
+		// The assembler tells us it is the first by tracking open frames,
+		// but observing per packet with identical timestamps is idempotent
+		// for D calculation only if we filter; cheapest correct filter is
+		// to sample when this timestamp has not been seen yet.
+		if !st.seenTS(pkt.Timestamp) {
+			j := st.jitter.Observe(timeToSeconds(at), pkt.Timestamp)
+			sm.JitterMS.Add(at, j*1000)
+		}
+	}
+	st.assembler.Observe(at, media, pkt)
+}
+
+// seenTS tracks recently seen frame timestamps per substream for jitter
+// first-packet detection.
+func (st *substreamState) seenTS(ts uint32) bool {
+	if st.tsSeen == nil {
+		st.tsSeen = make(map[uint32]struct{})
+	}
+	if _, ok := st.tsSeen[ts]; ok {
+		return true
+	}
+	st.tsSeen[ts] = struct{}{}
+	if len(st.tsSeen) > 256 {
+		for k := range st.tsSeen {
+			if rtp.TSDiff(k, ts) > 90000*10 {
+				delete(st.tsSeen, k)
+			}
+		}
+	}
+	return false
+}
+
+func (sm *StreamMetrics) onFrame(st *substreamState, f Frame, complete bool) {
+	sm.FramesTotal++
+	sm.frameObs = append(sm.frameObs, FrameObservation{At: f.Completed, TS: f.RTPTimestamp})
+	if !complete {
+		sm.FramesIncomplete++
+	}
+	sm.FrameSize.Add(f.Completed, float64(f.Bytes))
+	sm.FrameDelay.Add(f.Completed, float64(f.Delay())/float64(time.Millisecond))
+	rate := st.window.Add(f.Completed)
+	sm.FrameRate.Add(f.Completed, rate)
+	if sm.ClockRate > 0 {
+		if fps, pt, ok := st.encoder.Observe(f.RTPTimestamp); ok {
+			sm.EncoderRate.Add(f.Completed, fps)
+			sm.Packetization.Add(f.Completed, float64(pt)/float64(time.Millisecond))
+			if sm.Stall != nil {
+				sm.Stall.ObserveFrame(f.Completed, f.Delay(), pt)
+			}
+		}
+	}
+}
+
+func (sm *StreamMetrics) binAdd(at time.Time, wire, media int) {
+	if !sm.haveBin {
+		sm.haveBin = true
+		sm.binStart = at.Truncate(time.Second)
+	}
+	for at.Sub(sm.binStart) >= time.Second {
+		sm.flushBin()
+	}
+	sm.binWire += uint64(wire)
+	sm.binMedia += uint64(media)
+}
+
+func (sm *StreamMetrics) flushBin() {
+	sm.WireRate.Add(sm.binStart, float64(sm.binWire)*8)
+	sm.MediaRate.Add(sm.binStart, float64(sm.binMedia)*8)
+	sm.binStart = sm.binStart.Add(time.Second)
+	sm.binWire, sm.binMedia = 0, 0
+}
+
+// Finish flushes assemblers and the open rate bin. Call once at end of
+// stream before reading series.
+func (sm *StreamMetrics) Finish() {
+	for _, st := range sm.subs {
+		st.assembler.Flush()
+	}
+	if sm.haveBin {
+		sm.flushBin()
+		if sm.Stall != nil {
+			sm.Stall.Finish(sm.binStart)
+		}
+	}
+	if sm.Talk != nil {
+		sm.Talk.Finish()
+	}
+}
+
+// LossStats aggregates the §5.5 sequence analysis across the stream's
+// sequence spaces (the shared main space plus each FEC space).
+func (sm *StreamMetrics) LossStats() rtp.Stats {
+	var out rtp.Stats
+	seen := map[*rtp.SeqTracker]struct{}{}
+	for _, st := range sm.subs {
+		if _, dup := seen[st.seq]; dup {
+			continue
+		}
+		seen[st.seq] = struct{}{}
+		s := st.seq.Stats()
+		out.Received += s.Received
+		out.Duplicates += s.Duplicates
+		out.Reordered += s.Reordered
+		out.ExpectedSpan += s.ExpectedSpan
+		out.EstimatedLost += s.EstimatedLost
+	}
+	return out
+}
+
+// SubstreamPTs returns the payload types observed, sorted.
+func (sm *StreamMetrics) SubstreamPTs() []uint8 {
+	out := make([]uint8, 0, len(sm.subs))
+	for pt := range sm.subs {
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func timeToSeconds(t time.Time) float64 {
+	return float64(t.UnixNano()) / float64(time.Second)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+func TestTalkTrackerSegments(t *testing.T) {
+	tr := NewTalkTracker()
+	at := t0
+	// 2 s speaking, 3 s silence, 1 s speaking.
+	for i := 0; i < 100; i++ {
+		tr.Observe(at, zoom.PTAudioSpeak)
+		at = at.Add(20 * time.Millisecond)
+	}
+	for i := 0; i < 30; i++ {
+		tr.Observe(at, zoom.PTAudioSilent)
+		at = at.Add(100 * time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Observe(at, zoom.PTAudioSpeak)
+		at = at.Add(20 * time.Millisecond)
+	}
+	tr.Finish()
+	st := tr.Stats()
+	if st.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", st.Segments)
+	}
+	if !st.ModeKnown {
+		t.Error("ModeKnown = false")
+	}
+	// Speaking ≈ 3 s of ≈ 6 s observed.
+	if st.Speaking < 2500*time.Millisecond || st.Speaking > 3500*time.Millisecond {
+		t.Errorf("speaking = %v", st.Speaking)
+	}
+	if st.SpeakingFraction < 0.35 || st.SpeakingFraction > 0.65 {
+		t.Errorf("fraction = %v", st.SpeakingFraction)
+	}
+}
+
+func TestTalkTrackerShortGapsMerge(t *testing.T) {
+	tr := NewTalkTracker()
+	at := t0
+	for i := 0; i < 200; i++ {
+		tr.Observe(at, zoom.PTAudioSpeak)
+		// A 300 ms hiccup every 50 packets stays within the merge gap.
+		if i%50 == 49 {
+			at = at.Add(300 * time.Millisecond)
+		} else {
+			at = at.Add(20 * time.Millisecond)
+		}
+	}
+	tr.Finish()
+	if st := tr.Stats(); st.Segments != 1 {
+		t.Errorf("segments = %d, want 1 (gaps under MergeGap merge)", st.Segments)
+	}
+}
+
+func TestTalkTrackerUnknownMode(t *testing.T) {
+	tr := NewTalkTracker()
+	at := t0
+	for i := 0; i < 100; i++ {
+		tr.Observe(at, zoom.PTAudioMobile)
+		at = at.Add(20 * time.Millisecond)
+	}
+	tr.Finish()
+	st := tr.Stats()
+	if st.ModeKnown {
+		t.Error("PT-113-only stream reported a known mode")
+	}
+	if st.Segments != 0 {
+		t.Errorf("segments = %d for unknown-mode stream", st.Segments)
+	}
+}
+
+func TestTalkTrackerViaStreamMetrics(t *testing.T) {
+	sm := NewStreamMetrics(zoom.TypeAudio)
+	if sm.Talk == nil {
+		t.Fatal("audio stream has no talk tracker")
+	}
+	at := t0
+	seq := uint16(0)
+	push := func(pt uint8, payload int, n int, gap time.Duration) {
+		for i := 0; i < n; i++ {
+			media := zoom.MediaEncap{Type: zoom.TypeAudio, Timestamp: uint32(seq) * 320}
+			pkt := rtp.Packet{Header: rtp.Header{PayloadType: pt, SequenceNumber: seq, Timestamp: uint32(seq) * 320, SSRC: 5}, Payload: make([]byte, payload)}
+			sm.Observe(at, payload+70, &media, &pkt)
+			seq++
+			at = at.Add(gap)
+		}
+	}
+	push(zoom.PTAudioSpeak, 110, 100, 20*time.Millisecond)
+	push(zoom.PTAudioSilent, 40, 20, 100*time.Millisecond)
+	push(zoom.PTAudioSpeak, 110, 100, 20*time.Millisecond)
+	sm.Finish()
+	st := sm.Talk.Stats()
+	if st.Segments != 2 {
+		t.Errorf("segments = %d, want 2", st.Segments)
+	}
+	// Video streams have no talk tracker.
+	if NewStreamMetrics(zoom.TypeVideo).Talk != nil {
+		t.Error("video stream has a talk tracker")
+	}
+}

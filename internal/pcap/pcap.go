@@ -1,0 +1,220 @@
+// Package pcap reads and writes packet capture files in the classic
+// libpcap format (the format produced by tcpdump and consumed by
+// Wireshark). Both microsecond- and nanosecond-resolution captures are
+// supported, in either byte order, without external dependencies.
+//
+// The package is deliberately small: a Reader that yields one Record at a
+// time and a Writer that appends records. Higher layers (decoding,
+// filtering) live elsewhere.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers identifying the global header, per the libpcap file format.
+const (
+	MagicMicroseconds        = 0xa1b2c3d4
+	MagicNanoseconds         = 0xa1b23c4d
+	magicMicrosecondsSwapped = 0xd4c3b2a1
+	magicNanosecondsSwapped  = 0x4d3cb2a1
+)
+
+// Link types used by this repository. Values follow the pcap LINKTYPE
+// registry.
+const (
+	LinkTypeEthernet uint32 = 1
+	LinkTypeRawIP    uint32 = 101
+)
+
+const (
+	globalHeaderLen = 24
+	recordHeaderLen = 16
+	// DefaultSnapLen is the snapshot length written to new files. Zoom
+	// analysis needs full packets, so it is generous.
+	DefaultSnapLen = 262144
+)
+
+// ErrBadMagic reports that the stream does not begin with a known pcap
+// magic number.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// Header is the decoded pcap global header.
+type Header struct {
+	// Nanosecond reports whether record timestamps carry nanoseconds
+	// (true) or microseconds (false) in their sub-second field.
+	Nanosecond bool
+	// VersionMajor and VersionMinor are the format version, normally 2.4.
+	VersionMajor uint16
+	VersionMinor uint16
+	// SnapLen is the maximum number of bytes captured per packet.
+	SnapLen uint32
+	// LinkType identifies the layer-2 framing of every record.
+	LinkType uint32
+}
+
+// Record is a single captured packet.
+type Record struct {
+	// Timestamp is the capture time.
+	Timestamp time.Time
+	// OriginalLen is the packet's length on the wire, which may exceed
+	// len(Data) if the capture was truncated by the snap length.
+	OriginalLen int
+	// Data is the captured bytes, starting at the file's link type.
+	Data []byte
+}
+
+// Reader reads records from a pcap stream.
+type Reader struct {
+	r       io.Reader
+	order   binary.ByteOrder
+	hdr     Header
+	scratch [recordHeaderLen]byte
+}
+
+// NewReader parses the global header from r and returns a Reader
+// positioned at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	var buf [globalHeaderLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	var order binary.ByteOrder
+	var nano bool
+	switch binary.LittleEndian.Uint32(buf[0:4]) {
+	case MagicMicroseconds:
+		order, nano = binary.LittleEndian, false
+	case MagicNanoseconds:
+		order, nano = binary.LittleEndian, true
+	case magicMicrosecondsSwapped:
+		order, nano = binary.BigEndian, false
+	case magicNanosecondsSwapped:
+		order, nano = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd := &Reader{r: r, order: order}
+	rd.hdr = Header{
+		Nanosecond:   nano,
+		VersionMajor: order.Uint16(buf[4:6]),
+		VersionMinor: order.Uint16(buf[6:8]),
+		SnapLen:      order.Uint32(buf[16:20]),
+		LinkType:     order.Uint32(buf[20:24]),
+	}
+	return rd, nil
+}
+
+// Header returns the file's global header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next record, or io.EOF at a clean end of stream. The
+// returned Data slice is freshly allocated and owned by the caller.
+func (r *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := r.order.Uint32(r.scratch[0:4])
+	sub := r.order.Uint32(r.scratch[4:8])
+	capLen := r.order.Uint32(r.scratch[8:12])
+	origLen := r.order.Uint32(r.scratch[12:16])
+	if capLen > r.hdr.SnapLen && r.hdr.SnapLen != 0 {
+		return Record{}, fmt.Errorf("pcap: record capture length %d exceeds snap length %d", capLen, r.hdr.SnapLen)
+	}
+	const sanityCap = 1 << 26
+	if capLen > sanityCap {
+		return Record{}, fmt.Errorf("pcap: implausible record capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: reading record body: %w", err)
+	}
+	nsec := int64(sub)
+	if !r.hdr.Nanosecond {
+		nsec *= 1000
+	}
+	return Record{
+		Timestamp:   time.Unix(int64(sec), nsec).UTC(),
+		OriginalLen: int(origLen),
+		Data:        data,
+	}, nil
+}
+
+// Writer appends pcap records to an underlying stream. Writers always emit
+// little-endian, version 2.4 files.
+type Writer struct {
+	w       io.Writer
+	nano    bool
+	snapLen uint32
+	scratch [recordHeaderLen]byte
+}
+
+// WriterOptions configures NewWriter.
+type WriterOptions struct {
+	// LinkType of all records; defaults to Ethernet.
+	LinkType uint32
+	// SnapLen written to the global header; defaults to DefaultSnapLen.
+	SnapLen uint32
+	// Nanosecond selects nanosecond timestamp resolution.
+	Nanosecond bool
+}
+
+// NewWriter writes a global header to w and returns a Writer.
+func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
+	if opts.LinkType == 0 {
+		opts.LinkType = LinkTypeEthernet
+	}
+	if opts.SnapLen == 0 {
+		opts.SnapLen = DefaultSnapLen
+	}
+	magic := uint32(MagicMicroseconds)
+	if opts.Nanosecond {
+		magic = MagicNanoseconds
+	}
+	var buf [globalHeaderLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:4], magic)
+	le.PutUint16(buf[4:6], 2)
+	le.PutUint16(buf[6:8], 4)
+	// thiszone and sigfigs stay zero.
+	le.PutUint32(buf[16:20], opts.SnapLen)
+	le.PutUint32(buf[20:24], opts.LinkType)
+	if _, err := w.Write(buf[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing global header: %w", err)
+	}
+	return &Writer{w: w, nano: opts.Nanosecond, snapLen: opts.SnapLen}, nil
+}
+
+// WriteRecord appends one packet. Data longer than the snap length is
+// truncated, with OriginalLen preserved.
+func (w *Writer) WriteRecord(ts time.Time, data []byte) error {
+	origLen := len(data)
+	if uint32(len(data)) > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	le := binary.LittleEndian
+	sec := ts.Unix()
+	var sub int64
+	if w.nano {
+		sub = int64(ts.Nanosecond())
+	} else {
+		sub = int64(ts.Nanosecond()) / 1000
+	}
+	le.PutUint32(w.scratch[0:4], uint32(sec))
+	le.PutUint32(w.scratch[4:8], uint32(sub))
+	le.PutUint32(w.scratch[8:12], uint32(len(data)))
+	le.PutUint32(w.scratch[12:16], uint32(origLen))
+	if _, err := w.w.Write(w.scratch[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: writing record body: %w", err)
+	}
+	return nil
+}

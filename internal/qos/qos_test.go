@@ -1,0 +1,40 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, 5, 5, 9, 0, 0, 0, time.UTC)
+
+func TestLatencyHeldAcrossRefreshWindow(t *testing.T) {
+	r := NewRecorder("c1")
+	for i := 0; i < 12; i++ {
+		r.Record(t0.Add(time.Duration(i)*time.Second), Stats{LatencyMS: float64(10 + i), VideoFPS: 28})
+	}
+	if len(r.Entries) != 12 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	// Seconds 0-4 hold the value sampled at 0; 5-9 the value at 5; etc.
+	for i, e := range r.Entries {
+		want := float64(10 + (i/5)*5)
+		if e.LatencyMS != want {
+			t.Errorf("entry %d latency = %v, want %v", i, e.LatencyMS, want)
+		}
+	}
+	// FPS passes through unsmoothed.
+	if r.Entries[3].VideoFPS != 28 {
+		t.Errorf("fps = %v", r.Entries[3].VideoFPS)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	r := NewRecorder("c1")
+	for i := 0; i < 10; i++ {
+		r.Record(t0.Add(time.Duration(i)*time.Second), Stats{VideoFPS: float64(i)})
+	}
+	got := r.Between(t0.Add(3*time.Second), t0.Add(6*time.Second))
+	if len(got) != 3 || got[0].VideoFPS != 3 || got[2].VideoFPS != 5 {
+		t.Errorf("between = %+v", got)
+	}
+}

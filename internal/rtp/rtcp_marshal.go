@@ -1,0 +1,83 @@
+package rtp
+
+import "encoding/binary"
+
+// Additional RTCP marshallers for codec completeness. Zoom traffic only
+// carries SRs (+ empty SDES), but the analyzer is reusable for RTP
+// systems that do emit receiver reports and BYEs (Meet, Teams, …), and
+// the simulator's tests exercise these paths.
+
+// ReceiverReport is an RTCP RR (RFC 3550 §6.4.2).
+type ReceiverReport struct {
+	SSRC    uint32
+	Reports []ReceptionReport
+}
+
+// MarshalRR serializes a receiver report.
+func MarshalRR(rr ReceiverReport) []byte {
+	words := 1 + 6*len(rr.Reports)
+	out := make([]byte, 0, 4*(words+1))
+	out = append(out, byte(Version<<6)|byte(len(rr.Reports)), RTCPTypeRR)
+	out = binary.BigEndian.AppendUint16(out, uint16(words))
+	out = binary.BigEndian.AppendUint32(out, rr.SSRC)
+	for _, r := range rr.Reports {
+		out = appendReceptionReport(out, r)
+	}
+	return out
+}
+
+// ParseRR decodes a single RR packet (not a compound).
+func ParseRR(data []byte) (ReceiverReport, error) {
+	var rr ReceiverReport
+	if len(data) < 8 {
+		return rr, ErrNotRTCP
+	}
+	if data[0]>>6 != Version || data[1] != RTCPTypeRR {
+		return rr, ErrNotRTCP
+	}
+	count := int(data[0] & 0x1f)
+	body := data[4:]
+	if len(body) < 4+24*count {
+		return rr, ErrNotRTCP
+	}
+	rr.SSRC = binary.BigEndian.Uint32(body[0:4])
+	for i := 0; i < count; i++ {
+		b := body[4+24*i:]
+		rr.Reports = append(rr.Reports, parseReceptionReport(b))
+	}
+	return rr, nil
+}
+
+// MarshalBye serializes a BYE packet for the given sources.
+func MarshalBye(ssrcs []uint32) []byte {
+	words := len(ssrcs)
+	out := make([]byte, 0, 4*(words+1))
+	out = append(out, byte(Version<<6)|byte(len(ssrcs)), RTCPTypeBye)
+	out = binary.BigEndian.AppendUint16(out, uint16(words))
+	for _, s := range ssrcs {
+		out = binary.BigEndian.AppendUint32(out, s)
+	}
+	return out
+}
+
+func appendReceptionReport(out []byte, rr ReceptionReport) []byte {
+	out = binary.BigEndian.AppendUint32(out, rr.SSRC)
+	out = append(out, rr.FractionLost, byte(rr.CumulativeLost>>16), byte(rr.CumulativeLost>>8), byte(rr.CumulativeLost))
+	out = binary.BigEndian.AppendUint32(out, rr.HighestSeq)
+	out = binary.BigEndian.AppendUint32(out, rr.Jitter)
+	out = binary.BigEndian.AppendUint32(out, rr.LastSR)
+	out = binary.BigEndian.AppendUint32(out, rr.DelaySinceLastSR)
+	return out
+}
+
+func parseReceptionReport(b []byte) ReceptionReport {
+	return ReceptionReport{
+		SSRC:             binary.BigEndian.Uint32(b[0:4]),
+		FractionLost:     b[4],
+		CumulativeLost:   uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]),
+		HighestSeq:       binary.BigEndian.Uint32(b[8:12]),
+		Jitter:           binary.BigEndian.Uint32(b[12:16]),
+		LastSR:           binary.BigEndian.Uint32(b[16:20]),
+		DelaySinceLastSR: binary.BigEndian.Uint32(b[20:24]),
+	}
+}

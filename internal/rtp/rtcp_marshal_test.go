@@ -1,0 +1,63 @@
+package rtp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRRRoundTrip(t *testing.T) {
+	rr := ReceiverReport{
+		SSRC: 42,
+		Reports: []ReceptionReport{{
+			SSRC: 7, FractionLost: 12, CumulativeLost: 345,
+			HighestSeq: 99999, Jitter: 88, LastSR: 1, DelaySinceLastSR: 2,
+		}},
+	}
+	got, err := ParseRR(MarshalRR(rr))
+	if err != nil {
+		t.Fatalf("ParseRR: %v", err)
+	}
+	if got.SSRC != 42 || len(got.Reports) != 1 || got.Reports[0] != rr.Reports[0] {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestParseRRRejects(t *testing.T) {
+	if _, err := ParseRR(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	sr := MarshalSR(SenderReport{SSRC: 1}, false)
+	if _, err := ParseRR(sr); err == nil {
+		t.Error("SR accepted as RR")
+	}
+	rr := MarshalRR(ReceiverReport{SSRC: 1, Reports: []ReceptionReport{{SSRC: 2}}})
+	if _, err := ParseRR(rr[:10]); err == nil {
+		t.Error("truncated RR accepted")
+	}
+}
+
+func TestByeInCompound(t *testing.T) {
+	wire := MarshalSR(SenderReport{SSRC: 5}, false)
+	wire = append(wire, MarshalBye([]uint32{5})...)
+	c, err := ParseCompound(wire)
+	if err != nil {
+		t.Fatalf("ParseCompound: %v", err)
+	}
+	if !c.HasBye {
+		t.Error("BYE not detected")
+	}
+}
+
+func TestQuickRRRoundTrip(t *testing.T) {
+	f := func(ssrc, rssrc, hseq, jit uint32, fl uint8, cum uint32) bool {
+		rr := ReceiverReport{SSRC: ssrc, Reports: []ReceptionReport{{
+			SSRC: rssrc, FractionLost: fl, CumulativeLost: cum & 0xffffff,
+			HighestSeq: hseq, Jitter: jit,
+		}}}
+		got, err := ParseRR(MarshalRR(rr))
+		return err == nil && got.SSRC == ssrc && got.Reports[0] == rr.Reports[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"net/netip"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/stun"
+)
+
+// meetingMode is the current media topology.
+type meetingMode int
+
+const (
+	modeSFU meetingMode = iota
+	modeP2P
+)
+
+// Meeting orchestrates participants, the SFU↔P2P transitions of §3, and
+// the STUN establishment of §4.1.
+type Meeting struct {
+	w        *World
+	id       int
+	ssrcBase uint32
+
+	participants []*Client
+	mode         meetingMode
+	// p2pEnabled permits direct connections for two-party meetings.
+	p2pEnabled bool
+	// reverted records that the meeting fell back to the SFU after a
+	// third participant joined: it then never returns to P2P (§3).
+	reverted bool
+	// P2PSwitchDelay is how long after the second join the direct
+	// connection activates ("within tens of seconds").
+	P2PSwitchDelay time.Duration
+}
+
+// ID returns the meeting's simulator-internal identifier (not present in
+// any packet, per §4.3).
+func (m *Meeting) ID() int { return m.id }
+
+// EnableP2P allows this meeting to use a direct connection while it has
+// exactly two participants.
+func (m *Meeting) EnableP2P(switchDelay time.Duration) {
+	m.p2pEnabled = true
+	if switchDelay <= 0 {
+		switchDelay = 12 * time.Second
+	}
+	m.P2PSwitchDelay = switchDelay
+}
+
+// Join adds a client to the meeting at the current virtual time.
+func (m *Meeting) Join(c *Client, set MediaSet) {
+	c.meeting = m
+	c.set = set
+	c.active = true
+	c.mediaPort = m.w.ephemeralPort()
+	m.participants = append(m.participants, c)
+	c.recv = newReceiver(c)
+	c.startTCPControl()
+	c.startSenders()
+	m.updateThumbnails()
+
+	switch {
+	case len(m.participants) == 2 && m.p2pEnabled && !m.reverted:
+		// Second participant: begin the STUN exchange now, switch later.
+		m.prepareP2P()
+	case len(m.participants) >= 3 && m.mode == modeP2P:
+		// Third participant: revert to the SFU immediately and stay.
+		m.switchToSFU()
+		m.reverted = true
+	case len(m.participants) >= 3:
+		m.reverted = true
+	}
+}
+
+// Leave removes a client. Streams stop; remaining participants continue.
+func (m *Meeting) Leave(c *Client) {
+	c.active = false
+	for _, s := range c.senders {
+		s.stopped = true
+	}
+	if c.tcp != nil {
+		c.tcp.stop()
+	}
+	for i, p := range m.participants {
+		if p == c {
+			m.participants = append(m.participants[:i], m.participants[i+1:]...)
+			break
+		}
+	}
+	if m.mode == modeP2P && len(m.participants) < 2 {
+		m.switchToSFU()
+	}
+	m.updateThumbnails()
+}
+
+// Participants returns the current participant count.
+func (m *Meeting) Participants() int { return len(m.participants) }
+
+// updateThumbnails applies the §5.1 user-interface effect: while someone
+// shares a screen, other participants' video is displayed as thumbnails
+// and Zoom halves its frame rate — a rate change with no network cause.
+func (m *Meeting) updateThumbnails() {
+	sharing := false
+	for _, p := range m.participants {
+		if p.active && p.set.Screen {
+			sharing = true
+			break
+		}
+	}
+	for _, p := range m.participants {
+		if !p.active {
+			continue
+		}
+		for _, s := range p.senders {
+			if s.video != nil {
+				s.thumbnail = sharing && !p.set.Screen
+				s.video.SetReduced(s.thumbnail || s.congested)
+			}
+		}
+	}
+}
+
+// IsP2P reports the current mode.
+func (m *Meeting) IsP2P() bool { return m.mode == modeP2P }
+
+// audioForwarded reports whether the SFU relays this sender's audio:
+// only the first maxAudioForward unmuted participants' audio is
+// replicated, modeling Zoom's active-speaker audio selection.
+const maxAudioForward = 3
+
+func (m *Meeting) audioForwarded(from *Client) bool {
+	n := 0
+	for _, p := range m.participants {
+		if !p.set.Audio || !p.active {
+			continue
+		}
+		if p == from {
+			return n < maxAudioForward
+		}
+		n++
+	}
+	return false
+}
+
+func (m *Meeting) otherParticipant(c *Client) *Client {
+	for _, p := range m.participants {
+		if p != c {
+			return p
+		}
+	}
+	return nil
+}
+
+// prepareP2P performs the Figure 2 sequence: each client exchanges STUN
+// binding requests with the zone controller from the ephemeral port it
+// will later use for the P2P flow, then the meeting switches.
+func (m *Meeting) prepareP2P() {
+	for _, c := range m.participants {
+		c.p2pPort = m.w.ephemeralPort()
+		c.sendSTUN()
+	}
+	m.w.Eng.After(m.P2PSwitchDelay, func() {
+		if len(m.participants) == 2 && !m.reverted {
+			m.switchToP2P()
+		}
+	})
+}
+
+// sendSTUN emits the binding request/response pair with the zone
+// controller on UDP 3478 (cleartext, crossing the monitor for campus
+// clients).
+func (c *Client) sendSTUN() {
+	w := c.w
+	zc := netip.AddrPortFrom(w.Opts.ZCAddr, stun.Port)
+	src := netip.AddrPortFrom(c.Addr, c.p2pPort)
+	// Several binding requests, as observed ("a series of STUN binding
+	// requests").
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i) * 200 * time.Millisecond
+		w.Eng.After(delay, func() {
+			tid := stun.NewTransactionID()
+			req := stun.NewBindingRequest(tid)
+			frame := c.builder.BuildUDP(src, zc, 64, req.Marshal())
+			p := w.pathToSFU(c)
+			p.deliver(frame, func(at time.Time) {
+				// Zone controller answers with the reflexive address.
+				resp := stun.NewBindingResponse(tid, src)
+				respFrame := w.sfu.builder.BuildUDP(zc, src, 57, resp.Marshal())
+				rp := w.pathFromSFU(c)
+				rp.deliver(respFrame, nil, nil)
+			}, nil)
+		})
+	}
+}
+
+// switchToP2P moves the meeting to the direct connection: both clients
+// start new flows from their STUN-announced ports; all media types share
+// one UDP flow (§3).
+func (m *Meeting) switchToP2P() {
+	m.mode = modeP2P
+	for _, c := range m.participants {
+		c.mediaPort = c.p2pPort
+	}
+}
+
+// switchToSFU (re)establishes server relaying with fresh ephemeral
+// ports.
+func (m *Meeting) switchToSFU() {
+	m.mode = modeSFU
+	for _, c := range m.participants {
+		c.mediaPort = m.w.ephemeralPort()
+		c.mediaPorts = nil // fresh flows per media type
+	}
+}
+
+// controlConn is the TLS-like TCP control connection every client keeps
+// to a Zoom server on port 443 (§3), exercised by the paper's TCP-RTT
+// method (§5.3 method 2). The simulator models periodic request/response
+// exchanges with correct sequence/acknowledgment numbers; payloads are
+// opaque.
+type controlConn struct {
+	c        *Client
+	srcPort  uint16
+	seq      uint32 // client's next seq
+	ack      uint32 // server's next seq (what the client acks)
+	stopped  bool
+	interval time.Duration
+}
+
+func (c *Client) startTCPControl() {
+	cc := &controlConn{
+		c:        c,
+		srcPort:  c.w.ephemeralPort(),
+		seq:      uint32(c.rng.Int31()),
+		ack:      uint32(c.rng.Int31()),
+		interval: time.Second,
+	}
+	c.tcp = cc
+	c.w.Eng.After(jitterStart(c.rng, cc.interval), cc.tick)
+}
+
+func (cc *controlConn) stop() { cc.stopped = true }
+
+func (cc *controlConn) tick() {
+	c := cc.c
+	if cc.stopped || !c.active {
+		return
+	}
+	w := c.w
+	server := netip.AddrPortFrom(w.Opts.SFUAddr, 443)
+	client := netip.AddrPortFrom(c.Addr, cc.srcPort)
+
+	reqLen := 64 + c.rng.Intn(192)
+	respLen := 64 + c.rng.Intn(512)
+	reqSeq, reqAck := cc.seq, cc.ack
+	cc.seq += uint32(reqLen)
+
+	req := c.builder.BuildTCP(client, server, 64, reqSeq, reqAck, layers.TCPAck|layers.TCPPsh, 65535, c.encryptedPayload(reqLen))
+	up := w.pathToSFU(c)
+	up.deliver(req, func(time.Time) {
+		// Server response: ACK of the request plus its own data.
+		respSeq := cc.ack
+		cc.ack += uint32(respLen)
+		resp := w.sfu.builder.BuildTCP(server, client, 57, respSeq, cc.seq, layers.TCPAck|layers.TCPPsh, 65535, c.encryptedPayload(respLen))
+		down := w.pathFromSFU(c)
+		down.deliver(resp, func(time.Time) {
+			// Client ACKs the response.
+			fin := c.builder.BuildTCP(client, server, 64, cc.seq, cc.ack, layers.TCPAck, 65535, nil)
+			up2 := w.pathToSFU(c)
+			up2.deliver(fin, nil, nil)
+		}, nil)
+	}, nil)
+
+	c.w.Eng.After(cc.interval, cc.tick)
+}

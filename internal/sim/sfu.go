@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"net/netip"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/zoom"
+)
+
+// sfu models a Zoom multimedia router: it replicates every media packet
+// to all other meeting participants without rewriting RTP headers or
+// timestamps (§4.3.1), re-wrapping only the SFU encapsulation (new
+// per-destination sequence numbers, direction byte 0x04).
+type sfu struct {
+	w *World
+	// sfuSeq numbers outgoing SFU encapsulations per destination client.
+	sfuSeq  map[*Client]uint16
+	builder layers.Builder
+}
+
+func newSFU(w *World) *sfu {
+	return &sfu{w: w, sfuSeq: make(map[*Client]uint16)}
+}
+
+// receive handles one uplink packet from a participant.
+func (s *sfu) receive(at time.Time, from *Client, pkt *wirePacket) {
+	m := from.meeting
+	if m == nil || m.mode != modeSFU {
+		return
+	}
+	if pkt.mediaType == 0 {
+		return // opaque control traffic terminates at the server
+	}
+	// Zoom's SFU forwards only a few concurrent audio streams (active
+	// speakers); everyone's video/screen is replicated.
+	if flowMediaType(pkt) == zoom.TypeAudio && !m.audioForwarded(from) {
+		return
+	}
+	for _, p := range m.participants {
+		if p == from || !p.active {
+			continue
+		}
+		if s.w.Opts.SkipExternalDelivery && !p.Campus {
+			continue
+		}
+		s.forward(p, pkt)
+	}
+}
+
+// forward re-wraps and sends one packet to a downlink participant.
+func (s *sfu) forward(to *Client, pkt *wirePacket) {
+	s.sfuSeq[to]++
+	// Rebuild the SFU encapsulation with the from-SFU direction while
+	// leaving the inner media encapsulation and RTP bytes untouched:
+	// Zoom's SFU does not translate timestamps or sequence numbers.
+	inner := pkt.payload[zoom.SFUEncapLen:]
+	hdr := zoom.SFUEncap{Type: zoom.SFUTypeMedia, Sequence: s.sfuSeq[to], Direction: zoom.DirFromSFU}
+	payload := hdr.AppendMarshal(make([]byte, 0, zoom.SFUEncapLen+len(inner)))
+	payload = append(payload, inner...)
+
+	frame := s.builder.BuildUDP(s.w.SFUAddrPort(), netip.AddrPortFrom(to.Addr, to.portFor(flowMediaType(pkt))), 57, payload)
+	p := s.w.pathFromSFU(to)
+	fwd := *pkt
+	fwd.payload = payload
+	p.deliver(frame,
+		func(arrive time.Time) { to.receiveMedia(arrive, &fwd) },
+		func() {
+			// Downlink loss: the SFU retransmits to this client with the
+			// same RTP sequence number after the NACK timeout.
+			s.w.Eng.After(retxTimeout+p.rttHint, func() {
+				if to.active && to.meeting != nil && to.meeting.mode == modeSFU {
+					s.retransmit(to, &fwd, frame, p, 1)
+				}
+			})
+		},
+	)
+}
+
+func (s *sfu) retransmit(to *Client, pkt *wirePacket, frame []byte, p *path, retries int) {
+	p.deliver(frame,
+		func(arrive time.Time) { to.receiveMedia(arrive, pkt) },
+		func() {
+			if retries > 0 {
+				s.w.Eng.After(retxTimeout+p.rttHint, func() {
+					if to.active {
+						s.retransmit(to, pkt, frame, p, retries-1)
+					}
+				})
+			}
+		},
+	)
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zoomlens/internal/sim"
+)
+
+func TestIntensityShape(t *testing.T) {
+	day := func(h, m int) time.Time {
+		return time.Date(2022, 5, 5, h, m, 0, 0, time.UTC)
+	}
+	// Hour-boundary spike dominates mid-hour.
+	if Intensity(day(11, 0)) <= Intensity(day(11, 17)) {
+		t.Error("no spike at the full hour")
+	}
+	// Half-hour spike smaller than full-hour but above baseline.
+	if !(Intensity(day(11, 30)) > Intensity(day(11, 17)) && Intensity(day(11, 30)) < Intensity(day(11, 0))) {
+		t.Error("half-hour spike out of order")
+	}
+	// Lunch dip.
+	if Intensity(day(12, 45)) >= Intensity(day(11, 17)) {
+		t.Error("no lunch dip")
+	}
+	// Evening decline.
+	if Intensity(day(21, 17)) >= Intensity(day(15, 17))/2 {
+		t.Error("no evening decline")
+	}
+}
+
+func TestScheduleStatistics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MeetingsPerHourPeak = 60 // enough samples for stable stats
+	plans := Schedule(cfg)
+	if len(plans) < 100 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	var two, withScreen, p2p, big int
+	perHour := map[int]int{}
+	for _, p := range plans {
+		if p.Participants == 2 {
+			two++
+		}
+		if p.Participants >= 16 {
+			big++
+		}
+		if p.Screen {
+			withScreen++
+		}
+		if p.P2P {
+			p2p++
+			if p.Participants != 2 {
+				t.Error("P2P planned for a meeting with >2 participants")
+			}
+		}
+		if p.OnCampus < 1 || p.OnCampus > p.Participants {
+			t.Errorf("on-campus = %d of %d", p.OnCampus, p.Participants)
+		}
+		if p.Duration < 10*time.Minute || p.Duration > 3*time.Hour {
+			t.Errorf("duration = %v", p.Duration)
+		}
+		perHour[p.Start.Hour()]++
+	}
+	n := len(plans)
+	if f := float64(two) / float64(n); f < 0.2 || f > 0.5 {
+		t.Errorf("two-party fraction = %v", f)
+	}
+	if f := float64(withScreen) / float64(n); f < 0.15 || f > 0.45 {
+		t.Errorf("screen fraction = %v", f)
+	}
+	if p2p == 0 || big == 0 {
+		t.Errorf("p2p=%d big=%d", p2p, big)
+	}
+	// Diurnal: 11:00 busier than 12:00 (lunch) and much busier than 21:00.
+	if perHour[11] <= perHour[21] {
+		t.Errorf("perHour[11]=%d vs perHour[21]=%d", perHour[11], perHour[21])
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := Schedule(DefaultConfig())
+	b := Schedule(DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d differs", i)
+		}
+	}
+}
+
+func TestRunnerProducesTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 5 * time.Minute
+	cfg.MeetingsPerHourPeak = 25
+	cfg.BackgroundPPS = 100
+
+	opts := sim.DefaultOptions()
+	opts.Start = cfg.Start
+	opts.SkipExternalDelivery = true
+	w := sim.NewWorld(opts)
+
+	var zoomish, background int
+	w.Monitor = func(at time.Time, frame []byte) {
+		// Very rough split by destination: background goes to 93.184/16.
+		if len(frame) >= 34 && frame[30] == 93 {
+			background++
+		} else {
+			zoomish++
+		}
+	}
+	r := NewRunner(cfg, w)
+	plans := Schedule(cfg)
+	if len(plans) == 0 {
+		t.Fatal("no plans in 10 minutes at rate 40/h")
+	}
+	r.Install(plans)
+	w.Run(cfg.Start.Add(cfg.Duration))
+
+	if zoomish < 1000 {
+		t.Errorf("zoom packets = %d", zoomish)
+	}
+	if background == 0 {
+		t.Error("no background packets")
+	}
+}
+
+func TestRandomAddrInPrefix(t *testing.T) {
+	p := netip.MustParsePrefix("10.8.0.0/16")
+	r := NewRunner(DefaultConfig(), sim.NewWorld(sim.DefaultOptions()))
+	for i := 0; i < 100; i++ {
+		a := randomAddrIn(r.rng, p)
+		if !p.Contains(a) {
+			t.Fatalf("%v outside %v", a, p)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package zoom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateLuaDissectorStructure(t *testing.T) {
+	src := GenerateLuaDissector()
+	for _, want := range []string{
+		`Proto("zoom"`,
+		`Dissector.get("rtp")`,
+		`Dissector.get("rtcp")`,
+		`DissectorTable.get("udp.port"):add(8801, zoom)`,
+		"zoom.media.frame_seq",
+		"zoom.sfu.direction",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("dissector missing %q", want)
+		}
+	}
+	// Every media type value and its header length must appear in the
+	// generated tables (keeping the plugin in lockstep with the codec).
+	for _, mt := range []MediaType{TypeScreenShare, TypeAudio, TypeVideo, TypeRTCPSR, TypeRTCPSRSDES} {
+		typeEntry := "[" + itoa(int(mt)) + "] = "
+		if strings.Count(src, typeEntry) != 2 { // name table + length table
+			t.Errorf("type %d appears %d times, want 2", mt, strings.Count(src, typeEntry))
+		}
+		lenEntry := itoa(mt.HeaderLen())
+		if !strings.Contains(src, "= "+lenEntry+",") {
+			t.Errorf("header length %s for %v missing", lenEntry, mt)
+		}
+	}
+	// Video field offsets from Table 1.
+	if !strings.Contains(src, "tvb(21,2)") || !strings.Contains(src, "tvb(23,1)") {
+		t.Error("video frame fields not at Table 1 offsets")
+	}
+	if !strings.Contains(src, "tvb(9,2)") || !strings.Contains(src, "tvb(11,4)") {
+		t.Error("media seq/timestamp not at Table 1 offsets")
+	}
+	// Cheap syntactic sanity: parens balance and every block has an end.
+	if strings.Count(src, "(") != strings.Count(src, ")") {
+		t.Error("unbalanced parentheses in generated Lua")
+	}
+	ends := strings.Count(src, "end")
+	blocks := strings.Count(src, "function") + strings.Count(src, "if ")
+	if ends < blocks {
+		t.Errorf("blocks=%d ends=%d: missing end?", blocks, ends)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,85 @@
+package zoom
+
+import "fmt"
+
+// Substream classifies the (media type, RTP payload type) combinations
+// listed in Table 3 of the paper.
+type Substream int
+
+// Substream kinds.
+const (
+	SubUnknown Substream = iota
+	SubVideoMain
+	SubVideoFEC
+	SubAudioSpeaking
+	SubAudioSilent
+	SubAudioMobile
+	SubAudioFEC
+	SubScreenShareMain
+)
+
+func (s Substream) String() string {
+	switch s {
+	case SubVideoMain:
+		return "video/main"
+	case SubVideoFEC:
+		return "video/fec"
+	case SubAudioSpeaking:
+		return "audio/speaking"
+	case SubAudioSilent:
+		return "audio/silent"
+	case SubAudioMobile:
+		return "audio/mobile"
+	case SubAudioFEC:
+		return "audio/fec"
+	case SubScreenShareMain:
+		return "screenshare/main"
+	}
+	return "unknown"
+}
+
+// IsFEC reports whether the substream carries forward error correction.
+func (s Substream) IsFEC() bool { return s == SubVideoFEC || s == SubAudioFEC }
+
+// ClassifySubstream maps a media type and RTP payload type to a substream
+// kind per Table 3.
+func ClassifySubstream(mt MediaType, pt uint8) Substream {
+	switch mt {
+	case TypeVideo:
+		switch pt {
+		case PTVideoMain:
+			return SubVideoMain
+		case PTFEC:
+			return SubVideoFEC
+		}
+	case TypeAudio:
+		switch pt {
+		case PTAudioSpeak:
+			return SubAudioSpeaking
+		case PTAudioSilent:
+			return SubAudioSilent
+		case PTAudioMobile:
+			return SubAudioMobile
+		case PTFEC:
+			return SubAudioFEC
+		}
+	case TypeScreenShare:
+		if pt == PTScreenShare {
+			return SubScreenShareMain
+		}
+	}
+	return SubUnknown
+}
+
+// StreamKey identifies one media stream within one UDP flow: the RTP SSRC
+// together with the Zoom media type. Zoom multiplexes up to three media
+// types (and their RTCP) over a single UDP flow (§3), and SSRCs are only
+// unique within a meeting (§4.2.3).
+type StreamKey struct {
+	SSRC uint32
+	Type MediaType
+}
+
+func (k StreamKey) String() string {
+	return fmt.Sprintf("%s/ssrc=%d", k.Type, k.SSRC)
+}

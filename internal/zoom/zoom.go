@@ -1,0 +1,365 @@
+// Package zoom implements the proprietary Zoom packet encapsulations
+// reverse-engineered in §4.2 of the paper: the 8-byte Zoom SFU
+// encapsulation that prefixes server-based traffic, and the
+// variable-length Zoom media encapsulation that precedes RTP or RTCP in
+// both server-based and peer-to-peer traffic.
+//
+// Field positions and type values follow Tables 1 and 2 of the paper
+// exactly:
+//
+//	SFU encapsulation (server-based traffic only, 8 bytes):
+//	  byte 0    type (0x05 ⇒ a media encapsulation follows; 98.4 % of pkts)
+//	  bytes 1-2 sequence number (big endian)
+//	  bytes 3-6 reserved / not understood
+//	  byte 7    direction: 0x00 to SFU, 0x04 from SFU
+//
+//	Media encapsulation (length depends on the type byte):
+//	  byte 0      type: 13 screen share, 15 audio, 16 video, 33/34 RTCP
+//	  bytes 9-10  sequence number (big endian)
+//	  bytes 11-14 timestamp (big endian)
+//	  video only:
+//	  bytes 21-22 frame sequence number (big endian)
+//	  byte 23     number of packets in the frame
+//
+//	RTP/RTCP offset from the start of the media encapsulation:
+//	  video 24, audio 19, screen share 27, RTCP 16
+//	(Table 2 lists these offsets from the end of the UDP header for P2P
+//	traffic; server-based traffic adds the 8-byte SFU encapsulation.)
+package zoom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"zoomlens/internal/rtp"
+)
+
+// ServerMediaPort is the UDP port Zoom servers (multimedia routers) use
+// for media traffic.
+const ServerMediaPort = 8801
+
+// SFU encapsulation constants.
+const (
+	SFUEncapLen = 8
+	// SFUTypeMedia marks an SFU encapsulation carrying a media
+	// encapsulation (type value 5; 98.4 % of server-based packets in the
+	// paper's trace).
+	SFUTypeMedia = 0x05
+	// DirToSFU and DirFromSFU are the observed direction byte values.
+	DirToSFU   = 0x00
+	DirFromSFU = 0x04
+)
+
+// MediaType is the media encapsulation type byte.
+type MediaType uint8
+
+// Media encapsulation type values (Table 2).
+const (
+	TypeScreenShare MediaType = 13
+	TypeAudio       MediaType = 15
+	TypeVideo       MediaType = 16
+	TypeRTCPSR      MediaType = 33 // RTCP sender report
+	TypeRTCPSRSDES  MediaType = 34 // RTCP SR + source description
+)
+
+// IsRTP reports whether the type carries an RTP media packet.
+func (t MediaType) IsRTP() bool {
+	return t == TypeScreenShare || t == TypeAudio || t == TypeVideo
+}
+
+// IsRTCP reports whether the type carries RTCP.
+func (t MediaType) IsRTCP() bool { return t == TypeRTCPSR || t == TypeRTCPSRSDES }
+
+// HeaderLen returns the media encapsulation header length for the type
+// (the offset at which RTP/RTCP begins), or 0 for unknown types.
+func (t MediaType) HeaderLen() int {
+	switch t {
+	case TypeVideo:
+		return 24
+	case TypeAudio:
+		return 19
+	case TypeScreenShare:
+		return 27
+	case TypeRTCPSR, TypeRTCPSRSDES:
+		return 16
+	}
+	return 0
+}
+
+func (t MediaType) String() string {
+	switch t {
+	case TypeScreenShare:
+		return "screenshare"
+	case TypeAudio:
+		return "audio"
+	case TypeVideo:
+		return "video"
+	case TypeRTCPSR:
+		return "rtcp-sr"
+	case TypeRTCPSRSDES:
+		return "rtcp-sr-sdes"
+	}
+	return fmt.Sprintf("unknown(%d)", uint8(t))
+}
+
+// RTP payload types observed inside Zoom streams (Table 3).
+const (
+	PTVideoMain   uint8 = 98  // video main stream
+	PTAudioSpeak  uint8 = 112 // audio while participant is talking
+	PTFEC         uint8 = 110 // forward error correction substream
+	PTScreenShare uint8 = 99  // screen share main stream (also audio silent)
+	PTAudioSilent uint8 = 99  // audio during silence: fixed 40-byte payload
+	PTAudioMobile uint8 = 113 // audio, mode unknown (mobile clients)
+)
+
+// SilentAudioPayloadLen is the fixed RTP payload size of silent-mode audio
+// packets (type 99 in audio streams).
+const SilentAudioPayloadLen = 40
+
+// VideoClockRate is the RTP timestamp clock of Zoom video streams
+// discovered in §5.2 (also RFC 3551's recommendation for video).
+const VideoClockRate = 90000
+
+// AudioClockRate is the presumed audio sampling clock. The paper is not
+// certain of audio/screen-share clocks (§6.2) and neither are we; the
+// simulator uses 16 kHz for audio timestamps.
+const AudioClockRate = 16000
+
+// Errors returned by the parser.
+var (
+	ErrTruncated   = errors.New("zoom: truncated packet")
+	ErrUnknownType = errors.New("zoom: unknown encapsulation type")
+)
+
+// SFUEncap is a decoded Zoom SFU encapsulation header.
+type SFUEncap struct {
+	Type      uint8
+	Sequence  uint16
+	Direction uint8
+	// Reserved preserves bytes 3-6, which the paper does not decode.
+	Reserved [4]byte
+}
+
+// FromSFU reports whether the direction byte marks server-to-client
+// traffic.
+func (s *SFUEncap) FromSFU() bool { return s.Direction == DirFromSFU }
+
+// ParseSFUEncap decodes the 8-byte SFU encapsulation and returns the rest
+// of the payload.
+func ParseSFUEncap(data []byte) (SFUEncap, []byte, error) {
+	var s SFUEncap
+	if len(data) < SFUEncapLen {
+		return s, nil, fmt.Errorf("%w: sfu encapsulation needs %d bytes, have %d", ErrTruncated, SFUEncapLen, len(data))
+	}
+	s.Type = data[0]
+	s.Sequence = binary.BigEndian.Uint16(data[1:3])
+	copy(s.Reserved[:], data[3:7])
+	s.Direction = data[7]
+	return s, data[SFUEncapLen:], nil
+}
+
+// AppendMarshal appends the wire form of s to dst.
+func (s *SFUEncap) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, s.Type)
+	dst = binary.BigEndian.AppendUint16(dst, s.Sequence)
+	dst = append(dst, s.Reserved[:]...)
+	dst = append(dst, s.Direction)
+	return dst
+}
+
+// MediaEncap is a decoded Zoom media encapsulation header.
+type MediaEncap struct {
+	Type      MediaType
+	Sequence  uint16
+	Timestamp uint32
+	// FrameSequence and PacketsInFrame are only meaningful for video
+	// (Type == TypeVideo).
+	FrameSequence  uint16
+	PacketsInFrame uint8
+	// Raw aliases the full wire-format header as parsed (like
+	// rtp.Packet.Payload, it shares the input buffer). It preserves the
+	// bytes the paper does not decode so that marshal(parse(x)) == x;
+	// nil for packets constructed in memory.
+	Raw []byte
+}
+
+// ParseMediaEncap decodes a media encapsulation header and returns the
+// encapsulated payload (RTP or RTCP).
+func ParseMediaEncap(data []byte) (MediaEncap, []byte, error) {
+	var m MediaEncap
+	if len(data) < 1 {
+		return m, nil, fmt.Errorf("%w: empty media encapsulation", ErrTruncated)
+	}
+	m.Type = MediaType(data[0])
+	hl := m.Type.HeaderLen()
+	if hl == 0 {
+		return m, nil, fmt.Errorf("%w: media type %d", ErrUnknownType, data[0])
+	}
+	if len(data) < hl {
+		return m, nil, fmt.Errorf("%w: media encapsulation type %s needs %d bytes, have %d", ErrTruncated, m.Type, hl, len(data))
+	}
+	m.Sequence = binary.BigEndian.Uint16(data[9:11])
+	m.Timestamp = binary.BigEndian.Uint32(data[11:15])
+	if m.Type == TypeVideo {
+		m.FrameSequence = binary.BigEndian.Uint16(data[21:23])
+		m.PacketsInFrame = data[23]
+	}
+	m.Raw = data[:hl]
+	return m, data[hl:], nil
+}
+
+// AppendMarshal appends the wire form of m to dst. When Raw is present
+// (from a previous parse), its undecoded bytes are preserved; otherwise
+// those positions are zero.
+func (m *MediaEncap) AppendMarshal(dst []byte) ([]byte, error) {
+	hl := m.Type.HeaderLen()
+	if hl == 0 {
+		return dst, fmt.Errorf("%w: media type %d", ErrUnknownType, uint8(m.Type))
+	}
+	start := len(dst)
+	if len(m.Raw) == hl {
+		dst = append(dst, m.Raw...)
+	} else {
+		dst = append(dst, make([]byte, hl)...)
+	}
+	hdr := dst[start : start+hl]
+	hdr[0] = uint8(m.Type)
+	binary.BigEndian.PutUint16(hdr[9:11], m.Sequence)
+	binary.BigEndian.PutUint32(hdr[11:15], m.Timestamp)
+	if m.Type == TypeVideo {
+		binary.BigEndian.PutUint16(hdr[21:23], m.FrameSequence)
+		hdr[23] = m.PacketsInFrame
+	}
+	return dst, nil
+}
+
+// Packet is a fully parsed Zoom UDP payload.
+type Packet struct {
+	// ServerBased reports whether an SFU encapsulation was present.
+	ServerBased bool
+	SFU         SFUEncap
+	Media       MediaEncap
+	// RTP is set for media types 13/15/16.
+	RTP rtp.Packet
+	// RTCP is set for media types 33/34.
+	RTCP rtp.CompoundPacket
+}
+
+// IsMedia reports whether the packet carries an RTP media payload.
+func (p *Packet) IsMedia() bool { return p.Media.Type.IsRTP() }
+
+// MediaPayloadLen returns the RTP payload length of a media packet (the
+// quantity summed for per-media bit rates, §5.1), or 0 for RTCP.
+func (p *Packet) MediaPayloadLen() int {
+	if !p.IsMedia() {
+		return 0
+	}
+	return len(p.RTP.Payload)
+}
+
+// Mode distinguishes server-based from peer-to-peer payload layouts.
+type Mode int
+
+// Payload layout modes.
+const (
+	// ModeAuto tries server-based first, then P2P.
+	ModeAuto Mode = iota
+	// ModeServer expects an SFU encapsulation first.
+	ModeServer
+	// ModeP2P expects a media encapsulation immediately.
+	ModeP2P
+)
+
+// ParsePacket decodes a Zoom UDP payload. In ModeAuto it accepts both
+// layouts, preferring the server-based interpretation when the first byte
+// is the SFU media type marker and the inner parse succeeds.
+func ParsePacket(payload []byte, mode Mode) (Packet, error) {
+	var p Packet
+	tryServer := func() error {
+		sfu, rest, err := ParseSFUEncap(payload)
+		if err != nil {
+			return err
+		}
+		if sfu.Type != SFUTypeMedia {
+			return fmt.Errorf("%w: sfu type %d", ErrUnknownType, sfu.Type)
+		}
+		if err := p.parseInner(rest); err != nil {
+			return err
+		}
+		p.ServerBased = true
+		p.SFU = sfu
+		return nil
+	}
+	switch mode {
+	case ModeServer:
+		return p, firstErr(tryServer(), &p)
+	case ModeP2P:
+		return p, firstErr(p.parseInner(payload), &p)
+	default:
+		if len(payload) > 0 && payload[0] == SFUTypeMedia {
+			if err := tryServer(); err == nil {
+				return p, nil
+			}
+			p = Packet{}
+		}
+		if err := p.parseInner(payload); err == nil {
+			return p, nil
+		}
+		p = Packet{}
+		return p, firstErr(tryServer(), &p)
+	}
+}
+
+func firstErr(err error, p *Packet) error {
+	if err != nil {
+		*p = Packet{}
+	}
+	return err
+}
+
+func (p *Packet) parseInner(data []byte) error {
+	media, rest, err := ParseMediaEncap(data)
+	if err != nil {
+		return err
+	}
+	switch {
+	case media.Type.IsRTP():
+		rp, err := rtp.Parse(rest)
+		if err != nil {
+			return fmt.Errorf("zoom: media type %s: %w", media.Type, err)
+		}
+		p.RTP = rp
+	case media.Type.IsRTCP():
+		cp, err := rtp.ParseCompound(rest)
+		if err != nil {
+			return fmt.Errorf("zoom: media type %s: %w", media.Type, err)
+		}
+		p.RTCP = cp
+	}
+	p.Media = media
+	return nil
+}
+
+// Marshal serializes the packet (SFU encapsulation if ServerBased, media
+// encapsulation, then the RTP or RTCP body).
+func (p *Packet) Marshal() ([]byte, error) {
+	var out []byte
+	if p.ServerBased {
+		out = p.SFU.AppendMarshal(out)
+	}
+	out, err := p.Media.AppendMarshal(out)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.Media.Type.IsRTP():
+		out, err = p.RTP.AppendMarshal(out)
+		if err != nil {
+			return nil, err
+		}
+	case p.Media.Type.IsRTCP():
+		out = append(out, rtp.MarshalSR(p.RTCP.SenderReports[0], p.Media.Type == TypeRTCPSRSDES)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package zoomlens
+
+// Robustness tests: the analyzer is built for hostile input (a border
+// tap sees everything), so no packet — truncated, corrupted, or
+// adversarial — may panic it or corrupt its state.
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/stun"
+	"zoomlens/internal/zoom"
+)
+
+func TestAnalyzerSurvivesRandomGarbage(t *testing.T) {
+	a := NewAnalyzer(Config{ZoomNetworks: DefaultZoomNetworks()})
+	rng := rand.New(rand.NewSource(99))
+	at := time.Date(2022, 5, 5, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(200)
+		frame := make([]byte, n)
+		rng.Read(frame)
+		a.Packet(at.Add(time.Duration(i)*time.Millisecond), frame)
+	}
+	a.Finish()
+	if a.Packets != 20000 {
+		t.Errorf("packets = %d", a.Packets)
+	}
+	_ = a.Summary()
+	_ = a.Meetings()
+}
+
+func TestAnalyzerSurvivesBitFlippedZoomTraffic(t *testing.T) {
+	// Generate real Zoom frames, then flip random bits/truncate before
+	// analysis: parse failures must be counted, never fatal.
+	opts := DefaultWorldOptions()
+	w := NewWorld(opts)
+	a := NewAnalyzer(Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	})
+	rng := rand.New(rand.NewSource(5))
+	w.Monitor = func(at time.Time, frame []byte) {
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		switch rng.Intn(4) {
+		case 0: // flip a random byte
+			cp[rng.Intn(len(cp))] ^= byte(1 + rng.Intn(255))
+		case 1: // truncate
+			cp = cp[:rng.Intn(len(cp)+1)]
+		case 2: // corrupt the payload area heavily
+			for j := 0; j < 8 && len(cp) > 40; j++ {
+				cp[40+rng.Intn(len(cp)-40)] ^= 0xff
+			}
+		}
+		a.Packet(at, cp)
+	}
+	m := w.NewMeeting()
+	m.Join(w.NewClient("a", true), DefaultMediaSet())
+	m.Join(w.NewClient("b", true), DefaultMediaSet())
+	w.Run(opts.Start.Add(10 * time.Second))
+	a.Finish()
+	if a.Packets == 0 {
+		t.Fatal("nothing analyzed")
+	}
+	// Some packets survive corruption (case 3 untouched), some don't.
+	if a.ZoomUDP == 0 {
+		t.Error("no packets decoded at all")
+	}
+	if a.Undecodable == 0 {
+		t.Error("corruption never detected — parser too lax?")
+	}
+}
+
+func TestQuickParsersNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = zoom.ParsePacket(data, zoom.ModeAuto)
+		_, _ = zoom.ParsePacket(data, zoom.ModeServer)
+		_, _ = zoom.ParsePacket(data, zoom.ModeP2P)
+		_, _ = rtp.Parse(data)
+		_, _ = rtp.ParseCompound(data)
+		_, _ = stun.Parse(data)
+		_ = stun.Is(data)
+		var p layers.Packet
+		_ = (&layers.Parser{}).Parse(data, &p)
+		_ = (&layers.Parser{First: layers.FirstIP}).Parse(data, &p)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickZoomParseMarshalStable(t *testing.T) {
+	// Whatever parses must re-marshal to identical bytes (opaque header
+	// regions included) — parse(x) ok ⇒ marshal(parse(x)) == x.
+	f := func(data []byte) bool {
+		zp, err := zoom.ParsePacket(data, zoom.ModeAuto)
+		if err != nil {
+			return true
+		}
+		// RTCP compound packets with multiple SRs or trailing packets do
+		// not round-trip through the single-SR marshaller; skip them.
+		if zp.Media.Type.IsRTCP() {
+			return true
+		}
+		out, err := zp.Marshal()
+		if err != nil {
+			return false
+		}
+		if len(out) != len(data) {
+			return false
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			// Bias generation toward nearly-valid Zoom packets so the
+			// parser accepts a useful fraction.
+			pkt := zoom.Packet{
+				ServerBased: rng.Intn(2) == 0,
+				SFU:         zoom.SFUEncap{Type: zoom.SFUTypeMedia, Sequence: uint16(rng.Uint32())},
+				Media: zoom.MediaEncap{
+					Type:      []zoom.MediaType{zoom.TypeAudio, zoom.TypeVideo, zoom.TypeScreenShare}[rng.Intn(3)],
+					Sequence:  uint16(rng.Uint32()),
+					Timestamp: rng.Uint32(),
+				},
+				RTP: rtp.Packet{
+					Header: rtp.Header{
+						PayloadType:    uint8(rng.Intn(128)),
+						SequenceNumber: uint16(rng.Uint32()),
+						Timestamp:      rng.Uint32(),
+						SSRC:           rng.Uint32(),
+						Marker:         rng.Intn(2) == 0,
+					},
+					Payload: make([]byte, rng.Intn(64)),
+				},
+			}
+			rng.Read(pkt.RTP.Payload)
+			wire, err := pkt.Marshal()
+			if err != nil {
+				wire = []byte{0}
+			}
+			// Sometimes corrupt a byte so the negative path is covered.
+			if rng.Intn(3) == 0 && len(wire) > 0 {
+				wire[rng.Intn(len(wire))] ^= byte(1 + rng.Intn(255))
+			}
+			vals[0] = reflect.ValueOf(wire)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupingOrderInvariance checks a key property of the §4.3
+// heuristic as implemented: the inferred meeting *partition* does not
+// depend on record order (merging makes assignment order-insensitive).
+func TestGroupingOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mkClient := func(ip byte, port uint16) netip.AddrPort {
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 8, 0, ip}), port)
+	}
+	base := time.Date(2022, 5, 5, 9, 0, 0, 0, time.UTC)
+	// Three ground-truth meetings sharing streams/clients internally.
+	var records []meeting.StreamRecord
+	uid := meeting.UnifiedID(1)
+	for g := 0; g < 3; g++ {
+		nClients := 2 + rng.Intn(3)
+		clients := make([]netip.AddrPort, nClients)
+		for i := range clients {
+			clients[i] = mkClient(byte(10*g+i+1), uint16(40000+100*g+i))
+		}
+		for s := 0; s < 4; s++ {
+			// Each unified stream is observed at 1–3 clients of its group.
+			n := 1 + rng.Intn(3)
+			for c := 0; c < n && c < nClients; c++ {
+				records = append(records, meeting.StreamRecord{
+					Unified: uid,
+					Client:  clients[(s+c)%nClients],
+					Start:   base.Add(time.Duration(rng.Intn(60)) * time.Second),
+					End:     base.Add(time.Duration(60+rng.Intn(60)) * time.Second),
+				})
+			}
+			uid++
+		}
+	}
+
+	partition := func(recs []meeting.StreamRecord) map[meeting.UnifiedID]int {
+		ms := meeting.Group(recs)
+		out := map[meeting.UnifiedID]int{}
+		for gi, m := range ms {
+			for _, s := range m.Streams {
+				out[s] = gi
+			}
+		}
+		return out
+	}
+	ref := partition(records)
+	for trial := 0; trial < 20; trial++ {
+		shuffled := make([]meeting.StreamRecord, len(records))
+		copy(shuffled, records)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := partition(shuffled)
+		// Same-partition relation must match (group indices may differ).
+		for a := range ref {
+			for b := range ref {
+				same := ref[a] == ref[b]
+				gotSame := got[a] == got[b]
+				if same != gotSame {
+					t.Fatalf("trial %d: streams %d,%d partition differs (ref %v, got %v)", trial, a, b, same, gotSame)
+				}
+			}
+		}
+	}
+}
