@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench ablation cover tools examples clean
+.PHONY: all build test test-short bench ablation cover tools examples ci clean
 
 all: build test
 
@@ -25,6 +25,13 @@ ablation:
 
 cover:
 	$(GO) test -cover ./...
+
+# Mirrors .github/workflows/ci.yml: the race detector matters here
+# because the sharded parallel analyzer is exercised by the tests.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 examples:
 	$(GO) run ./examples/quickstart

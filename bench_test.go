@@ -17,6 +17,7 @@ package zoomlens
 import (
 	"fmt"
 	"math"
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
@@ -378,6 +379,85 @@ func BenchmarkFig16JitterCorrelation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, _ = r.JitterCorrelation()
+	}
+}
+
+// benchTrace lazily records one simulated two-meeting capture for the
+// throughput benchmarks so every worker-count variant replays identical
+// packets.
+var benchTraceOnce sync.Once
+var benchTraceAt []time.Time
+var benchTraceFrames [][]byte
+var benchTraceOpts WorldOptions
+
+func benchTrace(b *testing.B) ([]time.Time, [][]byte, Config) {
+	benchTraceOnce.Do(func() {
+		opts := DefaultWorldOptions()
+		w := NewWorld(opts)
+		w.Monitor = func(at time.Time, frame []byte) {
+			cp := make([]byte, len(frame))
+			copy(cp, frame)
+			benchTraceAt = append(benchTraceAt, at)
+			benchTraceFrames = append(benchTraceFrames, cp)
+		}
+		m1 := w.NewMeeting()
+		m1.Join(w.NewClient("a", true), DefaultMediaSet())
+		m1.Join(w.NewClient("b", true), DefaultMediaSet())
+		m1.Join(w.NewClient("c", true), DefaultMediaSet())
+		m2 := w.NewMeeting()
+		m2.Join(w.NewClient("d", true), DefaultMediaSet())
+		m2.Join(w.NewClient("e", false), DefaultMediaSet())
+		w.Run(opts.Start.Add(30 * time.Second))
+		benchTraceOpts = opts
+	})
+	if len(benchTraceFrames) == 0 {
+		b.Fatal("empty benchmark trace")
+	}
+	return benchTraceAt, benchTraceFrames, Config{
+		ZoomNetworks:   []netip.Prefix{benchTraceOpts.ZoomNet},
+		CampusNetworks: []netip.Prefix{benchTraceOpts.CampusNet},
+	}
+}
+
+// BenchmarkAnalyzerPipeline compares the sequential analyzer against the
+// sharded parallel pipeline at several worker counts on one recorded
+// trace. The pkts/s metric is the headline: with ≥2 cores the sharded
+// path should scale near-linearly until dispatch (parse + classify +
+// route, single-threaded by design so the stateful capture filter sees
+// packets in order) becomes the bottleneck.
+func BenchmarkAnalyzerPipeline(b *testing.B) {
+	at, frames, cfg := benchTrace(b)
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(len(f))
+	}
+	pps := func(b *testing.B) {
+		b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			a := NewAnalyzer(cfg)
+			for j := range frames {
+				a.Packet(at[j], frames[j])
+			}
+			a.Finish()
+		}
+		pps(b)
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				pa := NewParallelAnalyzer(cfg, workers)
+				for j := range frames {
+					pa.Packet(at[j], frames[j])
+				}
+				pa.Finish()
+			}
+			pps(b)
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zoomcap -i all.pcap -o zoom.pcap [-anon -key secret] [-resources]
+//	zoomcap -i all.pcap -o zoom.pcap [-anon -key secret] [-workers N] [-resources]
 package main
 
 import (
@@ -15,7 +15,9 @@ import (
 	"log"
 	"net/netip"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"zoomlens"
@@ -37,6 +39,7 @@ func main() {
 		anonMode  = flag.String("anon-mode", "hash", "anonymization mode: hash | prefix (prefix-preserving Crypto-PAn)")
 		key       = flag.String("key", "zoomlens", "anonymization key")
 		validate  = flag.Bool("validate-p2p", true, "reject P2P table hits whose payload is not Zoom media format")
+		workers   = flag.Int("workers", 1, "anonymization workers: 1 = in-line, 0 = one per CPU (only used with -anon)")
 		resources = flag.Bool("resources", false, "print the Table 5 hardware resource model and exit")
 		exportP4  = flag.Bool("export-p4", false, "print the generated P4 capture program and exit")
 	)
@@ -99,17 +102,18 @@ func main() {
 		CampusNetworks:     campusNets,
 		ValidateP2PPayload: *validate,
 	})
-	var anonymizer *capture.Anonymizer
+	newAnonymizer := func() *capture.Anonymizer { return nil }
 	if *anon {
 		switch *anonMode {
 		case "hash":
-			anonymizer = capture.NewAnonymizer([]byte(*key), campusNets)
+			newAnonymizer = func() *capture.Anonymizer { return capture.NewAnonymizer([]byte(*key), campusNets) }
 		case "prefix":
-			anonymizer = capture.NewPrefixAnonymizer([]byte(*key), campusNets)
+			newAnonymizer = func() *capture.Anonymizer { return capture.NewPrefixAnonymizer([]byte(*key), campusNets) }
 		default:
 			log.Fatalf("unknown -anon-mode %q", *anonMode)
 		}
 	}
+	write, closeSink := newSink(w, *anon, *workers, newAnonymizer)
 
 	parser := &layers.Parser{}
 	var pkt layers.Packet
@@ -133,16 +137,88 @@ func main() {
 		if !filter.Classify(&pkt, rec.Timestamp).Keep() {
 			continue
 		}
-		if anonymizer != nil {
-			anonymizer.AnonymizeInPlace(rec.Data)
-		}
-		if err := w.WriteRecord(rec.Timestamp, rec.Data); err != nil {
+		if err := write(rec.Timestamp, rec.Data); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := closeSink(); err != nil {
+		log.Fatal(err)
 	}
 	st := filter.Stats()
 	fmt.Printf("processed %d packets: server %d, stun %d, p2p %d (format-rejected %d), dropped %d\n",
 		st.Processed, st.ZoomServer, st.ZoomSTUN, st.ZoomP2P, st.P2PFormatRejected, st.Dropped)
+}
+
+// newSink returns the record write path. Without anonymization (or with
+// one worker) records are written in-line. With -anon and several
+// workers, anonymization — the only CPU-heavy per-packet stage left
+// after filtering — fans out to a pool while a single writer goroutine
+// preserves capture order: every record enters a FIFO alongside its
+// shared work queue, and the writer completes FIFO entries strictly in
+// arrival order as workers finish them. Each worker owns a private
+// Anonymizer (the address cache is not goroutine-safe); the mapping is
+// a pure function of the key, so per-worker caches yield identical
+// output bytes regardless of which worker handles a packet.
+func newSink(w *pcap.Writer, anon bool, workers int, newAnonymizer func() *capture.Anonymizer) (func(time.Time, []byte) error, func() error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if !anon || workers == 1 {
+		anonymizer := newAnonymizer()
+		write := func(ts time.Time, data []byte) error {
+			if anonymizer != nil {
+				anonymizer.AnonymizeInPlace(data)
+			}
+			return w.WriteRecord(ts, data)
+		}
+		return write, func() error { return nil }
+	}
+
+	type job struct {
+		ts   time.Time
+		data []byte
+		done chan struct{}
+	}
+	depth := workers * 4
+	jobs := make(chan *job, depth)  // shared worker input
+	order := make(chan *job, depth) // arrival-order FIFO for the writer
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			anonymizer := newAnonymizer()
+			for j := range jobs {
+				anonymizer.AnonymizeInPlace(j.data)
+				close(j.done)
+			}
+		}()
+	}
+	var writeErr error
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for j := range order {
+			<-j.done
+			if writeErr == nil {
+				writeErr = w.WriteRecord(j.ts, j.data)
+			}
+		}
+	}()
+	write := func(ts time.Time, data []byte) error {
+		j := &job{ts: ts, data: data, done: make(chan struct{})}
+		order <- j
+		jobs <- j
+		return nil
+	}
+	closeSink := func() error {
+		close(jobs)
+		close(order)
+		wg.Wait()
+		<-writerDone
+		return writeErr
+	}
+	return write, closeSink
 }
 
 func parsePrefixes(s string) ([]netip.Prefix, error) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zoomqoe -i zoom.pcap [-ssrc N] [-what series|rtt|loss]
+//	zoomqoe -i zoom.pcap [-ssrc N] [-what series|rtt|loss] [-workers N]
 package main
 
 import (
@@ -25,9 +25,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomqoe: ")
 	var (
-		in   = flag.String("i", "", "input pcap path")
-		ssrc = flag.Uint64("ssrc", 0, "restrict to one SSRC (0 = all)")
-		what = flag.String("what", "series", "output: series | rtt | loss | talk | clock")
+		in      = flag.String("i", "", "input pcap path")
+		ssrc    = flag.Uint64("ssrc", 0, "restrict to one SSRC (0 = all)")
+		what    = flag.String("what", "series", "output: series | rtt | loss | talk | clock")
+		workers = flag.Int("workers", 1, "analysis shards: 1 = sequential, 0 = one per CPU")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -38,10 +39,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	a := zoomlens.NewAnalyzer(zoomlens.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()})
-	if err := a.ReadPCAP(f); err != nil {
+	// The parallel analyzer produces byte-identical results at any worker
+	// count (workers == 1 is the plain sequential analyzer).
+	pa := zoomlens.NewParallelAnalyzer(zoomlens.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()}, *workers)
+	if err := pa.ReadPCAP(f); err != nil {
 		log.Fatal(err)
 	}
+	a := pa.Result()
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -23,6 +23,7 @@ import (
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/metrics"
 	"zoomlens/internal/pcap"
+	"zoomlens/internal/stun"
 	"zoomlens/internal/tcprtt"
 	"zoomlens/internal/zoom"
 )
@@ -79,6 +80,16 @@ type Analyzer struct {
 
 	firstTS time.Time
 	lastTS  time.Time
+
+	// obsSink, when non-nil, receives each media-stream observation
+	// instead of it being fed to Dedup and Copies directly. The sharded
+	// parallel analyzer uses this to log observations per shard and
+	// replay them in global capture order at merge time (stream
+	// unification and copy matching are inherently cross-flow, so they
+	// cannot run independently per shard). obsSeq is the global capture
+	// sequence number of the packet currently being ingested.
+	obsSink func(mediaObs)
+	obsSeq  uint64
 }
 
 // NewAnalyzer builds an analyzer.
@@ -118,15 +129,21 @@ func (a *Analyzer) Packet(at time.Time, frame []byte) {
 		a.DroppedByFilter++
 		return
 	}
+	a.ingest(at, &pkt, len(frame))
+	a.maybeCompact(at)
+}
 
+// ingest processes a packet that has already been parsed and admitted by
+// the capture filter. The sharded parallel analyzer calls this directly
+// on worker-local analyzers after central classification.
+func (a *Analyzer) ingest(at time.Time, pkt *layers.Packet, wireLen int) {
 	switch {
 	case pkt.HasTCP:
 		a.TCPPackets++
-		a.observeTCP(at, &pkt)
+		a.observeTCP(at, pkt)
 	case pkt.HasUDP:
-		a.observeUDP(at, &pkt, len(frame))
+		a.observeUDP(at, pkt, wireLen)
 	}
-	a.maybeCompact(at)
 }
 
 func (a *Analyzer) observeTCP(at time.Time, pkt *layers.Packet) {
@@ -146,7 +163,11 @@ func (a *Analyzer) observeTCP(at time.Time, pkt *layers.Packet) {
 }
 
 func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
-	if pkt.UDP.SrcPort == 3478 || pkt.UDP.DstPort == 3478 {
+	// Classify STUN by the well-known port AND by the magic cookie: Zoom
+	// P2P sends STUN on the media ports too, and letting those packets
+	// fall through to zoom.ParsePacket inflates Undecodable and the
+	// UDPKeptPackets denominators.
+	if pkt.UDP.SrcPort == stun.Port || pkt.UDP.DstPort == stun.Port || stun.Is(pkt.Payload) {
 		a.STUNPackets++
 		return
 	}
@@ -175,11 +196,18 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 		return
 	}
 	key := zoom.StreamKey{SSRC: zp.RTP.SSRC, Type: zp.Media.Type}
-	unified := a.Dedup.Observe(meeting.StreamObs{
-		Time: at, Flow: ft, Key: key,
-		Seq: zp.RTP.SequenceNumber, TS: zp.RTP.Timestamp,
-	})
-	a.Copies.Observe(unified, ft, zp.RTP.PayloadType, zp.RTP.SequenceNumber, zp.RTP.Timestamp, at)
+	if a.obsSink != nil {
+		a.obsSink(mediaObs{
+			seq: a.obsSeq, at: at, flow: ft, key: key,
+			pt: zp.RTP.PayloadType, rtpSeq: zp.RTP.SequenceNumber, rtpTS: zp.RTP.Timestamp,
+		})
+	} else {
+		unified := a.Dedup.Observe(meeting.StreamObs{
+			Time: at, Flow: ft, Key: key,
+			Seq: zp.RTP.SequenceNumber, TS: zp.RTP.Timestamp,
+		})
+		a.Copies.Observe(unified, ft, zp.RTP.PayloadType, zp.RTP.SequenceNumber, zp.RTP.Timestamp, at)
+	}
 
 	id := flow.MediaStreamID{Flow: ft, Key: key}
 	sm := a.StreamMetrics[id]
@@ -190,8 +218,10 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 	sm.Observe(at, wireLen, &zp.Media, &zp.RTP)
 }
 
-func (a *Analyzer) isZoomAddr(addr netip.Addr) bool {
-	for _, p := range a.cfg.ZoomNetworks {
+func (a *Analyzer) isZoomAddr(addr netip.Addr) bool { return a.cfg.isZoomAddr(addr) }
+
+func (cfg Config) isZoomAddr(addr netip.Addr) bool {
+	for _, p := range cfg.ZoomNetworks {
 		if p.Contains(addr) {
 			return true
 		}
@@ -267,19 +297,29 @@ func (a *Analyzer) Summary() Summary {
 // StreamIDs returns the observed stream identifiers in deterministic
 // order.
 func (a *Analyzer) StreamIDs() []flow.MediaStreamID {
-	out := make([]flow.MediaStreamID, 0, len(a.StreamMetrics))
-	for id := range a.StreamMetrics {
-		out = append(out, id)
+	// Flow keys are rendered once up front: calling Flow.String() inside
+	// the comparator allocates O(n log n) strings.
+	type keyed struct {
+		id      flow.MediaStreamID
+		flowKey string
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Key.SSRC != out[j].Key.SSRC {
-			return out[i].Key.SSRC < out[j].Key.SSRC
+	ks := make([]keyed, 0, len(a.StreamMetrics))
+	for id := range a.StreamMetrics {
+		ks = append(ks, keyed{id: id, flowKey: id.Flow.String()})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].id.Key.SSRC != ks[j].id.Key.SSRC {
+			return ks[i].id.Key.SSRC < ks[j].id.Key.SSRC
 		}
-		if out[i].Key.Type != out[j].Key.Type {
-			return out[i].Key.Type < out[j].Key.Type
+		if ks[i].id.Key.Type != ks[j].id.Key.Type {
+			return ks[i].id.Key.Type < ks[j].id.Key.Type
 		}
-		return out[i].Flow.String() < out[j].Flow.String()
+		return ks[i].flowKey < ks[j].flowKey
 	})
+	out := make([]flow.MediaStreamID, len(ks))
+	for i, k := range ks {
+		out[i] = k.id
+	}
 	return out
 }
 

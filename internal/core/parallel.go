@@ -1,0 +1,386 @@
+package core
+
+// Sharded parallel analysis pipeline.
+//
+// The sequential Analyzer funnels every packet through one flow table
+// and one metrics map — the bottleneck Zeek-style deployments solve by
+// distributing flows across workers. Per-flow independence makes the
+// pipeline shardable: all heavy per-packet work (Zoom encapsulation
+// parsing, frame assembly, jitter, loss, rate series, TCP RTT matching)
+// only ever touches state keyed by the packet's flow, so hashing each
+// five-tuple to one of N worker shards preserves exact per-flow
+// processing order while spreading the work over N cores.
+//
+// Two stages are NOT per-flow and stay centralized:
+//
+//   - The capture filter (stateful P2P table armed by STUN exchanges on
+//     one flow and consulted by media on another) runs in the single
+//     dispatcher goroutine, exactly as the sequential path runs it.
+//   - Stream unification (meeting.Dedup) and RTP copy matching
+//     (metrics.CopyMatcher) correlate packets across flows. Shards log
+//     compact per-packet observations instead; Finish merges the logs in
+//     global capture order — each packet carries the dispatcher's
+//     sequence number — and replays them through one Dedup and one
+//     CopyMatcher, reproducing the sequential call sequence exactly.
+//
+// The merge therefore yields results byte-identical to the sequential
+// analyzer: per-stream metric engines saw the same packets in the same
+// order, flow tables partition by five-tuple and union losslessly, TCP
+// trackers partition by client endpoint, and the replayed Dedup/Copies
+// see the identical observation sequence.
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"zoomlens/internal/capture"
+	"zoomlens/internal/flow"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/zoom"
+)
+
+// mediaObs is one media-packet observation logged by a shard for the
+// ordered Dedup/CopyMatcher replay at merge time.
+type mediaObs struct {
+	seq    uint64 // global capture sequence number (dispatcher-assigned)
+	at     time.Time
+	flow   layers.FiveTuple
+	key    zoom.StreamKey
+	pt     uint8
+	rtpSeq uint16
+	rtpTS  uint32
+}
+
+const (
+	// shardBatchSize is how many packets the dispatcher buffers per shard
+	// before handing the batch to the worker.
+	shardBatchSize = 256
+	// shardQueueDepth bounds each shard's channel; a full channel blocks
+	// the dispatcher (backpressure) instead of buffering unboundedly.
+	shardQueueDepth = 4
+)
+
+// pbatch is one unit of work handed to a shard: frames copied
+// back-to-back into data, with per-packet offsets in items.
+type pbatch struct {
+	items []pitem
+	data  []byte
+}
+
+type pitem struct {
+	seq      uint64
+	at       time.Time
+	off, end int
+}
+
+// pshard is one worker: a private Analyzer fed over a bounded channel.
+type pshard struct {
+	a    *Analyzer
+	obs  []mediaObs
+	ch   chan *pbatch
+	done chan struct{}
+	cur  *pbatch // batch under construction (dispatcher-owned)
+}
+
+func (s *pshard) run(pool *sync.Pool) {
+	defer close(s.done)
+	var pkt layers.Packet
+	for b := range s.ch {
+		for _, it := range b.items {
+			frame := b.data[it.off:it.end]
+			// The dispatcher already parsed this frame successfully; the
+			// cheap fixed-offset re-parse here avoids shipping a Packet
+			// full of slices aliasing a shared buffer.
+			if err := s.a.parser.Parse(frame, &pkt); err != nil {
+				continue
+			}
+			s.a.obsSeq = it.seq
+			s.a.ingest(it.at, &pkt, len(frame))
+		}
+		b.items = b.items[:0]
+		b.data = b.data[:0]
+		pool.Put(b)
+	}
+}
+
+// ParallelAnalyzer is the sharded multi-core pipeline. Feed packets in
+// capture order via Packet (or a whole file via ReadPCAP), call Finish
+// once, then read results — either through the delegating accessors or
+// via Result(), which returns a fully merged *Analyzer.
+//
+// With one worker it degenerates to the sequential Analyzer (no
+// goroutines, no copies); with N > 1 it runs one dispatcher (parse +
+// filter + route) plus N shard goroutines. Results are byte-identical to
+// the sequential analyzer either way. AutoCompact is not supported in
+// parallel mode; memory is bounded by channel backpressure instead.
+type ParallelAnalyzer struct {
+	cfg     Config
+	workers int
+
+	// Sequential degenerate case (workers == 1): all calls delegate here
+	// and the fields below stay nil.
+	seq *Analyzer
+
+	parser layers.Parser
+	pkt    layers.Packet
+	filter *capture.Filter
+	pool   sync.Pool
+	shards []*pshard
+
+	// Dispatcher-owned totals; the rest accumulate in the shards.
+	nextSeq     uint64
+	packets     uint64
+	bytes       uint64
+	undecodable uint64
+	dropped     uint64
+	firstTS     time.Time
+	lastTS      time.Time
+
+	merged *Analyzer
+}
+
+// NewParallelAnalyzer builds a sharded analyzer with the given worker
+// count; workers <= 0 selects runtime.NumCPU().
+func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	pa := &ParallelAnalyzer{cfg: cfg, workers: workers}
+	if workers == 1 {
+		pa.seq = NewAnalyzer(cfg)
+		return pa
+	}
+	pa.filter = capture.NewFilter(capture.Config{
+		ZoomNetworks:   cfg.ZoomNetworks,
+		CampusNetworks: cfg.CampusNetworks,
+	})
+	pa.pool.New = func() any { return &pbatch{} }
+	pa.shards = make([]*pshard, workers)
+	for i := range pa.shards {
+		sh := &pshard{
+			a:    NewAnalyzer(cfg),
+			ch:   make(chan *pbatch, shardQueueDepth),
+			done: make(chan struct{}),
+		}
+		sh.a.obsSink = func(o mediaObs) { sh.obs = append(sh.obs, o) }
+		pa.shards[i] = sh
+		go sh.run(&pa.pool)
+	}
+	return pa
+}
+
+// Workers returns the resolved worker count.
+func (pa *ParallelAnalyzer) Workers() int { return pa.workers }
+
+// Packet ingests one captured frame. Not safe for concurrent use; one
+// goroutine dispatches, the shards parallelize behind it.
+func (pa *ParallelAnalyzer) Packet(at time.Time, frame []byte) {
+	if pa.seq != nil {
+		pa.seq.Packet(at, frame)
+		return
+	}
+	pa.packets++
+	pa.bytes += uint64(len(frame))
+	if pa.firstTS.IsZero() || at.Before(pa.firstTS) {
+		pa.firstTS = at
+	}
+	if at.After(pa.lastTS) {
+		pa.lastTS = at
+	}
+	pa.nextSeq++
+	if err := pa.parser.Parse(frame, &pa.pkt); err != nil {
+		pa.undecodable++
+		return
+	}
+	verdict := pa.filter.Classify(&pa.pkt, at)
+	if !verdict.Keep() && !pa.cfg.PreFiltered {
+		pa.dropped++
+		return
+	}
+	sh := pa.shards[pa.shardIndex(&pa.pkt)]
+	if sh.cur == nil {
+		sh.cur = pa.pool.Get().(*pbatch)
+	}
+	b := sh.cur
+	off := len(b.data)
+	b.data = append(b.data, frame...)
+	b.items = append(b.items, pitem{seq: pa.nextSeq, at: at, off: off, end: len(b.data)})
+	if len(b.items) >= shardBatchSize {
+		sh.ch <- b
+		sh.cur = nil
+	}
+}
+
+// shardIndex routes a parsed packet to a shard. UDP hashes the directed
+// five-tuple: every packet of a flow — and hence of any media stream on
+// it — lands on one shard, preserving per-flow order. TCP hashes the
+// client endpoint the sequential path keys its RTT trackers by, so both
+// directions (and every connection) of one tracker share a shard.
+func (pa *ParallelAnalyzer) shardIndex(pkt *layers.Packet) int {
+	var h uint64 = 14695981039346656037 // FNV-1a offset basis
+	if pkt.HasTCP {
+		fromClient := pa.cfg.isZoomAddr(pkt.DstAddr()) && !pa.cfg.isZoomAddr(pkt.SrcAddr())
+		var client netip.AddrPort
+		if fromClient {
+			client = netip.AddrPortFrom(pkt.SrcAddr(), pkt.TCP.SrcPort)
+		} else {
+			client = netip.AddrPortFrom(pkt.DstAddr(), pkt.TCP.DstPort)
+		}
+		a16 := client.Addr().As16()
+		h = fnv1a(h, a16[:])
+		h = fnv1a(h, []byte{byte(client.Port() >> 8), byte(client.Port()), layers.ProtoTCP})
+		return int(h % uint64(len(pa.shards)))
+	}
+	ft, ok := pkt.FiveTuple()
+	if !ok {
+		return 0
+	}
+	src, dst := ft.Src.As16(), ft.Dst.As16()
+	h = fnv1a(h, src[:])
+	h = fnv1a(h, []byte{byte(ft.SrcPort >> 8), byte(ft.SrcPort)})
+	h = fnv1a(h, dst[:])
+	h = fnv1a(h, []byte{byte(ft.DstPort >> 8), byte(ft.DstPort), ft.Proto})
+	return int(h % uint64(len(pa.shards)))
+}
+
+func fnv1a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Finish flushes the shards, waits for them to drain, and merges their
+// state into one Analyzer. Call once after the last packet.
+func (pa *ParallelAnalyzer) Finish() {
+	if pa.seq != nil {
+		pa.seq.Finish()
+		pa.merged = pa.seq
+		return
+	}
+	if pa.merged != nil {
+		return
+	}
+	for _, sh := range pa.shards {
+		if sh.cur != nil && len(sh.cur.items) > 0 {
+			sh.ch <- sh.cur
+		}
+		sh.cur = nil
+		close(sh.ch)
+	}
+	for _, sh := range pa.shards {
+		<-sh.done
+	}
+	pa.merged = pa.merge()
+}
+
+// merge combines shard state deterministically. Flow tables, stream
+// metric maps, and TCP trackers partition across shards, so their union
+// is exact; Dedup and CopyMatcher are rebuilt by replaying the logged
+// media observations in global capture order.
+func (pa *ParallelAnalyzer) merge() *Analyzer {
+	m := NewAnalyzer(pa.cfg)
+	m.Packets = pa.packets
+	m.Bytes = pa.bytes
+	m.Undecodable = pa.undecodable
+	m.DroppedByFilter = pa.dropped
+	m.firstTS = pa.firstTS
+	m.lastTS = pa.lastTS
+	for _, sh := range pa.shards {
+		sa := sh.a
+		m.ZoomUDP += sa.ZoomUDP
+		m.Undecodable += sa.Undecodable
+		m.TCPPackets += sa.TCPPackets
+		m.STUNPackets += sa.STUNPackets
+		m.UDPKeptPackets += sa.UDPKeptPackets
+		m.UDPKeptBytes += sa.UDPKeptBytes
+		m.Flows.Absorb(sa.Flows)
+		for id, sm := range sa.StreamMetrics {
+			m.StreamMetrics[id] = sm
+		}
+		for client, tr := range sa.TCP {
+			m.TCP[client] = tr
+		}
+	}
+	// K-way merge of the per-shard observation logs by global sequence
+	// number. Each log is already seq-sorted (shards consume their
+	// channel FIFO and the dispatcher assigns seq monotonically), so a
+	// linear head scan per step suffices.
+	heads := make([]int, len(pa.shards))
+	for {
+		best := -1
+		var bestSeq uint64
+		for si, sh := range pa.shards {
+			if heads[si] >= len(sh.obs) {
+				continue
+			}
+			if s := sh.obs[heads[si]].seq; best < 0 || s < bestSeq {
+				best, bestSeq = si, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		o := pa.shards[best].obs[heads[best]]
+		heads[best]++
+		unified := m.Dedup.Observe(meeting.StreamObs{
+			Time: o.at, Flow: o.flow, Key: o.key, Seq: o.rtpSeq, TS: o.rtpTS,
+		})
+		m.Copies.Observe(unified, o.flow, o.pt, o.rtpSeq, o.rtpTS, o.at)
+	}
+	m.Finish()
+	return m
+}
+
+// ReadPCAP feeds an entire capture stream through the analyzer and
+// finishes.
+func (pa *ParallelAnalyzer) ReadPCAP(r io.Reader) error {
+	next, err := pcap.OpenAny(r)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		pa.Packet(rec.Timestamp, rec.Data)
+	}
+	pa.Finish()
+	return nil
+}
+
+// Result returns the merged sequential-equivalent analyzer. It panics if
+// Finish has not run yet.
+func (pa *ParallelAnalyzer) Result() *Analyzer {
+	if pa.merged == nil {
+		panic(fmt.Sprintf("core: ParallelAnalyzer.Result before Finish (%d workers)", pa.workers))
+	}
+	return pa.merged
+}
+
+// Summary computes the capture roll-up (after Finish).
+func (pa *ParallelAnalyzer) Summary() Summary { return pa.Result().Summary() }
+
+// Meetings runs the §4.3 grouping (after Finish).
+func (pa *ParallelAnalyzer) Meetings() []meeting.Meeting { return pa.Result().Meetings() }
+
+// StreamIDs returns observed stream identifiers in deterministic order
+// (after Finish).
+func (pa *ParallelAnalyzer) StreamIDs() []flow.MediaStreamID { return pa.Result().StreamIDs() }
+
+// MetricsFor returns the metric engine of one stream (after Finish).
+func (pa *ParallelAnalyzer) MetricsFor(id flow.MediaStreamID) (*metrics.StreamMetrics, bool) {
+	return pa.Result().MetricsFor(id)
+}

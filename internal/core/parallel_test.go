@@ -1,0 +1,260 @@
+package core
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/netsim"
+	"zoomlens/internal/sim"
+	"zoomlens/internal/stun"
+)
+
+// capturedTrace records a simulated capture so the same packets can be
+// replayed into several analyzers.
+type capturedTrace struct {
+	at     []time.Time
+	frames [][]byte
+}
+
+func (tr *capturedTrace) record(at time.Time, frame []byte) {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	tr.at = append(tr.at, at)
+	tr.frames = append(tr.frames, cp)
+}
+
+func (tr *capturedTrace) feed(pkt func(time.Time, []byte)) {
+	for i := range tr.frames {
+		pkt(tr.at[i], tr.frames[i])
+	}
+}
+
+// seededTrace simulates a small campus: one three-party SFU meeting with
+// a congestion episode and WAN loss, plus a two-party meeting that goes
+// P2P (exercising STUN, the mode transition, and copy-rich paths).
+func seededTrace(t testing.TB, seconds int) (*capturedTrace, sim.Options) {
+	t.Helper()
+	opts := sim.DefaultOptions()
+	opts.WanLoss = 0.01
+	w := sim.NewWorld(opts)
+	tr := &capturedTrace{}
+	w.Monitor = tr.record
+	m1 := w.NewMeeting()
+	m1.Join(w.NewClient("a", true), sim.DefaultMediaSet())
+	m1.Join(w.NewClient("b", true), sim.DefaultMediaSet())
+	m1.Join(w.NewClient("c", true), sim.DefaultMediaSet())
+	m2 := w.NewMeeting()
+	m2.EnableP2P(5 * time.Second)
+	m2.Join(w.NewClient("d", true), sim.DefaultMediaSet())
+	m2.Join(w.NewClient("e", false), sim.DefaultMediaSet())
+	w.WanDown.Episodes = append(w.WanDown.Episodes, netsim.Congestion{
+		Start:       opts.Start.Add(time.Duration(seconds/3) * time.Second),
+		End:         opts.Start.Add(time.Duration(seconds/2) * time.Second),
+		ExtraDelay:  20 * time.Millisecond,
+		ExtraJitter: 25 * time.Millisecond,
+		LossRate:    0.02,
+	})
+	w.Run(opts.Start.Add(time.Duration(seconds) * time.Second))
+	return tr, opts
+}
+
+// TestParallelMatchesSequential is the differential gate for the sharded
+// pipeline: a 4-worker parallel analyzer must produce results identical
+// to the sequential analyzer on the same seeded campus trace — summary,
+// meetings, stream identifiers, per-stream loss stats and metric series,
+// RTT samples, and TCP RTT decomposition. Run under -race this also
+// exercises the worker pool for data races.
+func TestParallelMatchesSequential(t *testing.T) {
+	tr, opts := seededTrace(t, 20)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+
+	seq := NewAnalyzer(cfg)
+	tr.feed(seq.Packet)
+	seq.Finish()
+
+	pa := NewParallelAnalyzer(cfg, 4)
+	if pa.Workers() != 4 {
+		t.Fatalf("workers = %d", pa.Workers())
+	}
+	tr.feed(pa.Packet)
+	pa.Finish()
+	par := pa.Result()
+
+	if s, p := seq.Summary(), par.Summary(); s != p {
+		t.Fatalf("summary diverges:\nsequential %+v\nparallel   %+v", s, p)
+	}
+	if !reflect.DeepEqual(seq.Meetings(), par.Meetings()) {
+		t.Errorf("meetings diverge:\nsequential %+v\nparallel   %+v", seq.Meetings(), par.Meetings())
+	}
+	sids, pids := seq.StreamIDs(), pa.StreamIDs()
+	if !reflect.DeepEqual(sids, pids) {
+		t.Fatalf("stream IDs diverge:\nsequential %v\nparallel   %v", sids, pids)
+	}
+	for _, id := range sids {
+		ss, _ := seq.MetricsFor(id)
+		ps, ok := pa.MetricsFor(id)
+		if !ok {
+			t.Fatalf("stream %v missing from parallel result", id)
+		}
+		if ss.LossStats() != ps.LossStats() {
+			t.Errorf("stream %v loss stats diverge: %+v vs %+v", id, ss.LossStats(), ps.LossStats())
+		}
+		if ss.Packets != ps.Packets || ss.MediaBytes != ps.MediaBytes || ss.WireBytes != ps.WireBytes {
+			t.Errorf("stream %v counters diverge", id)
+		}
+		if ss.FramesTotal != ps.FramesTotal || ss.FramesIncomplete != ps.FramesIncomplete {
+			t.Errorf("stream %v frame counts diverge", id)
+		}
+		for name, pair := range map[string][2][]metrics.Sample{
+			"frame_rate": {ss.FrameRate.Samples, ps.FrameRate.Samples},
+			"media_rate": {ss.MediaRate.Samples, ps.MediaRate.Samples},
+			"wire_rate":  {ss.WireRate.Samples, ps.WireRate.Samples},
+			"jitter_ms":  {ss.JitterMS.Samples, ps.JitterMS.Samples},
+			"frame_size": {ss.FrameSize.Samples, ps.FrameSize.Samples},
+		} {
+			if !reflect.DeepEqual(pair[0], pair[1]) {
+				t.Errorf("stream %v series %s diverges (%d vs %d samples)", id, name, len(pair[0]), len(pair[1]))
+			}
+		}
+	}
+	if !reflect.DeepEqual(seq.Copies.Samples, par.Copies.Samples) {
+		t.Errorf("RTT samples diverge: %d vs %d", len(seq.Copies.Samples), len(par.Copies.Samples))
+	}
+	if len(seq.TCP) != len(par.TCP) {
+		t.Fatalf("TCP trackers: %d vs %d", len(seq.TCP), len(par.TCP))
+	}
+	for client, st := range seq.TCP {
+		pt, ok := par.TCP[client]
+		if !ok {
+			t.Fatalf("TCP tracker for %v missing", client)
+		}
+		if st.Split() != pt.Split() {
+			t.Errorf("client %v TCP RTT split diverges: %+v vs %+v", client, st.Split(), pt.Split())
+		}
+	}
+	// Flow-table reproductions (Tables 2/3) must match too.
+	sSum := seq.Summary()
+	if !reflect.DeepEqual(
+		seq.Flows.EncapShares(sSum.Packets, sSum.Bytes),
+		par.Flows.EncapShares(sSum.Packets, sSum.Bytes),
+	) {
+		t.Error("encap shares diverge")
+	}
+	if !reflect.DeepEqual(
+		seq.Flows.PayloadTypeShares(sSum.Packets, sSum.Bytes),
+		par.Flows.PayloadTypeShares(sSum.Packets, sSum.Bytes),
+	) {
+		t.Error("payload type shares diverge")
+	}
+}
+
+// TestParallelWorkerCounts checks the summary stays identical across a
+// range of shard counts, including the degenerate single-worker case.
+func TestParallelWorkerCounts(t *testing.T) {
+	tr, opts := seededTrace(t, 8)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	seq := NewAnalyzer(cfg)
+	tr.feed(seq.Packet)
+	seq.Finish()
+	want := seq.Summary()
+	for _, workers := range []int{1, 2, 3, 8} {
+		pa := NewParallelAnalyzer(cfg, workers)
+		tr.feed(pa.Packet)
+		pa.Finish()
+		if got := pa.Summary(); got != want {
+			t.Errorf("workers=%d: summary %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelReadPCAP covers the pcap entry point of the parallel
+// pipeline against the sequential one.
+func TestParallelReadPCAP(t *testing.T) {
+	tr, opts := seededTrace(t, 6)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	seq := NewAnalyzer(cfg)
+	tr.feed(seq.Packet)
+	seq.Finish()
+
+	pa := NewParallelAnalyzer(cfg, 4)
+	tr.feed(pa.Packet)
+	pa.Finish()
+	if got, want := pa.Summary(), seq.Summary(); got != want {
+		t.Fatalf("summary = %+v, want %+v", got, want)
+	}
+	// Finish twice is safe.
+	pa.Finish()
+}
+
+// TestSTUNClassifiedByMagicCookie feeds STUN messages on non-3478 media
+// ports: they must count as STUN, not fall through to the Zoom parser
+// and inflate Undecodable/UDPKeptPackets.
+func TestSTUNClassifiedByMagicCookie(t *testing.T) {
+	a := NewAnalyzer(Config{PreFiltered: true})
+	src := netip.MustParseAddrPort("10.8.0.10:8801")
+	dst := netip.MustParseAddrPort("203.0.113.7:9000")
+	msg := stun.NewBindingRequest(stun.TransactionID{1, 2, 3})
+	frame := layers.EthernetIPv4UDP(src, dst, 64, msg.Marshal())
+	at := time.Unix(1700000000, 0)
+	a.Packet(at, frame)
+
+	resp := stun.NewBindingResponse(stun.TransactionID{1, 2, 3}, src)
+	a.Packet(at.Add(time.Millisecond), layers.EthernetIPv4UDP(dst, src, 64, resp.Marshal()))
+
+	if a.STUNPackets != 2 {
+		t.Errorf("STUNPackets = %d, want 2", a.STUNPackets)
+	}
+	if a.Undecodable != 0 {
+		t.Errorf("Undecodable = %d, want 0 (STUN misclassified as failed Zoom parse)", a.Undecodable)
+	}
+	if a.UDPKeptPackets != 0 || a.UDPKeptBytes != 0 {
+		t.Errorf("UDPKept = %d pkts / %d bytes, want 0 (STUN must not enter the Table 2/3 denominators)",
+			a.UDPKeptPackets, a.UDPKeptBytes)
+	}
+}
+
+// TestShardAffinity checks the routing invariants directly: both
+// directions of a TCP connection share a shard, and a UDP flow always
+// hashes to the same shard.
+func TestShardAffinity(t *testing.T) {
+	zoomNet := netip.MustParsePrefix("203.0.113.0/24")
+	pa := NewParallelAnalyzer(Config{ZoomNetworks: []netip.Prefix{zoomNet}}, 7)
+	defer pa.Finish()
+
+	parser := &layers.Parser{}
+	parse := func(frame []byte) *layers.Packet {
+		var pkt layers.Packet
+		if err := parser.Parse(frame, &pkt); err != nil {
+			t.Fatal(err)
+		}
+		return &pkt
+	}
+	client := netip.MustParseAddrPort("10.8.0.10:50000")
+	server := netip.MustParseAddrPort("203.0.113.7:443")
+	up := parse(layers.EthernetIPv4TCP(client, server, 64, 100, 0, layers.TCPSyn, 1024, nil))
+	down := parse(layers.EthernetIPv4TCP(server, client, 64, 1, 101, layers.TCPSyn|layers.TCPAck, 1024, nil))
+	if pa.shardIndex(up) != pa.shardIndex(down) {
+		t.Errorf("TCP directions on different shards: %d vs %d", pa.shardIndex(up), pa.shardIndex(down))
+	}
+
+	mediaSrc := netip.MustParseAddrPort("10.8.0.10:50001")
+	mediaDst := netip.MustParseAddrPort("203.0.113.7:8801")
+	u1 := parse(layers.EthernetIPv4UDP(mediaSrc, mediaDst, 64, []byte{1, 2, 3, 4}))
+	u2 := parse(layers.EthernetIPv4UDP(mediaSrc, mediaDst, 64, []byte{9, 9, 9, 9, 9}))
+	if pa.shardIndex(u1) != pa.shardIndex(u2) {
+		t.Error("same UDP flow routed to different shards")
+	}
+}

@@ -113,7 +113,7 @@ func (a *Analyzer) MeetingReports() []MeetingReport {
 			rep.Participants = append(rep.Participants, *pr)
 		}
 		sort.Slice(rep.Participants, func(i, j int) bool {
-			return rep.Participants[i].Client.String() < rep.Participants[j].Client.String()
+			return rep.Participants[i].Client.Compare(rep.Participants[j].Client) < 0
 		})
 		markDegraded(rep.Participants)
 		degraded := 0

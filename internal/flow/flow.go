@@ -178,17 +178,21 @@ func (t *Table) findStreamBySSRC(ft layers.FiveTuple, ssrc uint32) *StreamStats 
 	return nil
 }
 
-// Flows returns all flow records, ordered by first-seen time.
+// Flows returns all flow records, ordered by first-seen time. Flow keys
+// are rendered once before sorting: String() inside the comparator would
+// allocate O(n log n) strings.
 func (t *Table) Flows() []*FlowStats {
 	out := make([]*FlowStats, 0, len(t.flows))
+	keys := make(map[*FlowStats]string, len(t.flows))
 	for _, f := range t.flows {
 		out = append(out, f)
+		keys[f] = f.Flow.String()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
 			return out[i].FirstSeen.Before(out[j].FirstSeen)
 		}
-		return out[i].Flow.String() < out[j].Flow.String()
+		return keys[out[i]] < keys[out[j]]
 	})
 	return out
 }
@@ -196,8 +200,10 @@ func (t *Table) Flows() []*FlowStats {
 // Streams returns all stream records, ordered by first-seen time.
 func (t *Table) Streams() []*StreamStats {
 	out := make([]*StreamStats, 0, len(t.streams))
+	keys := make(map[*StreamStats]string, len(t.streams))
 	for _, s := range t.streams {
 		out = append(out, s)
+		keys[s] = s.ID.Flow.String()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
@@ -206,9 +212,69 @@ func (t *Table) Streams() []*StreamStats {
 		if out[i].ID.Key.SSRC != out[j].ID.Key.SSRC {
 			return out[i].ID.Key.SSRC < out[j].ID.Key.SSRC
 		}
-		return out[i].ID.Flow.String() < out[j].ID.Flow.String()
+		return keys[out[i]] < keys[out[j]]
 	})
 	return out
+}
+
+// Absorb merges src's flows, streams, and totals into t, leaving src
+// unchanged. The sharded parallel analyzer calls it at merge time; shard
+// tables are keyed by disjoint five-tuple sets there, but overlapping
+// keys are combined correctly anyway (counters summed, first/last seen
+// widened) so Absorb is safe for general table union.
+func (t *Table) Absorb(src *Table) {
+	t.totalPackets += src.totalPackets
+	t.totalBytes += src.totalBytes
+	for k, f := range src.flows {
+		dst := t.flows[k]
+		if dst == nil {
+			t.flows[k] = f
+			continue
+		}
+		if f.FirstSeen.Before(dst.FirstSeen) {
+			dst.FirstSeen = f.FirstSeen
+		}
+		if f.LastSeen.After(dst.LastSeen) {
+			dst.LastSeen = f.LastSeen
+		}
+		dst.Packets += f.Packets
+		dst.WireBytes += f.WireBytes
+		dst.ServerBased += f.ServerBased
+		dst.P2P += f.P2P
+		for mt, n := range f.ByEncapType {
+			dst.ByEncapType[mt] += n
+		}
+	}
+	for k, s := range src.streams {
+		dst := t.streams[k]
+		if dst == nil {
+			t.streams[k] = s
+			continue
+		}
+		if s.FirstSeen.Before(dst.FirstSeen) {
+			dst.FirstSeen = s.FirstSeen
+			dst.FirstRTPTimestamp = s.FirstRTPTimestamp
+			dst.FirstSeq = s.FirstSeq
+		}
+		if s.LastSeen.After(dst.LastSeen) {
+			dst.LastSeen = s.LastSeen
+			dst.LastRTPTimestamp = s.LastRTPTimestamp
+			dst.LastSeq = s.LastSeq
+		}
+		dst.Packets += s.Packets
+		dst.WireBytes += s.WireBytes
+		dst.MediaBytes += s.MediaBytes
+		dst.RTCPPackets += s.RTCPPackets
+		for pt, sub := range s.Substreams {
+			d := dst.Substreams[pt]
+			if d == nil {
+				dst.Substreams[pt] = sub
+				continue
+			}
+			d.Packets += sub.Packets
+			d.Bytes += sub.Bytes
+		}
+	}
 }
 
 // Stream looks up one stream record.

@@ -182,6 +182,7 @@ func (d *Dedup) Evict(cutoff time.Time) {
 // clientOf.
 func (d *Dedup) Records(clientOf func(layers.FiveTuple) netip.AddrPort) []StreamRecord {
 	out := make([]StreamRecord, 0, len(d.streams))
+	flowKeys := make([]string, 0, len(d.streams))
 	for _, s := range d.streams {
 		out = append(out, StreamRecord{
 			Unified: s.unified,
@@ -191,14 +192,34 @@ func (d *Dedup) Records(clientOf func(layers.FiveTuple) netip.AddrPort) []Stream
 			End:     s.lastSeen,
 			Client:  clientOf(s.flow),
 		})
+		// Rendered once up front: String() inside the comparator would
+		// allocate O(n log n) strings.
+		flowKeys = append(flowKeys, s.flow.String())
 	}
-	sort.Slice(out, func(i, j int) bool {
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
 		if !out[i].Start.Equal(out[j].Start) {
 			return out[i].Start.Before(out[j].Start)
 		}
-		return out[i].Flow.String() < out[j].Flow.String()
+		if flowKeys[i] != flowKeys[j] {
+			return flowKeys[i] < flowKeys[j]
+		}
+		// Full tiebreak keeps the order deterministic when two streams of
+		// one flow start on the same packet timestamp.
+		if out[i].Key.SSRC != out[j].Key.SSRC {
+			return out[i].Key.SSRC < out[j].Key.SSRC
+		}
+		return out[i].Key.Type < out[j].Key.Type
 	})
-	return out
+	sorted := make([]StreamRecord, len(out))
+	for pos, idx := range order {
+		sorted[pos] = out[idx]
+	}
+	return sorted
 }
 
 // ClientOf returns a 5-tuple's client endpoint using the convention of
@@ -360,7 +381,12 @@ func (g *Grouper) Meetings() []Meeting {
 		for c := range m.clients {
 			mm.Clients = append(mm.Clients, c)
 		}
-		sort.Slice(mm.Clients, func(i, j int) bool { return mm.Clients[i].String() < mm.Clients[j].String() })
+		sort.Slice(mm.Clients, func(i, j int) bool {
+			if c := mm.Clients[i].Addr().Compare(mm.Clients[j].Addr()); c != 0 {
+				return c < 0
+			}
+			return mm.Clients[i].Port() < mm.Clients[j].Port()
+		})
 		out = append(out, mm)
 	}
 	sort.Slice(out, func(i, j int) bool {

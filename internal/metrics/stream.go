@@ -48,7 +48,13 @@ func (s *Series) Bin(origin time.Time, width time.Duration, agg string) []Sample
 	var minIdx, maxIdx int64
 	first := true
 	for _, sm := range s.Samples {
-		idx := int64(sm.Time.Sub(origin) / width)
+		// Floor division: samples earlier than origin must land in
+		// negative bins, not get truncated toward zero into bin 0.
+		d := sm.Time.Sub(origin)
+		idx := int64(d / width)
+		if d < 0 && d%width != 0 {
+			idx--
+		}
 		a := bins[idx]
 		if a == nil {
 			a = &acc{}
@@ -144,7 +150,19 @@ type StreamMetrics struct {
 	haveBin   bool
 	MediaRate Series // bits per second, one sample per elapsed second
 	WireRate  Series
+
+	// MaxIdleGap caps zero-rate gap-fill in the rate series: when the
+	// stream is silent for longer than this, the rate bins skip ahead to
+	// the next packet instead of emitting one zero sample per elapsed
+	// second (an idle stream spanning a 12-hour campus trace would
+	// otherwise append ~43k useless samples per series). Zero disables
+	// the cap. The semantics mirror Compact's idle archiving: a stream
+	// idle that long is effectively over until it speaks again.
+	MaxIdleGap time.Duration
 }
+
+// DefaultMaxIdleGap is the default rate-series gap-fill cap.
+const DefaultMaxIdleGap = 60 * time.Second
 
 type substreamState struct {
 	assembler *FrameAssembler
@@ -158,7 +176,7 @@ type substreamState struct {
 
 // NewStreamMetrics builds an analyzer for one stream.
 func NewStreamMetrics(mt zoom.MediaType) *StreamMetrics {
-	sm := &StreamMetrics{MediaType: mt, subs: make(map[uint8]*substreamState)}
+	sm := &StreamMetrics{MediaType: mt, subs: make(map[uint8]*substreamState), MaxIdleGap: DefaultMaxIdleGap}
 	if mt == zoom.TypeVideo {
 		sm.ClockRate = zoom.VideoClockRate
 		sm.Stall = NewStallDetector()
@@ -274,6 +292,12 @@ func (sm *StreamMetrics) onFrame(st *substreamState, f Frame, complete bool) {
 func (sm *StreamMetrics) binAdd(at time.Time, wire, media int) {
 	if !sm.haveBin {
 		sm.haveBin = true
+		sm.binStart = at.Truncate(time.Second)
+	}
+	if sm.MaxIdleGap > 0 && at.Sub(sm.binStart) > sm.MaxIdleGap {
+		// Long idle gap: flush the open bin, emit nothing for the silent
+		// span, and resume at the current second.
+		sm.flushBin()
 		sm.binStart = at.Truncate(time.Second)
 	}
 	for at.Sub(sm.binStart) >= time.Second {

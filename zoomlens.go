@@ -68,6 +68,10 @@ import (
 type (
 	// Analyzer is the end-to-end passive measurement pipeline.
 	Analyzer = core.Analyzer
+	// ParallelAnalyzer is the sharded multi-core pipeline: five-tuples
+	// hash to worker shards, a deterministic merge at Finish yields
+	// results byte-identical to the sequential Analyzer.
+	ParallelAnalyzer = core.ParallelAnalyzer
 	// Config parameterizes an Analyzer.
 	Config = core.Config
 	// Summary is the Table 6 style capture roll-up.
@@ -81,6 +85,13 @@ type (
 
 // NewAnalyzer builds the end-to-end pipeline.
 func NewAnalyzer(cfg Config) *Analyzer { return core.NewAnalyzer(cfg) }
+
+// NewParallelAnalyzer builds the sharded pipeline with the given worker
+// count; workers <= 0 selects runtime.NumCPU(), workers == 1 degenerates
+// to the sequential Analyzer.
+func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
+	return core.NewParallelAnalyzer(cfg, workers)
+}
 
 // Zoom wire format (§4.2).
 type (
