@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench ablation cover tools examples ci clean
+.PHONY: all build test test-short bench ablation cover tools examples ci fuzz-smoke clean
 
 all: build test
 
@@ -32,6 +33,15 @@ ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke FUZZTIME=10s
+
+# Short native-fuzz runs over every packet codec: the parsers face
+# hostile bytes in production, so every CI run hammers them briefly.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzZoomParse -fuzztime=$(FUZZTIME) ./internal/zoom/
+	$(GO) test -fuzz=FuzzRTPParse -fuzztime=$(FUZZTIME) ./internal/rtp/
+	$(GO) test -fuzz=FuzzSTUNParse -fuzztime=$(FUZZTIME) ./internal/stun/
+	$(GO) test -fuzz=FuzzLayersParse -fuzztime=$(FUZZTIME) ./internal/layers/
 
 examples:
 	$(GO) run ./examples/quickstart

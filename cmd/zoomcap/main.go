@@ -15,9 +15,11 @@ import (
 	"log"
 	"net/netip"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"zoomlens"
@@ -62,6 +64,7 @@ func main() {
 	}
 
 	var next func() (pcap.Record, error)
+	var truncated func() bool
 	var stopAt time.Time
 	nano := true
 	if *live != "" {
@@ -86,6 +89,7 @@ func main() {
 		}
 		nano = r.Header().Nanosecond
 		next = func() (pcap.Record, error) { return r.Next() }
+		truncated = r.Truncated
 	}
 	outF, err := os.Create(*out)
 	if err != nil {
@@ -115,9 +119,23 @@ func main() {
 	}
 	write, closeSink := newSink(w, *anon, *workers, newAnonymizer)
 
+	// SIGINT/SIGTERM finishes the run instead of killing it: the sink is
+	// drained and closed, so the output pcap stays valid and complete up
+	// to the interruption — essential for -live captures.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+
 	parser := &layers.Parser{}
 	var pkt layers.Packet
+readLoop:
 	for {
+		select {
+		case <-sig:
+			interrupted = true
+			break readLoop
+		default:
+		}
 		if !stopAt.IsZero() && time.Now().After(stopAt) {
 			break
 		}
@@ -141,12 +159,24 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	select {
+	case <-sig:
+		interrupted = true
+	default:
+	}
+	signal.Stop(sig)
 	if err := closeSink(); err != nil {
 		log.Fatal(err)
 	}
 	st := filter.Stats()
-	fmt.Printf("processed %d packets: server %d, stun %d, p2p %d (format-rejected %d), dropped %d\n",
-		st.Processed, st.ZoomServer, st.ZoomSTUN, st.ZoomP2P, st.P2PFormatRejected, st.Dropped)
+	note := ""
+	if interrupted {
+		note = " (interrupted: output is a valid partial capture)"
+	} else if truncated != nil && truncated() {
+		note = " (input truncated mid-record: output covers the readable prefix)"
+	}
+	fmt.Printf("processed %d packets: server %d, stun %d, p2p %d (format-rejected %d), dropped %d%s\n",
+		st.Processed, st.ZoomServer, st.ZoomSTUN, st.ZoomP2P, st.P2PFormatRejected, st.Dropped, note)
 }
 
 // newSink returns the record write path. Without anonymization (or with

@@ -36,6 +36,21 @@ func main() {
 	if *in == "" {
 		log.Fatal("missing -i input pcap")
 	}
+	// Validate -plot up front: the extractor supports only these widths
+	// and would panic on anything else, and failing after the sweep has
+	// already printed wastes the run.
+	var plotOff, plotWidth int
+	if *plot != "" {
+		if _, err := fmt.Sscanf(*plot, "%d:%d", &plotOff, &plotWidth); err != nil {
+			log.Fatalf("bad -plot %q: want offset:width", *plot)
+		}
+		if plotWidth != 1 && plotWidth != 2 && plotWidth != 4 {
+			log.Fatalf("bad -plot %q: width must be 1, 2, or 4", *plot)
+		}
+		if plotOff < 0 {
+			log.Fatalf("bad -plot %q: offset must be non-negative", *plot)
+		}
+	}
 	f, err := os.Open(*in)
 	if err != nil {
 		log.Fatal(err)
@@ -91,11 +106,7 @@ func main() {
 	}
 
 	if *plot != "" {
-		var off, width int
-		if _, err := fmt.Sscanf(*plot, "%d:%d", &off, &width); err != nil {
-			log.Fatalf("bad -plot %q: want offset:width", *plot)
-		}
-		seq := entropy.Extract(payloads, off, width)
+		seq := entropy.Extract(payloads, plotOff, plotWidth)
 		fmt.Println()
 		fmt.Print(entropy.Plot(seq, 72, 16))
 	}

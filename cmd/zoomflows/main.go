@@ -11,19 +11,27 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"zoomlens"
+	"zoomlens/internal/pcap"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomflows: ")
 	var (
-		in   = flag.String("i", "", "input pcap path")
-		what = flag.String("what", "streams", "output: streams | flows | meetings | reports | summary")
+		in         = flag.String("i", "", "input pcap path")
+		what       = flag.String("what", "streams", "output: streams | flows | meetings | reports | summary")
+		maxFlows   = flag.Int("max-flows", 0, "cap concurrent flow-table entries; packets refused at the cap are counted (0 = unlimited)")
+		maxStreams = flag.Int("max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
+		flowTTL    = flag.Duration("flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
+		quarPath   = flag.String("quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -35,10 +43,57 @@ func main() {
 	}
 	defer f.Close()
 
-	a := zoomlens.NewAnalyzer(zoomlens.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()})
-	if err := a.ReadPCAP(f); err != nil {
+	cfg := zoomlens.Config{
+		ZoomNetworks: zoomlens.DefaultZoomNetworks(),
+		MaxFlows:     *maxFlows,
+		MaxStreams:   *maxStreams,
+		FlowTTL:      *flowTTL,
+	}
+	var quarantine *zoomlens.Quarantine
+	if *quarPath != "" {
+		quarantine = zoomlens.NewQuarantine(0)
+		cfg.Quarantine = quarantine
+	}
+	a := zoomlens.NewAnalyzer(cfg)
+
+	// SIGINT/SIGTERM stops reading and emits a valid partial report
+	// instead of killing the run; a capture cut mid-record degrades the
+	// same way.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stream, err := pcap.OpenStream(f)
+	if err != nil {
 		log.Fatal(err)
 	}
+	interrupted := false
+readLoop:
+	for {
+		select {
+		case <-sig:
+			interrupted = true
+			break readLoop
+		default:
+		}
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		a.Packet(rec.Timestamp, rec.Data)
+	}
+	select {
+	case <-sig:
+		interrupted = true
+	default:
+	}
+	signal.Stop(sig)
+	a.Finish()
+	if stream.Truncated() {
+		a.Truncated = true
+	}
+	defer emitStatus(a, interrupted, quarantine, *quarPath)
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -114,9 +169,42 @@ func main() {
 		}
 	case "summary":
 		s := a.Summary()
-		fmt.Printf("duration=%s packets=%d bytes=%d zoom_udp=%d tcp=%d stun=%d undecodable=%d flows=%d streams=%d meetings=%d\n",
-			s.Duration, s.Packets, s.Bytes, s.ZoomUDP, s.TCPPackets, s.STUNPackets, s.Undecodable, s.Flows, s.Streams, s.Meetings)
+		fmt.Printf("duration=%s packets=%d bytes=%d zoom_udp=%d tcp=%d stun=%d undecodable=%d flows=%d streams=%d meetings=%d evicted_flows=%d evicted_streams=%d rejected=%d panics=%d truncated=%t\n",
+			s.Duration, s.Packets, s.Bytes, s.ZoomUDP, s.TCPPackets, s.STUNPackets, s.Undecodable, s.Flows, s.Streams, s.Meetings,
+			s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, s.Truncated)
 	default:
 		log.Fatalf("unknown -what %q", *what)
 	}
+}
+
+// emitStatus prints one JSON object on stderr describing how the run
+// ended, and flushes the panic quarantine when one was requested.
+func emitStatus(a *zoomlens.Analyzer, interrupted bool, quarantine *zoomlens.Quarantine, quarPath string) {
+	s := a.Summary()
+	reason := ""
+	switch {
+	case interrupted:
+		reason = "interrupted"
+	case s.Truncated:
+		reason = "truncated_capture"
+	}
+	var quarantined uint64
+	if quarantine != nil {
+		quarantined = quarantine.Total()
+		if quarantined > 0 {
+			qf, err := os.Create(quarPath)
+			if err != nil {
+				log.Print(err)
+			} else {
+				if err := quarantine.WritePCAP(qf); err != nil {
+					log.Print(err)
+				}
+				qf.Close()
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t}`+"\n",
+		interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
+		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated)
 }

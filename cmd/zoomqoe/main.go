@@ -12,23 +12,31 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"zoomlens"
 	"zoomlens/internal/metrics"
+	"zoomlens/internal/pcap"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomqoe: ")
 	var (
-		in      = flag.String("i", "", "input pcap path")
-		ssrc    = flag.Uint64("ssrc", 0, "restrict to one SSRC (0 = all)")
-		what    = flag.String("what", "series", "output: series | rtt | loss | talk | clock")
-		workers = flag.Int("workers", 1, "analysis shards: 1 = sequential, 0 = one per CPU")
+		in         = flag.String("i", "", "input pcap path")
+		ssrc       = flag.Uint64("ssrc", 0, "restrict to one SSRC (0 = all)")
+		what       = flag.String("what", "series", "output: series | rtt | loss | talk | clock")
+		workers    = flag.Int("workers", 1, "analysis shards: 1 = sequential, 0 = one per CPU")
+		maxFlows   = flag.Int("max-flows", 0, "cap concurrent flow-table entries; packets refused at the cap are counted (0 = unlimited)")
+		maxStreams = flag.Int("max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
+		flowTTL    = flag.Duration("flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
+		quarPath   = flag.String("quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -39,13 +47,60 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
+	cfg := zoomlens.Config{
+		ZoomNetworks: zoomlens.DefaultZoomNetworks(),
+		MaxFlows:     *maxFlows,
+		MaxStreams:   *maxStreams,
+		FlowTTL:      *flowTTL,
+	}
+	var quarantine *zoomlens.Quarantine
+	if *quarPath != "" {
+		quarantine = zoomlens.NewQuarantine(0)
+		cfg.Quarantine = quarantine
+	}
 	// The parallel analyzer produces byte-identical results at any worker
 	// count (workers == 1 is the plain sequential analyzer).
-	pa := zoomlens.NewParallelAnalyzer(zoomlens.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()}, *workers)
-	if err := pa.ReadPCAP(f); err != nil {
+	pa := zoomlens.NewParallelAnalyzer(cfg, *workers)
+
+	// SIGINT/SIGTERM does not kill the run: the read loop stops, every
+	// packet seen so far is finalized, and the report below goes out
+	// marked partial. A capture cut mid-record degrades the same way.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stream, err := pcap.OpenStream(f)
+	if err != nil {
 		log.Fatal(err)
 	}
+	interrupted := false
+readLoop:
+	for {
+		select {
+		case <-sig:
+			interrupted = true
+			break readLoop
+		default:
+		}
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		pa.Packet(rec.Timestamp, rec.Data)
+	}
+	select {
+	case <-sig:
+		interrupted = true
+	default:
+	}
+	signal.Stop(sig)
+	pa.Finish()
 	a := pa.Result()
+	if stream.Truncated() {
+		a.Truncated = true
+	}
+	defer emitStatus(a, interrupted, quarantine, *quarPath)
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -173,4 +228,38 @@ func index(samples []zoomlens.Sample) map[int64]float64 {
 		out[s.Time.Unix()] = s.Value
 	}
 	return out
+}
+
+// emitStatus prints one JSON object on stderr describing how the run
+// ended: whether the report is partial (interrupted or truncated input)
+// and the hardening counters an operator needs to trust it. It also
+// flushes the panic quarantine when one was requested.
+func emitStatus(a *zoomlens.Analyzer, interrupted bool, quarantine *zoomlens.Quarantine, quarPath string) {
+	s := a.Summary()
+	reason := ""
+	switch {
+	case interrupted:
+		reason = "interrupted"
+	case s.Truncated:
+		reason = "truncated_capture"
+	}
+	var quarantined uint64
+	if quarantine != nil {
+		quarantined = quarantine.Total()
+		if quarantined > 0 {
+			qf, err := os.Create(quarPath)
+			if err != nil {
+				log.Print(err)
+			} else {
+				if err := quarantine.WritePCAP(qf); err != nil {
+					log.Print(err)
+				}
+				qf.Close()
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t}`+"\n",
+		interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
+		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated)
 }

@@ -11,6 +11,9 @@ import (
 // paper's deployment ran for 12+ hours against ~60 k streams): streams
 // that have gone idle are finalized, their metric engines archived, and
 // the hot maps shrunk. Archived results remain available for reports.
+// Config.FlowTTL extends the same idea to every stateful map in the
+// pipeline (flow table, TCP trackers, duplicate-stream detector), with
+// evicted entries folded into the final report rather than dropped.
 
 // FinishedStream is an archived, finalized stream.
 type FinishedStream struct {
@@ -22,16 +25,23 @@ type FinishedStream struct {
 // Compact finalizes and archives every stream whose last packet is
 // older than cutoff, returning how many were archived. Archived streams
 // disappear from StreamIDs/MetricsFor and appear in Finished; flow-level
-// accounting (Tables 2/3/6) is unaffected.
+// accounting (Tables 2/3/6) is unaffected. Streams whose flow-table
+// entry has already been evicted are archived unconditionally — keeping
+// their metric engines live would leak, since nothing will ever touch
+// them again.
 func (a *Analyzer) Compact(cutoff time.Time) int {
 	n := 0
 	for id, sm := range a.StreamMetrics {
 		st, ok := a.Flows.Stream(id)
-		if !ok || st.LastSeen.After(cutoff) {
+		if ok && st.LastSeen.After(cutoff) {
 			continue
 		}
+		last := cutoff
+		if ok {
+			last = st.LastSeen
+		}
 		sm.Finish()
-		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: st.LastSeen, Metrics: sm})
+		a.archiveFinished(FinishedStream{ID: id, LastSeen: last, Metrics: sm})
 		delete(a.StreamMetrics, id)
 		n++
 	}
@@ -39,6 +49,17 @@ func (a *Analyzer) Compact(cutoff time.Time) int {
 		a.Dedup.Evict(cutoff)
 	}
 	return n
+}
+
+// archiveFinished appends to the archive, enforcing Config.MaxFinished
+// by dropping (and counting) the oldest entry.
+func (a *Analyzer) archiveFinished(f FinishedStream) {
+	if a.cfg.MaxFinished > 0 && len(a.Finished) >= a.cfg.MaxFinished {
+		drop := len(a.Finished) - a.cfg.MaxFinished + 1
+		a.FinishedDropped += uint64(drop)
+		a.Finished = append(a.Finished[:0], a.Finished[drop:]...)
+	}
+	a.Finished = append(a.Finished, f)
 }
 
 // AutoCompact enables periodic compaction: every `every` packets, the
@@ -54,6 +75,33 @@ func (a *Analyzer) maybeCompact(at time.Time) {
 		return
 	}
 	a.Compact(at.Add(-a.compactIdle))
+}
+
+// maybeMaintain runs TTL eviction on the packet-count cadence configured
+// by Config.FlowTTL / Config.MaintainEvery.
+func (a *Analyzer) maybeMaintain(at time.Time) {
+	if a.cfg.FlowTTL <= 0 || a.cfg.MaintainEvery == 0 || a.Packets%a.cfg.MaintainEvery != 0 {
+		return
+	}
+	a.EvictIdle(at.Add(-a.cfg.FlowTTL))
+}
+
+// EvictIdle evicts every piece of per-flow state idle since before
+// cutoff: metric engines are finalized and archived, flow-table entries
+// fold into the report aggregates, idle TCP trackers and copy-linkage
+// records are dropped. Counts of everything evicted surface in Summary.
+func (a *Analyzer) EvictIdle(cutoff time.Time) {
+	a.Compact(cutoff)
+	a.Flows.EvictIdle(cutoff)
+	a.Dedup.Evict(cutoff)
+	for client, seen := range a.tcpSeen {
+		if seen.After(cutoff) {
+			continue
+		}
+		delete(a.TCP, client)
+		delete(a.tcpSeen, client)
+		a.EvictedTCP++
+	}
 }
 
 // AllStreamMetrics visits live and finished streams alike.

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"net/netip"
 	"sort"
@@ -37,6 +38,38 @@ type Config struct {
 	// the output of cmd/zoomcap); the filter still runs for P2P
 	// bookkeeping but non-matching packets are analyzed anyway.
 	PreFiltered bool
+
+	// Bounded-state hardening for continuous deployments (§6's 12-hour
+	// tap, and beyond). All zero values mean unlimited/disabled — the
+	// right default for one-shot trace analysis, where results must not
+	// depend on caps.
+
+	// MaxFlows, MaxStreams, and MaxSubstreams bound the flow table (see
+	// flow.Limits). Entries turned away at a cap are counted, not
+	// silently dropped.
+	MaxFlows      int
+	MaxStreams    int
+	MaxSubstreams int
+	// MaxTCP caps the number of TCP RTT trackers (one per Zoom control
+	// client endpoint).
+	MaxTCP int
+	// MaxMeetingStreams caps the duplicate-stream detector's records.
+	MaxMeetingStreams int
+	// MaxFinished caps archived finished streams; at the cap the oldest
+	// archive is dropped (and counted) to admit the newest.
+	MaxFinished int
+	// FlowTTL enables idle eviction: every MaintainEvery packets, flows,
+	// streams, TCP trackers, and metric engines idle longer than FlowTTL
+	// are evicted (metric engines are finalized and archived first), with
+	// their report contributions preserved.
+	FlowTTL time.Duration
+	// MaintainEvery is the eviction cadence in packets (default 4096
+	// when FlowTTL is set).
+	MaintainEvery uint64
+	// Quarantine, when non-nil, receives the offending frame whenever
+	// per-packet processing panics (see Quarantine). It may be shared
+	// across analyzers; it is safe for concurrent use.
+	Quarantine *Quarantine
 }
 
 // Analyzer is the end-to-end pipeline. Feed packets in capture order via
@@ -71,12 +104,33 @@ type Analyzer struct {
 	// or not it decoded — the Table 2/3 denominators.
 	UDPKeptPackets uint64
 	UDPKeptBytes   uint64
+	// PanicsRecovered counts packets whose processing panicked; each was
+	// quarantined (when a Quarantine is configured) instead of crashing
+	// the process.
+	PanicsRecovered uint64
+	// Truncated reports that ReadPCAP hit a mid-record cut: everything up
+	// to the cut was analyzed and the results are valid partial results.
+	Truncated bool
+	// EvictedTCP and RejectedTCPPackets are the TCP-tracker counterparts
+	// of the flow table's eviction stats.
+	EvictedTCP         uint64
+	RejectedTCPPackets uint64
+	// FinishedDropped counts archived streams discarded at MaxFinished.
+	FinishedDropped uint64
 
 	// Finished holds archived streams from Compact.
 	Finished []FinishedStream
 
 	compactEvery uint64
 	compactIdle  time.Duration
+
+	// tcpSeen tracks per-client TCP activity for idle eviction.
+	tcpSeen map[netip.AddrPort]time.Time
+
+	// panicHook, when set, runs inside the recover() scope of every
+	// packet before parsing. Tests use it to inject deterministic panics;
+	// production never sets it.
+	panicHook func(at time.Time, frame []byte)
 
 	firstTS time.Time
 	lastTS  time.Time
@@ -94,7 +148,10 @@ type Analyzer struct {
 
 // NewAnalyzer builds an analyzer.
 func NewAnalyzer(cfg Config) *Analyzer {
-	return &Analyzer{
+	if cfg.FlowTTL > 0 && cfg.MaintainEvery == 0 {
+		cfg.MaintainEvery = 4096
+	}
+	a := &Analyzer{
 		cfg: cfg,
 		filter: capture.NewFilter(capture.Config{
 			ZoomNetworks:   cfg.ZoomNetworks,
@@ -105,10 +162,20 @@ func NewAnalyzer(cfg Config) *Analyzer {
 		StreamMetrics: make(map[flow.MediaStreamID]*metrics.StreamMetrics),
 		Copies:        metrics.NewCopyMatcher(),
 		TCP:           make(map[netip.AddrPort]*tcprtt.Tracker),
+		tcpSeen:       make(map[netip.AddrPort]time.Time),
 	}
+	a.Flows.SetLimits(flow.Limits{
+		MaxFlows:      cfg.MaxFlows,
+		MaxStreams:    cfg.MaxStreams,
+		MaxSubstreams: cfg.MaxSubstreams,
+	})
+	a.Dedup.MaxStreams = cfg.MaxMeetingStreams
+	return a
 }
 
-// Packet ingests one captured frame.
+// Packet ingests one captured frame. A panic anywhere in per-packet
+// processing is recovered, counted, and (when configured) quarantined —
+// one hostile frame must not take down a production tap.
 func (a *Analyzer) Packet(at time.Time, frame []byte) {
 	a.Packets++
 	a.Bytes += uint64(len(frame))
@@ -118,7 +185,25 @@ func (a *Analyzer) Packet(at time.Time, frame []byte) {
 	if at.After(a.lastTS) {
 		a.lastTS = at
 	}
+	a.safeProcess(at, frame)
+	a.maybeCompact(at)
+	a.maybeMaintain(at)
+}
 
+// safeProcess runs the parse → filter → ingest path under a panic
+// quarantine.
+func (a *Analyzer) safeProcess(at time.Time, frame []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.PanicsRecovered++
+			if a.cfg.Quarantine != nil {
+				a.cfg.Quarantine.Add(at, frame, fmt.Sprintf("panic: %v", r))
+			}
+		}
+	}()
+	if a.panicHook != nil {
+		a.panicHook(at, frame)
+	}
 	var pkt layers.Packet
 	if err := a.parser.Parse(frame, &pkt); err != nil {
 		a.Undecodable++
@@ -130,7 +215,6 @@ func (a *Analyzer) Packet(at time.Time, frame []byte) {
 		return
 	}
 	a.ingest(at, &pkt, len(frame))
-	a.maybeCompact(at)
 }
 
 // ingest processes a packet that has already been parsed and admitted by
@@ -156,9 +240,14 @@ func (a *Analyzer) observeTCP(at time.Time, pkt *layers.Packet) {
 	}
 	tr := a.TCP[client]
 	if tr == nil {
+		if a.cfg.MaxTCP > 0 && len(a.TCP) >= a.cfg.MaxTCP {
+			a.RejectedTCPPackets++
+			return
+		}
 		tr = tcprtt.NewTracker()
 		a.TCP[client] = tr
 	}
+	a.tcpSeen[client] = at
 	tr.Observe(at, fromClient, &pkt.TCP, len(pkt.Payload))
 }
 
@@ -190,9 +279,15 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 		UDPPayloadLen: len(pkt.Payload),
 		Z:             zp,
 	}
-	a.Flows.Observe(rec)
+	st := a.Flows.Observe(rec)
 
 	if !zp.IsMedia() {
+		return
+	}
+	if st == nil {
+		// The flow table turned the packet away at a state cap (and
+		// counted it); skip stream-level state too so caps bound the
+		// whole pipeline, not just the table.
 		return
 	}
 	key := zoom.StreamKey{SSRC: zp.RTP.SSRC, Type: zp.Media.Type}
@@ -237,14 +332,16 @@ func (a *Analyzer) Finish() {
 }
 
 // ReadPCAP feeds an entire capture stream (classic pcap or pcapng)
-// through the analyzer and finishes.
+// through the analyzer and finishes. A capture cut mid-record (a crashed
+// or interrupted tcpdump) is not an error: everything before the cut is
+// analyzed and a.Truncated is set.
 func (a *Analyzer) ReadPCAP(r io.Reader) error {
-	next, err := pcap.OpenAny(r)
+	s, err := pcap.OpenStream(r)
 	if err != nil {
 		return err
 	}
 	for {
-		rec, err := next()
+		rec, err := s.Next()
 		if err == io.EOF {
 			break
 		}
@@ -252,6 +349,9 @@ func (a *Analyzer) ReadPCAP(r io.Reader) error {
 			return err
 		}
 		a.Packet(rec.Timestamp, rec.Data)
+	}
+	if s.Truncated() {
+		a.Truncated = true
 	}
 	a.Finish()
 	return nil
@@ -263,7 +363,11 @@ func (a *Analyzer) Meetings() []meeting.Meeting {
 	return meeting.Group(a.Dedup.Records(clientOf))
 }
 
-// Summary is the Table 6 style capture roll-up.
+// Summary is the Table 6 style capture roll-up, extended with the
+// hardening counters a continuous deployment needs to trust partial
+// results: how much state was aged out or turned away at caps, how many
+// packets panicked (and were quarantined), and whether the input was
+// truncated.
 type Summary struct {
 	Duration    time.Duration
 	Packets     uint64
@@ -275,22 +379,41 @@ type Summary struct {
 	Flows       int
 	Streams     int
 	Meetings    int
+	// EvictedFlows/EvictedStreams count idle-TTL evictions; the evicted
+	// entries' packets and bytes remain in the report aggregates.
+	EvictedFlows   uint64
+	EvictedStreams uint64
+	// RejectedPackets counts packets refused new state at a hard cap
+	// (flow, stream, substream, or TCP tracker).
+	RejectedPackets uint64
+	// PanicsRecovered counts packets whose processing panicked and was
+	// contained.
+	PanicsRecovered uint64
+	// Truncated marks a capture cut mid-record: the summary covers the
+	// readable prefix.
+	Truncated bool
 }
 
 // Summary computes the capture roll-up.
 func (a *Analyzer) Summary() Summary {
 	tot := a.Flows.Totals()
+	ev := a.Flows.Evictions()
 	return Summary{
-		Duration:    a.lastTS.Sub(a.firstTS),
-		Packets:     a.Packets,
-		Bytes:       a.Bytes,
-		ZoomUDP:     a.ZoomUDP,
-		TCPPackets:  a.TCPPackets,
-		STUNPackets: a.STUNPackets,
-		Undecodable: a.Undecodable,
-		Flows:       tot.Flows,
-		Streams:     tot.Streams,
-		Meetings:    len(a.Meetings()),
+		Duration:        a.lastTS.Sub(a.firstTS),
+		Packets:         a.Packets,
+		Bytes:           a.Bytes,
+		ZoomUDP:         a.ZoomUDP,
+		TCPPackets:      a.TCPPackets,
+		STUNPackets:     a.STUNPackets,
+		Undecodable:     a.Undecodable,
+		Flows:           tot.Flows,
+		Streams:         tot.Streams,
+		Meetings:        len(a.Meetings()),
+		EvictedFlows:    ev.EvictedFlows,
+		EvictedStreams:  ev.EvictedStreams,
+		RejectedPackets: ev.RejectedFlowPackets + ev.RejectedStreamPackets + ev.RejectedSubstreamPackets + a.RejectedTCPPackets,
+		PanicsRecovered: a.PanicsRecovered,
+		Truncated:       a.Truncated,
 	}
 }
 

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"zoomlens/internal/faultpcap"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/zoom"
+)
+
+// tracePCAP serializes a captured simulation trace to classic-pcap bytes
+// so fault injection can corrupt the byte stream itself.
+func tracePCAP(t testing.TB, tr *capturedTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, pcap.WriterOptions{Nanosecond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.frames {
+		if err := w.WriteRecord(tr.at[i], tr.frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestDifferentialUnderFaults is the robustness gate: for every fault
+// class (mid-record truncation, payload bit flips, timestamp jumps,
+// duplicated records) the sequential analyzer and the parallel analyzer
+// at 1 and 4 workers must consume the identical damaged capture without
+// a single unrecovered panic and produce byte-identical results.
+func TestDifferentialUnderFaults(t *testing.T) {
+	tr, opts := seededTrace(t, 20)
+	clean := tracePCAP(t, tr)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	for _, fault := range append([]faultpcap.Fault{faultpcap.None}, faultpcap.Faults()...) {
+		fault := fault
+		t.Run(fault.String(), func(t *testing.T) {
+			damaged, err := faultpcap.Apply(clean, faultpcap.Options{Fault: fault, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			seq := NewAnalyzer(cfg)
+			if err := seq.ReadPCAP(bytes.NewReader(damaged)); err != nil {
+				t.Fatalf("sequential ReadPCAP: %v", err)
+			}
+			ss := seq.Summary()
+			if ss.PanicsRecovered != 0 {
+				t.Errorf("sequential recovered %d panics; faults must degrade without panicking", ss.PanicsRecovered)
+			}
+			if fault == faultpcap.Truncate && !ss.Truncated {
+				t.Error("truncated capture not flagged in summary")
+			}
+			if fault != faultpcap.Truncate && ss.Truncated {
+				t.Errorf("fault %v wrongly flagged as truncation", fault)
+			}
+			if ss.Packets == 0 {
+				t.Fatal("no packets analyzed from damaged capture")
+			}
+
+			for _, workers := range []int{1, 4} {
+				pa := NewParallelAnalyzer(cfg, workers)
+				if err := pa.ReadPCAP(bytes.NewReader(damaged)); err != nil {
+					t.Fatalf("parallel(%d) ReadPCAP: %v", workers, err)
+				}
+				par := pa.Result()
+				if ps := par.Summary(); ss != ps {
+					t.Fatalf("parallel(%d) summary diverges:\nsequential %+v\nparallel   %+v", workers, ss, ps)
+				}
+				if !reflect.DeepEqual(seq.StreamIDs(), par.StreamIDs()) {
+					t.Fatalf("parallel(%d) stream IDs diverge", workers)
+				}
+				for _, id := range seq.StreamIDs() {
+					sm, _ := seq.MetricsFor(id)
+					pm, ok := par.MetricsFor(id)
+					if !ok {
+						t.Fatalf("parallel(%d): stream %v missing", workers, id)
+					}
+					if sm.LossStats() != pm.LossStats() {
+						t.Errorf("parallel(%d): stream %v loss stats diverge", workers, id)
+					}
+				}
+				if !reflect.DeepEqual(seq.Copies.Samples, par.Copies.Samples) {
+					t.Errorf("parallel(%d): RTT samples diverge", workers)
+				}
+			}
+		})
+	}
+}
+
+// fnvSum hashes a frame so panic injection keys on content, which is
+// identical no matter which analyzer or shard sees the frame.
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// setPanicHook installs a test-only panic injector on every analyzer a
+// ParallelAnalyzer owns (the degenerate sequential one, or each shard).
+func setPanicHook(pa *ParallelAnalyzer, hook func(time.Time, []byte)) {
+	if pa.seq != nil {
+		pa.seq.panicHook = hook
+		return
+	}
+	for _, sh := range pa.shards {
+		sh.a.panicHook = hook
+	}
+}
+
+// TestPanicQuarantineDifferential injects deterministic panics keyed on
+// frame content into the sequential and parallel pipelines and demands:
+// no crash, identical summaries (including the PanicsRecovered count),
+// and the offending frames preserved in each quarantine ring.
+func TestPanicQuarantineDifferential(t *testing.T) {
+	tr, opts := seededTrace(t, 10)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+		PreFiltered:    true,
+	}
+	// Panic on ~1% of parseable frames. The parse guard matters: the
+	// parallel dispatcher only ships frames that parse, so keying on
+	// parseability keeps the sequential hook (which fires before the
+	// parse) aligned with the shard hooks.
+	hook := func(at time.Time, frame []byte) {
+		var p layers.Parser
+		var pkt layers.Packet
+		if p.Parse(frame, &pkt) != nil {
+			return
+		}
+		if fnvSum(frame)%101 == 0 {
+			panic("injected fault")
+		}
+	}
+
+	seqQ := NewQuarantine(0)
+	seqCfg := cfg
+	seqCfg.Quarantine = seqQ
+	seq := NewAnalyzer(seqCfg)
+	seq.panicHook = hook
+	tr.feed(seq.Packet)
+	seq.Finish()
+	ss := seq.Summary()
+	if ss.PanicsRecovered == 0 {
+		t.Fatal("panic injection never fired; test is vacuous")
+	}
+	if got := seqQ.Total(); got != ss.PanicsRecovered {
+		t.Errorf("quarantine holds %d frames, summary counts %d panics", got, ss.PanicsRecovered)
+	}
+
+	for _, workers := range []int{1, 4} {
+		parQ := NewQuarantine(0)
+		parCfg := cfg
+		parCfg.Quarantine = parQ
+		pa := NewParallelAnalyzer(parCfg, workers)
+		setPanicHook(pa, hook)
+		tr.feed(pa.Packet)
+		pa.Finish()
+		ps := pa.Summary()
+		if ss != ps {
+			t.Fatalf("parallel(%d) summary diverges under injected panics:\nsequential %+v\nparallel   %+v", workers, ss, ps)
+		}
+		if got := parQ.Total(); got != ps.PanicsRecovered {
+			t.Errorf("parallel(%d): quarantine holds %d, summary counts %d", workers, got, ps.PanicsRecovered)
+		}
+	}
+
+	// The quarantine ring must round-trip to a readable forensic pcap.
+	var buf bytes.Buffer
+	if err := seqQ.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if uint64(n) != seqQ.Total() {
+		t.Errorf("forensic pcap has %d frames, quarantine captured %d", n, seqQ.Total())
+	}
+}
+
+// floodFrame builds one valid server-based Zoom audio packet from a
+// random source endpoint with a random SSRC — the worst case for state
+// growth, since every packet asks the analyzer for a new flow, stream,
+// and metric engine.
+func floodFrame(rng *rand.Rand, dst netip.AddrPort, at time.Time) []byte {
+	zp := zoom.Packet{
+		ServerBased: true,
+		SFU:         zoom.SFUEncap{Type: zoom.SFUTypeMedia, Sequence: uint16(rng.Intn(1 << 16)), Direction: zoom.DirToSFU},
+		Media: zoom.MediaEncap{
+			Type:      zoom.TypeAudio,
+			Sequence:  uint16(rng.Intn(1 << 16)),
+			Timestamp: rng.Uint32(),
+		},
+		RTP: rtp.Packet{
+			Header: rtp.Header{
+				PayloadType:    99,
+				SequenceNumber: uint16(rng.Intn(1 << 16)),
+				Timestamp:      rng.Uint32(),
+				SSRC:           rng.Uint32(),
+			},
+			Payload: []byte{0xde, 0xad, 0xbe, 0xef},
+		},
+	}
+	payload, err := zp.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	src := netip.AddrPortFrom(
+		netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(254))}),
+		uint16(1024+rng.Intn(60000)),
+	)
+	return layers.EthernetIPv4UDP(src, dst, 64, payload)
+}
+
+// TestFloodHoldsCaps feeds one million adversarial packets — every one a
+// valid Zoom media packet from a fresh random flow and SSRC — and
+// verifies the configured caps hold the hot state flat throughout, with
+// everything turned away or aged out accounted for in the summary.
+func TestFloodHoldsCaps(t *testing.T) {
+	const (
+		packets    = 1_000_000
+		maxFlows   = 512
+		maxStreams = 1024
+	)
+	cfg := Config{
+		PreFiltered:       true,
+		MaxFlows:          maxFlows,
+		MaxStreams:        maxStreams,
+		MaxSubstreams:     4 * maxStreams,
+		MaxTCP:            64,
+		MaxMeetingStreams: 2 * maxStreams,
+		MaxFinished:       maxStreams,
+		FlowTTL:           5 * time.Second,
+	}
+	a := NewAnalyzer(cfg)
+	rng := rand.New(rand.NewSource(99))
+	dst := netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, 113, 7}), 8801)
+	start := time.Date(2022, 3, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < packets; i++ {
+		// 50 µs per packet = 20 kpps for 50 s: several FlowTTL windows,
+		// so eviction churns while the flood sustains.
+		at := start.Add(time.Duration(i) * 50 * time.Microsecond)
+		a.Packet(at, floodFrame(rng, dst, at))
+		if i%100_000 == 0 {
+			if n := a.Flows.Totals().Flows; n > maxFlows {
+				t.Fatalf("packet %d: %d live flows exceeds cap %d", i, n, maxFlows)
+			}
+			if n := a.Flows.Totals().Streams; n > maxStreams {
+				t.Fatalf("packet %d: %d live streams exceeds cap %d", i, n, maxStreams)
+			}
+		}
+	}
+	a.Finish()
+
+	if n := a.Flows.Totals().Flows; n > maxFlows {
+		t.Errorf("final flow table %d exceeds cap %d", n, maxFlows)
+	}
+	if n := a.Flows.Totals().Streams; n > maxStreams {
+		t.Errorf("final stream table %d exceeds cap %d", n, maxStreams)
+	}
+	if n := len(a.StreamMetrics); n > maxStreams {
+		t.Errorf("%d live metric engines exceed stream cap %d", n, maxStreams)
+	}
+	if n := len(a.Finished); n > cfg.MaxFinished {
+		t.Errorf("%d archived streams exceed MaxFinished %d", n, cfg.MaxFinished)
+	}
+	noClient := func(layers.FiveTuple) netip.AddrPort { return netip.AddrPort{} }
+	if n := len(a.Dedup.Records(noClient)); n > cfg.MaxMeetingStreams {
+		t.Errorf("%d dedup records exceed cap %d", n, cfg.MaxMeetingStreams)
+	}
+
+	s := a.Summary()
+	if s.Packets != packets {
+		t.Fatalf("analyzed %d packets, want %d", s.Packets, packets)
+	}
+	if s.RejectedPackets == 0 {
+		t.Error("flood never hit a cap; RejectedPackets = 0")
+	}
+	if s.EvictedFlows == 0 || s.EvictedStreams == 0 {
+		t.Errorf("TTL eviction never fired: evicted flows %d, streams %d", s.EvictedFlows, s.EvictedStreams)
+	}
+	if s.PanicsRecovered != 0 {
+		t.Errorf("flood caused %d recovered panics", s.PanicsRecovered)
+	}
+	// Nothing vanished silently: the table's packet total (which counts
+	// capped-out packets too) covers every decoded Zoom packet, and the
+	// rejection counters broke down which ones were refused state.
+	ev := a.Flows.Evictions()
+	if got := a.Flows.Totals().Packets; got != s.ZoomUDP {
+		t.Errorf("accounting leak: table counted %d packets, analyzer decoded %d", got, s.ZoomUDP)
+	}
+	if ev.RejectedFlowPackets == 0 {
+		t.Error("flood never hit the flow cap")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"io"
 	"net/netip"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -87,6 +88,11 @@ type pshard struct {
 	ch   chan *pbatch
 	done chan struct{}
 	cur  *pbatch // batch under construction (dispatcher-owned)
+
+	// ingested counts packets processed by this shard, driving the
+	// TTL-eviction cadence (the shard analyzer's own Packet counter
+	// never moves — the dispatcher owns packet accounting).
+	ingested uint64
 }
 
 func (s *pshard) run(pool *sync.Pool) {
@@ -94,19 +100,40 @@ func (s *pshard) run(pool *sync.Pool) {
 	var pkt layers.Packet
 	for b := range s.ch {
 		for _, it := range b.items {
-			frame := b.data[it.off:it.end]
-			// The dispatcher already parsed this frame successfully; the
-			// cheap fixed-offset re-parse here avoids shipping a Packet
-			// full of slices aliasing a shared buffer.
-			if err := s.a.parser.Parse(frame, &pkt); err != nil {
-				continue
-			}
-			s.a.obsSeq = it.seq
-			s.a.ingest(it.at, &pkt, len(frame))
+			s.runOne(it, b.data[it.off:it.end], &pkt)
 		}
 		b.items = b.items[:0]
 		b.data = b.data[:0]
 		pool.Put(b)
+	}
+}
+
+// runOne processes one packet under the same panic quarantine as the
+// sequential path: a frame that panics is counted on the shard analyzer
+// (summed at merge) and deposited in the shared quarantine ring.
+func (s *pshard) runOne(it pitem, frame []byte, pkt *layers.Packet) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.a.PanicsRecovered++
+			if s.a.cfg.Quarantine != nil {
+				s.a.cfg.Quarantine.Add(it.at, frame, fmt.Sprintf("panic: %v", r))
+			}
+		}
+	}()
+	if s.a.panicHook != nil {
+		s.a.panicHook(it.at, frame)
+	}
+	// The dispatcher already parsed this frame successfully; the
+	// cheap fixed-offset re-parse here avoids shipping a Packet
+	// full of slices aliasing a shared buffer.
+	if err := s.a.parser.Parse(frame, pkt); err != nil {
+		return
+	}
+	s.a.obsSeq = it.seq
+	s.a.ingest(it.at, pkt, len(frame))
+	s.ingested++
+	if ttl := s.a.cfg.FlowTTL; ttl > 0 && s.a.cfg.MaintainEvery > 0 && s.ingested%s.a.cfg.MaintainEvery == 0 {
+		s.a.EvictIdle(it.at.Add(-ttl))
 	}
 }
 
@@ -140,6 +167,8 @@ type ParallelAnalyzer struct {
 	bytes       uint64
 	undecodable uint64
 	dropped     uint64
+	panics      uint64 // dispatcher-side recoveries (shards count their own)
+	truncated   bool
 	firstTS     time.Time
 	lastTS      time.Time
 
@@ -163,9 +192,10 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 	})
 	pa.pool.New = func() any { return &pbatch{} }
 	pa.shards = make([]*pshard, workers)
+	shardCfg := scaleLimits(cfg, workers)
 	for i := range pa.shards {
 		sh := &pshard{
-			a:    NewAnalyzer(cfg),
+			a:    NewAnalyzer(shardCfg),
 			ch:   make(chan *pbatch, shardQueueDepth),
 			done: make(chan struct{}),
 		}
@@ -174,6 +204,28 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 		go sh.run(&pa.pool)
 	}
 	return pa
+}
+
+// scaleLimits divides the global state caps across workers: flows hash
+// roughly uniformly over shards, so per-shard caps of ceil(cap/workers)
+// keep the aggregate close to the configured bound. Zero (unlimited)
+// stays zero.
+func scaleLimits(cfg Config, workers int) Config {
+	div := func(v int) int {
+		if v <= 0 {
+			return v
+		}
+		return (v + workers - 1) / workers
+	}
+	cfg.MaxFlows = div(cfg.MaxFlows)
+	cfg.MaxStreams = div(cfg.MaxStreams)
+	cfg.MaxSubstreams = div(cfg.MaxSubstreams)
+	cfg.MaxTCP = div(cfg.MaxTCP)
+	cfg.MaxFinished = div(cfg.MaxFinished)
+	// MaxMeetingStreams stays global: shard Dedups never observe (the
+	// obsSink diverts media observations to the merge-time replay), so
+	// the cap only binds on the merged analyzer.
+	return cfg
 }
 
 // Workers returns the resolved worker count.
@@ -195,6 +247,21 @@ func (pa *ParallelAnalyzer) Packet(at time.Time, frame []byte) {
 		pa.lastTS = at
 	}
 	pa.nextSeq++
+	pa.dispatch(at, frame)
+}
+
+// dispatch runs the centralized parse → filter → route stage under the
+// same panic quarantine as the shards: a frame that blows up the parser
+// or the filter is counted and quarantined, never crashes the tap.
+func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			pa.panics++
+			if pa.cfg.Quarantine != nil {
+				pa.cfg.Quarantine.Add(at, frame, fmt.Sprintf("panic: %v", r))
+			}
+		}
+	}()
 	if err := pa.parser.Parse(frame, &pa.pkt); err != nil {
 		pa.undecodable++
 		return
@@ -292,6 +359,8 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 	m.Bytes = pa.bytes
 	m.Undecodable = pa.undecodable
 	m.DroppedByFilter = pa.dropped
+	m.PanicsRecovered = pa.panics
+	m.Truncated = pa.truncated
 	m.firstTS = pa.firstTS
 	m.lastTS = pa.lastTS
 	for _, sh := range pa.shards {
@@ -302,6 +371,10 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 		m.STUNPackets += sa.STUNPackets
 		m.UDPKeptPackets += sa.UDPKeptPackets
 		m.UDPKeptBytes += sa.UDPKeptBytes
+		m.PanicsRecovered += sa.PanicsRecovered
+		m.EvictedTCP += sa.EvictedTCP
+		m.RejectedTCPPackets += sa.RejectedTCPPackets
+		m.FinishedDropped += sa.FinishedDropped
 		m.Flows.Absorb(sa.Flows)
 		for id, sm := range sa.StreamMetrics {
 			m.StreamMetrics[id] = sm
@@ -309,7 +382,27 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 		for client, tr := range sa.TCP {
 			m.TCP[client] = tr
 		}
+		for client, seen := range sa.tcpSeen {
+			m.tcpSeen[client] = seen
+		}
+		m.Finished = append(m.Finished, sa.Finished...)
 	}
+	// Shard archives interleave arbitrarily; order them the way one
+	// sequential analyzer would have produced them (by idle-out time,
+	// tie-broken by stream identity).
+	sort.Slice(m.Finished, func(i, j int) bool {
+		fi, fj := m.Finished[i], m.Finished[j]
+		if !fi.LastSeen.Equal(fj.LastSeen) {
+			return fi.LastSeen.Before(fj.LastSeen)
+		}
+		if fi.ID.Key.SSRC != fj.ID.Key.SSRC {
+			return fi.ID.Key.SSRC < fj.ID.Key.SSRC
+		}
+		if fi.ID.Key.Type != fj.ID.Key.Type {
+			return fi.ID.Key.Type < fj.ID.Key.Type
+		}
+		return fi.ID.Flow.String() < fj.ID.Flow.String()
+	})
 	// K-way merge of the per-shard observation logs by global sequence
 	// number. Each log is already seq-sorted (shards consume their
 	// channel FIFO and the dispatcher assigns seq monotonically), so a
@@ -341,14 +434,20 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 }
 
 // ReadPCAP feeds an entire capture stream through the analyzer and
-// finishes.
+// finishes. Like the sequential path, a capture cut mid-record yields
+// valid partial results with the Truncated flag set instead of an error.
 func (pa *ParallelAnalyzer) ReadPCAP(r io.Reader) error {
-	next, err := pcap.OpenAny(r)
+	if pa.seq != nil {
+		err := pa.seq.ReadPCAP(r)
+		pa.merged = pa.seq
+		return err
+	}
+	s, err := pcap.OpenStream(r)
 	if err != nil {
 		return err
 	}
 	for {
-		rec, err := next()
+		rec, err := s.Next()
 		if err == io.EOF {
 			break
 		}
@@ -357,6 +456,7 @@ func (pa *ParallelAnalyzer) ReadPCAP(r io.Reader) error {
 		}
 		pa.Packet(rec.Timestamp, rec.Data)
 	}
+	pa.truncated = s.Truncated()
 	pa.Finish()
 	return nil
 }

@@ -80,6 +80,47 @@ type FlowStats struct {
 	ByEncapType map[zoom.MediaType]uint64
 }
 
+// Limits bounds the table's hot maps for long-lived deployments: a
+// production tap must keep memory flat under a flood of garbage or
+// hostile five-tuples. Zero values mean unlimited (the default, matching
+// one-shot trace analysis).
+type Limits struct {
+	// MaxFlows caps the number of live flow entries. A packet for a new
+	// flow arriving at the cap is counted (RejectedFlowPackets) but
+	// creates no state; idle-TTL eviction frees room over time.
+	MaxFlows int
+	// MaxStreams caps live media-stream entries the same way.
+	MaxStreams int
+	// MaxSubstreams caps substream entries per stream (the RTP payload
+	// type byte offers 128 values to an attacker; real Zoom streams use
+	// at most three).
+	MaxSubstreams int
+}
+
+// EvictionStats reports what bounded-state enforcement did, so capped
+// runs surface what was aged out or turned away instead of dropping it
+// silently.
+type EvictionStats struct {
+	// EvictedFlows and EvictedStreams count entries removed by EvictIdle.
+	// Their packet/byte contributions remain in Totals and in the Table
+	// 2/3 share aggregates.
+	EvictedFlows   uint64
+	EvictedStreams uint64
+	// RejectedFlowPackets counts packets that would have created a flow
+	// beyond MaxFlows; RejectedStreamPackets and RejectedSubstreamPackets
+	// likewise for streams and substreams.
+	RejectedFlowPackets      uint64
+	RejectedStreamPackets    uint64
+	RejectedSubstreamPackets uint64
+}
+
+type ptKey struct {
+	mt zoom.MediaType
+	pt uint8
+}
+
+type shareAgg struct{ pkts, bytes uint64 }
+
 // Table demultiplexes records into flows and streams.
 type Table struct {
 	flows   map[layers.FiveTuple]*FlowStats
@@ -88,6 +129,13 @@ type Table struct {
 	// Totals for Table 2/6.
 	totalPackets uint64
 	totalBytes   uint64
+
+	limits Limits
+	ev     EvictionStats
+	// evictedEncap and evictedPT preserve the Table 2/3 contributions of
+	// evicted entries so the final report counts them.
+	evictedEncap map[zoom.MediaType]*shareAgg
+	evictedPT    map[ptKey]*shareAgg
 }
 
 // NewTable returns an empty table.
@@ -97,6 +145,13 @@ func NewTable() *Table {
 		streams: make(map[MediaStreamID]*StreamStats),
 	}
 }
+
+// SetLimits installs state bounds; it can be called once, before any
+// record is observed.
+func (t *Table) SetLimits(l Limits) { t.limits = l }
+
+// Evictions returns the bounded-state counters.
+func (t *Table) Evictions() EvictionStats { return t.ev }
 
 // Observe ingests one record, updating flow and stream state. It returns
 // the stream's stats entry (nil for RTCP-only bookkeeping is never nil:
@@ -108,6 +163,10 @@ func (t *Table) Observe(r *Record) *StreamStats {
 
 	f := t.flows[r.Flow]
 	if f == nil {
+		if t.limits.MaxFlows > 0 && len(t.flows) >= t.limits.MaxFlows {
+			t.ev.RejectedFlowPackets++
+			return nil
+		}
 		f = &FlowStats{Flow: r.Flow, FirstSeen: r.Time, ByEncapType: make(map[zoom.MediaType]uint64)}
 		t.flows[r.Flow] = f
 	}
@@ -144,6 +203,10 @@ func (t *Table) Observe(r *Record) *StreamStats {
 	id := MediaStreamID{Flow: r.Flow, Key: key}
 	s := t.streams[id]
 	if s == nil {
+		if t.limits.MaxStreams > 0 && len(t.streams) >= t.limits.MaxStreams {
+			t.ev.RejectedStreamPackets++
+			return nil
+		}
 		s = &StreamStats{
 			ID:                id,
 			FirstSeen:         r.Time,
@@ -161,12 +224,87 @@ func (t *Table) Observe(r *Record) *StreamStats {
 	s.LastSeq = r.Z.RTP.SequenceNumber
 	sub := s.Substreams[r.Z.RTP.PayloadType]
 	if sub == nil {
+		if t.limits.MaxSubstreams > 0 && len(s.Substreams) >= t.limits.MaxSubstreams {
+			t.ev.RejectedSubstreamPackets++
+			return s
+		}
 		sub = &SubstreamStats{PayloadType: r.Z.RTP.PayloadType}
 		s.Substreams[r.Z.RTP.PayloadType] = sub
 	}
 	sub.Packets++
 	sub.Bytes += uint64(len(r.Z.RTP.Payload))
 	return s
+}
+
+// EvictIdle removes every flow and stream whose last packet is not after
+// cutoff, folding their Table 2/3 contributions into hidden aggregates so
+// EncapShares, PayloadTypeShares, and Totals still count them. It returns
+// the number of flows and streams evicted. Because a flow's LastSeen is
+// at least as recent as any of its streams', a pass never evicts a flow
+// while keeping one of its streams.
+func (t *Table) EvictIdle(cutoff time.Time) (flows, streams int) {
+	for id, s := range t.streams {
+		if s.LastSeen.After(cutoff) {
+			continue
+		}
+		t.foldStream(s)
+		delete(t.streams, id)
+		t.ev.EvictedStreams++
+		streams++
+	}
+	for k, f := range t.flows {
+		if f.LastSeen.After(cutoff) {
+			continue
+		}
+		t.foldFlow(f)
+		delete(t.flows, k)
+		t.ev.EvictedFlows++
+		flows++
+	}
+	return flows, streams
+}
+
+func (t *Table) evictedEncapAgg(mt zoom.MediaType) *shareAgg {
+	if t.evictedEncap == nil {
+		t.evictedEncap = make(map[zoom.MediaType]*shareAgg)
+	}
+	a := t.evictedEncap[mt]
+	if a == nil {
+		a = &shareAgg{}
+		t.evictedEncap[mt] = a
+	}
+	return a
+}
+
+func (t *Table) foldStream(s *StreamStats) {
+	a := t.evictedEncapAgg(s.ID.Key.Type)
+	a.pkts += s.Packets
+	a.bytes += s.WireBytes
+	if t.evictedPT == nil {
+		t.evictedPT = make(map[ptKey]*shareAgg)
+	}
+	for pt, sub := range s.Substreams {
+		k := ptKey{s.ID.Key.Type, pt}
+		p := t.evictedPT[k]
+		if p == nil {
+			p = &shareAgg{}
+			t.evictedPT[k] = p
+		}
+		p.pkts += sub.Packets
+		p.bytes += sub.Bytes
+	}
+}
+
+func (t *Table) foldFlow(f *FlowStats) {
+	// Streams carry their own packet counts; a flow's independent Table 2
+	// contribution is its RTCP packets (EncapShares counts those from
+	// flows, not streams).
+	for mt, n := range f.ByEncapType {
+		if !mt.IsRTCP() {
+			continue
+		}
+		t.evictedEncapAgg(mt).pkts += n
+	}
 }
 
 func (t *Table) findStreamBySSRC(ft layers.FiveTuple, ssrc uint32) *StreamStats {
@@ -225,6 +363,28 @@ func (t *Table) Streams() []*StreamStats {
 func (t *Table) Absorb(src *Table) {
 	t.totalPackets += src.totalPackets
 	t.totalBytes += src.totalBytes
+	t.ev.EvictedFlows += src.ev.EvictedFlows
+	t.ev.EvictedStreams += src.ev.EvictedStreams
+	t.ev.RejectedFlowPackets += src.ev.RejectedFlowPackets
+	t.ev.RejectedStreamPackets += src.ev.RejectedStreamPackets
+	t.ev.RejectedSubstreamPackets += src.ev.RejectedSubstreamPackets
+	for mt, a := range src.evictedEncap {
+		d := t.evictedEncapAgg(mt)
+		d.pkts += a.pkts
+		d.bytes += a.bytes
+	}
+	for k, a := range src.evictedPT {
+		if t.evictedPT == nil {
+			t.evictedPT = make(map[ptKey]*shareAgg)
+		}
+		d := t.evictedPT[k]
+		if d == nil {
+			d = &shareAgg{}
+			t.evictedPT[k] = d
+		}
+		d.pkts += a.pkts
+		d.bytes += a.bytes
+	}
 	for k, f := range src.flows {
 		dst := t.flows[k]
 		if dst == nil {
@@ -341,6 +501,16 @@ func (t *Table) EncapShares(totalPackets, totalBytes uint64) []EncapTypeShare {
 			a.pkts += n
 		}
 	}
+	// Evicted entries still count toward the report.
+	for mt, ea := range t.evictedEncap {
+		a := byType[mt]
+		if a == nil {
+			a = &agg{}
+			byType[mt] = a
+		}
+		a.pkts += ea.pkts
+		a.bytes += ea.bytes
+	}
 	out := make([]EncapTypeShare, 0, len(byType))
 	for mt, a := range byType {
 		share := EncapTypeShare{Type: mt, Packets: a.pkts, Bytes: a.bytes}
@@ -370,15 +540,11 @@ type PayloadTypeShare struct {
 // PayloadTypeShares aggregates substream shares by (media type, RTP PT)
 // across all streams (Table 3).
 func (t *Table) PayloadTypeShares(totalPackets, totalBytes uint64) []PayloadTypeShare {
-	type key struct {
-		mt zoom.MediaType
-		pt uint8
-	}
 	type agg struct{ pkts, bytes uint64 }
-	byKey := map[key]*agg{}
+	byKey := map[ptKey]*agg{}
 	for _, s := range t.streams {
 		for pt, sub := range s.Substreams {
-			k := key{s.ID.Key.Type, pt}
+			k := ptKey{s.ID.Key.Type, pt}
 			a := byKey[k]
 			if a == nil {
 				a = &agg{}
@@ -387,6 +553,16 @@ func (t *Table) PayloadTypeShares(totalPackets, totalBytes uint64) []PayloadType
 			a.pkts += sub.Packets
 			a.bytes += sub.Bytes
 		}
+	}
+	// Evicted substreams still count toward the report.
+	for k, ea := range t.evictedPT {
+		a := byKey[k]
+		if a == nil {
+			a = &agg{}
+			byKey[k] = a
+		}
+		a.pkts += ea.pkts
+		a.bytes += ea.bytes
 	}
 	out := make([]PayloadTypeShare, 0, len(byKey))
 	for k, a := range byKey {

@@ -67,6 +67,14 @@ type Dedup struct {
 	TSWindow int64
 	// TimeWindow bounds the wall-clock gap for the same linkage.
 	TimeWindow time.Duration
+	// MaxStreams caps the number of stream records the detector retains
+	// (0 = unlimited). At the cap, observations for new streams are
+	// assigned fresh unified IDs but not stored — they are invisible to
+	// Records() and counted in Dropped, so a flood of garbage streams
+	// cannot grow the detector without bound.
+	MaxStreams int
+	// Dropped counts stream records turned away at MaxStreams.
+	Dropped uint64
 
 	streams map[flowKey]*streamState
 	// bySSRC indexes live streams for copy lookup.
@@ -112,6 +120,10 @@ func (d *Dedup) Observe(o StreamObs) UnifiedID {
 	if s.unified == 0 {
 		d.nextID++
 		s.unified = d.nextID
+	}
+	if d.MaxStreams > 0 && len(d.streams) >= d.MaxStreams {
+		d.Dropped++
+		return s.unified
 	}
 	d.streams[k] = s
 	d.bySSRC[o.Key] = append(d.bySSRC[o.Key], s)

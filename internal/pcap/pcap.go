@@ -70,10 +70,11 @@ type Record struct {
 
 // Reader reads records from a pcap stream.
 type Reader struct {
-	r       io.Reader
-	order   binary.ByteOrder
-	hdr     Header
-	scratch [recordHeaderLen]byte
+	r         io.Reader
+	order     binary.ByteOrder
+	hdr       Header
+	truncated bool
+	scratch   [recordHeaderLen]byte
 }
 
 // NewReader parses the global header from r and returns a Reader
@@ -111,11 +112,23 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the file's global header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// Truncated reports whether the stream ended mid-record: the capture was
+// cut (a crashed or interrupted tcpdump, a partial copy). Every record
+// before the cut was returned normally, so the results computed from
+// them are valid partial results. Matching the pcapng reader, the cut
+// itself surfaces as a clean io.EOF from Next, not an error.
+func (r *Reader) Truncated() bool { return r.truncated }
+
 // Next returns the next record, or io.EOF at a clean end of stream. The
-// returned Data slice is freshly allocated and owned by the caller.
+// returned Data slice is freshly allocated and owned by the caller. A
+// stream cut mid-record yields io.EOF with Truncated() set.
 func (r *Reader) Next() (Record, error) {
 	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
 		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			r.truncated = true
 			return Record{}, io.EOF
 		}
 		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
@@ -133,6 +146,10 @@ func (r *Reader) Next() (Record, error) {
 	}
 	data := make([]byte, capLen)
 	if _, err := io.ReadFull(r.r, data); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			r.truncated = true
+			return Record{}, io.EOF
+		}
 		return Record{}, fmt.Errorf("pcap: reading record body: %w", err)
 	}
 	nsec := int64(sub)

@@ -37,7 +37,12 @@ type NGReader struct {
 	// interfaces carries per-interface metadata of the current section.
 	interfaces []ngInterface
 	snapLen    uint32
+	truncated  bool
 }
+
+// Truncated reports whether the stream ended mid-block (a cut capture).
+// Records before the cut were returned normally.
+func (ng *NGReader) Truncated() bool { return ng.truncated }
 
 type ngInterface struct {
 	linkType uint16
@@ -76,7 +81,7 @@ func (ng *NGReader) readBlockHeaderless() (uint32, []byte, error) {
 		// trusting the length.
 		var bom [4]byte
 		if _, err := io.ReadFull(ng.r, bom[:]); err != nil {
-			return 0, nil, err
+			return 0, nil, midEOF(err)
 		}
 		switch binary.LittleEndian.Uint32(bom[:]) {
 		case byteOrderMagic:
@@ -92,7 +97,7 @@ func (ng *NGReader) readBlockHeaderless() (uint32, []byte, error) {
 		}
 		rest := make([]byte, total-12)
 		if _, err := io.ReadFull(ng.r, rest); err != nil {
-			return 0, nil, err
+			return 0, nil, midEOF(err)
 		}
 		body := append(bom[:], rest[:len(rest)-4]...)
 		return btype, body, nil
@@ -106,9 +111,19 @@ func (ng *NGReader) readBlockHeaderless() (uint32, []byte, error) {
 	}
 	body := make([]byte, total-8)
 	if _, err := io.ReadFull(ng.r, body); err != nil {
-		return 0, nil, err
+		return 0, nil, midEOF(err)
 	}
 	return btype, body[:len(body)-4], nil
+}
+
+// midEOF upgrades a bare io.EOF hit after a block header was already
+// consumed to io.ErrUnexpectedEOF, so Next can tell a clean end of
+// stream from a mid-block cut.
+func midEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 func (ng *NGReader) parseSHB(body []byte) error {
@@ -172,6 +187,7 @@ func (ng *NGReader) Next() (Record, error) {
 		}
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
+				ng.truncated = true
 				return Record{}, io.EOF
 			}
 			return Record{}, err
@@ -238,9 +254,24 @@ func (ng *NGReader) parseSPB(body []byte) (Record, error) {
 	return Record{OriginalLen: int(origLen), Data: data}, nil
 }
 
-// OpenAny sniffs the stream and returns a record iterator for either
+// Stream is a format-agnostic record iterator over either classic pcap
+// or pcapng, carrying the reader-level truncation state alongside the
+// records.
+type Stream struct {
+	next      func() (Record, error)
+	truncated func() bool
+}
+
+// Next returns the next record, or io.EOF at end of stream (clean or
+// cut — consult Truncated to distinguish).
+func (s *Stream) Next() (Record, error) { return s.next() }
+
+// Truncated reports whether the underlying stream was cut mid-record.
+func (s *Stream) Truncated() bool { return s.truncated() }
+
+// OpenStream sniffs the stream and returns a record iterator for either
 // classic pcap or pcapng. It reads the first four bytes to decide.
-func OpenAny(r io.Reader) (func() (Record, error), error) {
+func OpenStream(r io.Reader) (*Stream, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("pcap: sniffing magic: %w", err)
@@ -251,13 +282,23 @@ func OpenAny(r io.Reader) (func() (Record, error), error) {
 		if err != nil {
 			return nil, err
 		}
-		return ng.Next, nil
+		return &Stream{next: ng.Next, truncated: ng.Truncated}, nil
 	}
 	pr, err := NewReader(joined)
 	if err != nil {
 		return nil, err
 	}
-	return pr.Next, nil
+	return &Stream{next: pr.Next, truncated: pr.Truncated}, nil
+}
+
+// OpenAny is OpenStream without the truncation accessor, kept for
+// callers that only need the iterator.
+func OpenAny(r io.Reader) (func() (Record, error), error) {
+	s, err := OpenStream(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Next, nil
 }
 
 // bytesReader avoids importing bytes for one call site.

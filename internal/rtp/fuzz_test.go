@@ -1,0 +1,53 @@
+package rtp
+
+import "testing"
+
+// FuzzRTPParse drives the RTP and RTCP codecs with arbitrary bytes: they
+// must never panic, and anything that parses must re-marshal and
+// re-parse without error.
+func FuzzRTPParse(f *testing.F) {
+	valid := Packet{
+		Header: Header{
+			Marker:         true,
+			PayloadType:    111,
+			SequenceNumber: 4242,
+			Timestamp:      1234567,
+			SSRC:           0xcafebabe,
+			CSRC:           []uint32{1, 2},
+		},
+		Payload: []byte("opus-frame"),
+	}
+	b, err := valid.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	ext := valid
+	ext.Extension = true
+	ext.ExtensionProfile = 0xbede
+	ext.ExtensionData = []byte{1, 2, 3, 4}
+	if b, err = ext.Marshal(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add(MarshalSR(SenderReport{SSRC: 9, NTPTS: 1 << 40, RTPTS: 90000, PacketCount: 10, OctetCount: 1000}, true))
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := Parse(data); err == nil {
+			out, err := p.Marshal()
+			if err != nil {
+				t.Fatalf("re-marshal of parsed packet failed: %v", err)
+			}
+			if _, err := Parse(out); err != nil {
+				t.Fatalf("re-parse of marshal output failed: %v", err)
+			}
+		}
+		if cp, err := ParseCompound(data); err == nil {
+			for _, sr := range cp.SenderReports {
+				_ = MarshalSR(sr, false)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net/netip"
 )
 
@@ -48,10 +49,16 @@ var (
 type TransactionID [12]byte
 
 // NewTransactionID returns a cryptographically random transaction ID.
+// Transaction IDs here only need uniqueness (they label simulated
+// exchanges, never secure real ones), so if the system entropy source
+// fails the function falls back to math/rand instead of panicking — a
+// measurement tap must not crash because /dev/urandom hiccupped.
 func NewTransactionID() TransactionID {
 	var id TransactionID
 	if _, err := rand.Read(id[:]); err != nil {
-		panic("stun: reading random transaction id: " + err.Error())
+		for i := range id {
+			id[i] = byte(mrand.Int())
+		}
 	}
 	return id
 }

@@ -1,0 +1,66 @@
+package zoom
+
+import (
+	"testing"
+
+	"zoomlens/internal/rtp"
+)
+
+// FuzzZoomParse drives the Zoom encapsulation parser with arbitrary UDP
+// payloads in every layout mode. The contract under fuzzing is the
+// production-hardening contract: never panic, and any payload that
+// parses must re-marshal and re-parse cleanly.
+func FuzzZoomParse(f *testing.F) {
+	// Seed with the valid packets the simulator emits: server-based and
+	// P2P layouts for each media type, plus an RTCP sender report.
+	seed := func(p Packet) {
+		b, err := p.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, mt := range []MediaType{TypeScreenShare, TypeAudio, TypeVideo} {
+		for _, serverBased := range []bool{true, false} {
+			seed(Packet{
+				ServerBased: serverBased,
+				SFU:         SFUEncap{Type: SFUTypeMedia, Sequence: 7, Direction: DirFromSFU},
+				Media:       MediaEncap{Type: mt, Sequence: 3, Timestamp: 90000, PacketsInFrame: 2},
+				RTP: rtp.Packet{
+					Header:  rtp.Header{PayloadType: 98, SequenceNumber: 100, Timestamp: 90000, SSRC: 0xfeedf00d},
+					Payload: []byte("media-bytes"),
+				},
+			})
+		}
+	}
+	seed(Packet{
+		ServerBased: true,
+		SFU:         SFUEncap{Type: SFUTypeMedia, Direction: DirToSFU},
+		Media:       MediaEncap{Type: TypeRTCPSR},
+		RTCP:        rtp.CompoundPacket{SenderReports: []rtp.SenderReport{{SSRC: 1, NTPTS: 2, RTPTS: 3}}},
+	})
+	f.Add([]byte{})
+	f.Add([]byte{SFUTypeMedia})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []Mode{ModeAuto, ModeServer, ModeP2P} {
+			p, err := ParsePacket(data, mode)
+			if err != nil {
+				continue
+			}
+			// Exercise the accessors a capped analyzer calls per packet.
+			_ = p.IsMedia()
+			_ = p.MediaPayloadLen()
+			out, err := p.Marshal()
+			if err != nil {
+				// Legal: e.g. a parsed RTCP compound without a sender
+				// report cannot be re-marshaled.
+				continue
+			}
+			if _, err := ParsePacket(out, mode); err != nil {
+				t.Fatalf("mode %v: re-parse of marshal output failed: %v", mode, err)
+			}
+		}
+	})
+}

@@ -359,6 +359,11 @@ func (p *Packet) Marshal() ([]byte, error) {
 			return nil, err
 		}
 	case p.Media.Type.IsRTCP():
+		if len(p.RTCP.SenderReports) == 0 {
+			// A parsed compound can legally hold no sender report (e.g.
+			// receiver-report-only); refuse rather than index past it.
+			return nil, fmt.Errorf("zoom: rtcp packet has no sender report to marshal")
+		}
 		out = append(out, rtp.MarshalSR(p.RTCP.SenderReports[0], p.Media.Type == TypeRTCPSRSDES)...)
 	}
 	return out, nil

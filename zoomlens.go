@@ -93,6 +93,22 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 	return core.NewParallelAnalyzer(cfg, workers)
 }
 
+// Production hardening (bounded state, panic containment).
+type (
+	// Quarantine is the forensic ring buffer of frames whose processing
+	// panicked; see Config.Quarantine.
+	Quarantine = core.Quarantine
+	// QuarantinedFrame is one captured offender in a Quarantine.
+	QuarantinedFrame = core.QuarantinedFrame
+	// FinishedStream is an archived, finalized stream (Compact / idle
+	// eviction).
+	FinishedStream = core.FinishedStream
+)
+
+// NewQuarantine builds a forensic frame ring holding up to capacity
+// frames (a default capacity if capacity <= 0).
+func NewQuarantine(capacity int) *Quarantine { return core.NewQuarantine(capacity) }
+
 // Zoom wire format (§4.2).
 type (
 	// ZoomPacket is a fully parsed Zoom UDP payload.
