@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench ablation cover tools examples ci fuzz-smoke clean
+.PHONY: all build test test-short bench bench-smoke ablation cover tools examples ci fuzz-smoke clean
 
 all: build test
 
@@ -21,19 +21,27 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
+# One iteration of the pipeline benchmark: catches a broken perf
+# harness without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run XXX -bench BenchmarkAnalyzerPipeline -benchtime 1x .
+
 ablation:
 	$(GO) test -bench=Ablation -benchtime 1x -run XXX .
 
 cover:
 	$(GO) test -cover ./...
 
-# Mirrors .github/workflows/ci.yml: the race detector matters here
-# because the sharded parallel analyzer is exercised by the tests.
+# Mirrors the .github/workflows/ci.yml jobs (test, race, smoke) in
+# sequence: the race detector matters here because the sharded parallel
+# analyzer, metrics endpoint, and snapshot barrier are all concurrency.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke FUZZTIME=10s
+	$(MAKE) bench-smoke
 
 # Short native-fuzz runs over every packet codec: the parsers face
 # hostile bytes in production, so every CI run hammers them briefly.

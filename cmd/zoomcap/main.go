@@ -6,6 +6,11 @@
 // Usage:
 //
 //	zoomcap -i all.pcap -o zoom.pcap [-anon -key secret] [-workers N] [-resources]
+//
+// With -metrics-addr the filter's verdict counters are served live in
+// Prometheus text format (plus expvar and pprof) — the software stand-in
+// for reading the Tofino pipeline's counters mid-capture; -trace prints
+// a per-stage timing report at exit.
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 
 	"zoomlens"
 	"zoomlens/internal/capture"
+	"zoomlens/internal/cliobs"
 	"zoomlens/internal/layers"
+	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
 )
 
@@ -45,6 +52,7 @@ func main() {
 		resources = flag.Bool("resources", false, "print the Table 5 hardware resource model and exit")
 		exportP4  = flag.Bool("export-p4", false, "print the generated P4 capture program and exit")
 	)
+	obsFlags := cliobs.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 
 	if *resources {
@@ -101,11 +109,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	setup, err := obsFlags.Apply()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer setup.Close()
+
 	filter := capture.NewFilter(capture.Config{
 		ZoomNetworks:       zoomlens.DefaultZoomNetworks(),
 		CampusNetworks:     campusNets,
 		ValidateP2PPayload: *validate,
 	})
+	mirrorStats := statsMirror(setup, filter)
 	newAnonymizer := func() *capture.Anonymizer { return nil }
 	if *anon {
 		switch *anonMode {
@@ -128,6 +143,8 @@ func main() {
 
 	parser := &layers.Parser{}
 	var pkt layers.Packet
+	var seen uint64
+	captureDone := setup.Stage("capture")
 readLoop:
 	for {
 		select {
@@ -149,6 +166,10 @@ readLoop:
 			}
 			log.Fatal(err)
 		}
+		seen++
+		if seen%1024 == 0 {
+			mirrorStats()
+		}
 		if parser.Parse(rec.Data, &pkt) != nil {
 			continue
 		}
@@ -159,15 +180,19 @@ readLoop:
 			log.Fatal(err)
 		}
 	}
+	captureDone()
 	select {
 	case <-sig:
 		interrupted = true
 	default:
 	}
 	signal.Stop(sig)
+	drainDone := setup.Stage("drain")
 	if err := closeSink(); err != nil {
 		log.Fatal(err)
 	}
+	drainDone()
+	mirrorStats()
 	st := filter.Stats()
 	note := ""
 	if interrupted {
@@ -177,6 +202,35 @@ readLoop:
 	}
 	fmt.Printf("processed %d packets: server %d, stun %d, p2p %d (format-rejected %d), dropped %d%s\n",
 		st.Processed, st.ZoomServer, st.ZoomSTUN, st.ZoomP2P, st.P2PFormatRejected, st.Dropped, note)
+}
+
+// statsMirror publishes the filter's verdict counters to the metrics
+// registry. The filter itself stays untouched — its stats are plain
+// fields — so the mirror copies them into atomic handles on a packet
+// cadence. Returns a no-op when -metrics-addr is off.
+func statsMirror(setup *cliobs.Setup, filter *capture.Filter) func() {
+	reg := setup.Registry
+	if reg == nil {
+		return func() {}
+	}
+	verdict := func(v string) *obs.Counter {
+		return reg.Counter("zoomcap_filter_packets_total",
+			"capture filter verdicts (Figure 13 pipeline)", obs.L("verdict", v))
+	}
+	processed := reg.Counter("zoomcap_packets_total", "packets examined by the capture filter")
+	server, stun, p2p := verdict("server"), verdict("stun"), verdict("p2p")
+	rejected, dropped := verdict("p2p_format_rejected"), verdict("dropped")
+	p2pTable := reg.Gauge("zoomcap_p2p_table_churn", "P2P table inserts minus evictions")
+	return func() {
+		st := filter.Stats()
+		processed.Store(st.Processed)
+		server.Store(st.ZoomServer)
+		stun.Store(st.ZoomSTUN)
+		p2p.Store(st.ZoomP2P)
+		rejected.Store(st.P2PFormatRejected)
+		dropped.Store(st.Dropped)
+		p2pTable.Set(int64(st.P2PInserted) - int64(st.P2PEvicted))
+	}
 }
 
 // newSink returns the record write path. Without anonymization (or with

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	zoomflows -i zoom.pcap [-what streams|flows|meetings]
+//
+// Live observability (all optional, none changes the final report):
+// -metrics-addr serves Prometheus metrics, expvar, and pprof while the
+// capture streams through; -snapshot-interval emits per-meeting QoE
+// snapshots as JSON lines on the capture clock; -trace prints a
+// per-stage timing report at exit.
 package main
 
 import (
@@ -17,8 +23,10 @@ import (
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"zoomlens"
+	"zoomlens/internal/cliobs"
 	"zoomlens/internal/pcap"
 )
 
@@ -33,21 +41,35 @@ func main() {
 		flowTTL    = flag.Duration("flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
 		quarPath   = flag.String("quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("missing -i input pcap")
 	}
-	f, err := os.Open(*in)
+	var f *os.File
+	if *in == "-" {
+		f = os.Stdin
+	} else {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	setup, err := obsFlags.Apply()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	defer setup.Close()
 
 	cfg := zoomlens.Config{
 		ZoomNetworks: zoomlens.DefaultZoomNetworks(),
 		MaxFlows:     *maxFlows,
 		MaxStreams:   *maxStreams,
 		FlowTTL:      *flowTTL,
+		Obs:          setup.Registry,
+		Tracer:       setup.Tracer,
 	}
 	var quarantine *zoomlens.Quarantine
 	if *quarPath != "" {
@@ -65,7 +87,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sw := obsFlags.SnapshotWriter(setup, a.Snapshot)
+	var lastTS time.Time
 	interrupted := false
+	ingestDone := setup.Stage("ingest")
 readLoop:
 	for {
 		select {
@@ -82,7 +107,10 @@ readLoop:
 			log.Fatal(err)
 		}
 		a.Packet(rec.Timestamp, rec.Data)
+		lastTS = rec.Timestamp
+		sw.Tick(rec.Timestamp)
 	}
+	ingestDone()
 	select {
 	case <-sig:
 		interrupted = true
@@ -90,11 +118,18 @@ readLoop:
 	}
 	signal.Stop(sig)
 	a.Finish()
+	if !lastTS.IsZero() {
+		sw.Flush(lastTS)
+	}
+	if err := sw.Err(); err != nil {
+		log.Printf("snapshots: %v", err)
+	}
 	if stream.Truncated() {
 		a.Truncated = true
 	}
 	defer emitStatus(a, interrupted, quarantine, *quarPath)
 
+	defer setup.Stage("report")()
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	switch *what {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"zoomlens"
+	"zoomlens/internal/cliobs"
 	"zoomlens/internal/netsim"
 	"zoomlens/internal/pcap"
 	"zoomlens/internal/sim"
@@ -39,8 +40,14 @@ func main() {
 		bgPPS    = flag.Float64("bg", 400, "campus mode: background packet rate")
 		format   = flag.String("format", "pcap", "output format: pcap | pcapng")
 	)
+	obsFlags := cliobs.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 
+	setup, err := obsFlags.Apply()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer setup.Close()
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -64,14 +71,24 @@ func main() {
 		log.Fatalf("unknown -format %q", *format)
 	}
 	var packets, bytes int64
+	var pktC, byteC *zoomlens.MetricCounter
+	if setup.Registry != nil {
+		pktC = setup.Registry.Counter("zoomsim_packets_total", "frames generated onto the simulated monitor link")
+		byteC = setup.Registry.Counter("zoomsim_bytes_total", "wire bytes generated onto the simulated monitor link")
+	}
 	monitor := func(at time.Time, frame []byte) {
 		if err := write(at, frame); err != nil {
 			log.Fatal(err)
 		}
 		packets++
 		bytes += int64(len(frame))
+		if pktC != nil && packets%1024 == 0 {
+			pktC.Store(uint64(packets))
+			byteC.Store(uint64(bytes))
+		}
 	}
 
+	simDone := setup.Stage("simulate")
 	switch *mode {
 	case "meeting":
 		opts := sim.DefaultOptions()
@@ -117,6 +134,11 @@ func main() {
 		world.Run(cfg.Start.Add(cfg.Duration))
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+	simDone()
+	if pktC != nil {
+		pktC.Store(uint64(packets))
+		byteC.Store(uint64(bytes))
 	}
 	fmt.Printf("wrote %d packets (%d bytes) to %s\n", packets, bytes, *out)
 }

@@ -1,0 +1,128 @@
+// Package cliobs wires the shared live-observability surface of the
+// zoomlens command-line tools: the -metrics-addr endpoint (Prometheus
+// text format, expvar, pprof), the -trace stage-timing report, and — for
+// the analysis tools — -snapshot-interval / -snapshot-out periodic QoE
+// snapshots.
+package cliobs
+
+import (
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"zoomlens/internal/core"
+	"zoomlens/internal/obs"
+)
+
+// Flags holds the shared observability flag values.
+type Flags struct {
+	MetricsAddr      string
+	Trace            bool
+	SnapshotInterval time.Duration
+	SnapshotOut      string
+}
+
+// RegisterMetrics installs the endpoint and tracing flags (the subset
+// every tool supports).
+func RegisterMetrics(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
+		"serve live metrics on this address: Prometheus text at /metrics, expvar, pprof (empty = disabled; use 127.0.0.1:0 for an ephemeral port)")
+	fs.BoolVar(&f.Trace, "trace", false,
+		"print a per-stage wall-clock timing report to stderr at exit")
+	return f
+}
+
+// Register installs all shared flags, including the QoE snapshot pair
+// (analysis tools only — the snapshots come from an Analyzer).
+func Register(fs *flag.FlagSet) *Flags {
+	f := RegisterMetrics(fs)
+	fs.DurationVar(&f.SnapshotInterval, "snapshot-interval", 0,
+		"emit per-meeting QoE snapshots as JSON lines every interval of trace time (0 = disabled)")
+	fs.StringVar(&f.SnapshotOut, "snapshot-out", "",
+		"snapshot destination path (empty or \"-\" = stderr)")
+	return f
+}
+
+// Setup is one run's live observability state.
+type Setup struct {
+	// Registry is non-nil when -metrics-addr is set; hand it to
+	// core.Config.Obs.
+	Registry *obs.Registry
+	// Tracer is non-nil when -trace and/or -metrics-addr is set; hand it
+	// to core.Config.Tracer and use Stage for CLI-level stages.
+	Tracer obs.Tracer
+
+	stats *obs.StageStats
+	srv   *http.Server
+	snapF *os.File
+	snapW io.Writer
+}
+
+// Apply builds the run's observability from the parsed flags. The
+// endpoint address is logged so callers (and tests, with port 0) can
+// find it. Call Close before exiting.
+func (f *Flags) Apply() (*Setup, error) {
+	s := &Setup{snapW: os.Stderr}
+	if f.MetricsAddr != "" {
+		s.Registry = obs.NewRegistry()
+		srv, addr, err := obs.Serve(f.MetricsAddr, s.Registry)
+		if err != nil {
+			return nil, err
+		}
+		s.srv = srv
+		log.Printf("metrics: listening on http://%s/metrics", addr)
+	}
+	var trs obs.MultiTracer
+	if f.Trace {
+		s.stats = obs.NewStageStats()
+		trs = append(trs, s.stats)
+	}
+	if s.Registry != nil {
+		trs = append(trs, obs.NewRegistryTracer(s.Registry))
+	}
+	if len(trs) > 0 {
+		s.Tracer = trs
+	}
+	if f.SnapshotOut != "" && f.SnapshotOut != "-" {
+		sf, err := os.Create(f.SnapshotOut)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.snapF = sf
+		s.snapW = sf
+	}
+	return s, nil
+}
+
+// SnapshotWriter builds the trace-time snapshot writer; with a zero
+// interval it ignores every Tick, so callers can wire it
+// unconditionally.
+func (f *Flags) SnapshotWriter(s *Setup, snap func(time.Time, time.Duration) []core.MeetingSnapshot) *core.SnapshotWriter {
+	return &core.SnapshotWriter{Interval: f.SnapshotInterval, W: s.snapW, Snap: snap}
+}
+
+// Stage times one CLI stage under the configured tracer (no-op when
+// tracing is off). Use as: defer setup.Stage("ingest")().
+func (s *Setup) Stage(name string) func() { return obs.Stage(s.Tracer, name) }
+
+// Close shuts the endpoint down, closes the snapshot file, and prints
+// the stage report.
+func (s *Setup) Close() {
+	if s == nil {
+		return
+	}
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	if s.snapF != nil {
+		s.snapF.Close()
+	}
+	if s.stats != nil {
+		os.Stderr.WriteString(s.stats.Report())
+	}
+}

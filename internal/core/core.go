@@ -23,6 +23,7 @@ import (
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/metrics"
+	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
 	"zoomlens/internal/stun"
 	"zoomlens/internal/tcprtt"
@@ -66,11 +67,26 @@ type Config struct {
 	// MaintainEvery is the eviction cadence in packets (default 4096
 	// when FlowTTL is set).
 	MaintainEvery uint64
+	// MaxCopyPending caps the RTT copy-matcher's pending map (§5.3
+	// method 1). Zero derives a bound from MaxStreams when that is set,
+	// otherwise the matcher's own default applies.
+	MaxCopyPending int
 	// Quarantine, when non-nil, receives the offending frame whenever
 	// per-packet processing panics (see Quarantine). It may be shared
 	// across analyzers; it is safe for concurrent use.
 	Quarantine *Quarantine
+
+	// Obs, when non-nil, receives live pipeline metrics: per-stage packet
+	// counters, state-table occupancy against the caps above, eviction
+	// and panic counts (see internal/obs). Nil costs one branch per hook.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives coarse stage timings (finish, merge,
+	// snapshot). Nil is a no-op.
+	Tracer obs.Tracer
 }
+
+// trace wraps Config.Tracer as a nil-safe stage timer.
+func (cfg Config) trace(stage string) func() { return obs.Stage(cfg.Tracer, stage) }
 
 // Analyzer is the end-to-end pipeline. Feed packets in capture order via
 // Packet (or a whole file via ReadPCAP), then call Finish once before
@@ -135,6 +151,10 @@ type Analyzer struct {
 	firstTS time.Time
 	lastTS  time.Time
 
+	// o holds this analyzer's live-metric handles (nil when Config.Obs
+	// is nil; every hook is nil-receiver safe).
+	o *coreObs
+
 	// obsSink, when non-nil, receives each media-stream observation
 	// instead of it being fed to Dedup and Copies directly. The sharded
 	// parallel analyzer uses this to log observations per shard and
@@ -170,7 +190,23 @@ func NewAnalyzer(cfg Config) *Analyzer {
 		MaxSubstreams: cfg.MaxSubstreams,
 	})
 	a.Dedup.MaxStreams = cfg.MaxMeetingStreams
+	a.Copies.MaxPending = effectiveMaxCopyPending(cfg)
+	a.bindObs("")
 	return a
+}
+
+// effectiveMaxCopyPending resolves the copy-matcher cap: explicit config
+// wins; a bounded deployment without one still gets a cap derived from
+// the stream cap (pending entries are per unmatched packet, so scale
+// well above it); zero defers to the matcher's own default.
+func effectiveMaxCopyPending(cfg Config) int {
+	if cfg.MaxCopyPending > 0 {
+		return cfg.MaxCopyPending
+	}
+	if cfg.MaxStreams > 0 {
+		return 256 * cfg.MaxStreams
+	}
+	return 0
 }
 
 // Packet ingests one captured frame. A panic anywhere in per-packet
@@ -179,6 +215,10 @@ func NewAnalyzer(cfg Config) *Analyzer {
 func (a *Analyzer) Packet(at time.Time, frame []byte) {
 	a.Packets++
 	a.Bytes += uint64(len(frame))
+	a.o.packetIn(len(frame))
+	if a.o != nil && a.Packets%obsUpdateEvery == 0 {
+		a.updateObsGauges()
+	}
 	if a.firstTS.IsZero() || at.Before(a.firstTS) {
 		a.firstTS = at
 	}
@@ -196,6 +236,7 @@ func (a *Analyzer) safeProcess(at time.Time, frame []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			a.PanicsRecovered++
+			a.o.panicRecovered()
 			if a.cfg.Quarantine != nil {
 				a.cfg.Quarantine.Add(at, frame, fmt.Sprintf("panic: %v", r))
 			}
@@ -207,11 +248,13 @@ func (a *Analyzer) safeProcess(at time.Time, frame []byte) {
 	var pkt layers.Packet
 	if err := a.parser.Parse(frame, &pkt); err != nil {
 		a.Undecodable++
+		a.o.undecodable()
 		return
 	}
 	verdict := a.filter.Classify(&pkt, at)
 	if !verdict.Keep() && !a.cfg.PreFiltered {
 		a.DroppedByFilter++
+		a.o.filtered()
 		return
 	}
 	a.ingest(at, &pkt, len(frame))
@@ -224,6 +267,7 @@ func (a *Analyzer) ingest(at time.Time, pkt *layers.Packet, wireLen int) {
 	switch {
 	case pkt.HasTCP:
 		a.TCPPackets++
+		a.o.tcp()
 		a.observeTCP(at, pkt)
 	case pkt.HasUDP:
 		a.observeUDP(at, pkt, wireLen)
@@ -258,6 +302,7 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 	// UDPKeptPackets denominators.
 	if pkt.UDP.SrcPort == stun.Port || pkt.UDP.DstPort == stun.Port || stun.Is(pkt.Payload) {
 		a.STUNPackets++
+		a.o.stun()
 		return
 	}
 	a.UDPKeptPackets++
@@ -265,9 +310,11 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 	zp, err := zoom.ParsePacket(pkt.Payload, zoom.ModeAuto)
 	if err != nil {
 		a.Undecodable++
+		a.o.undecodable()
 		return
 	}
 	a.ZoomUDP++
+	a.o.zoomUDP()
 	ft, ok := pkt.FiveTuple()
 	if !ok {
 		return
@@ -284,6 +331,7 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 	if !zp.IsMedia() {
 		return
 	}
+	a.o.media()
 	if st == nil {
 		// The flow table turned the packet away at a state cap (and
 		// counted it); skip stream-level state too so caps bound the
@@ -326,9 +374,11 @@ func (cfg Config) isZoomAddr(addr netip.Addr) bool {
 
 // Finish flushes all per-stream state. Call once after the last packet.
 func (a *Analyzer) Finish() {
+	defer a.cfg.trace("finish")()
 	for _, sm := range a.StreamMetrics {
 		sm.Finish()
 	}
+	a.updateObsGauges()
 }
 
 // ReadPCAP feeds an entire capture stream (classic pcap or pcapng)

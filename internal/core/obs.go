@@ -1,0 +1,215 @@
+package core
+
+import (
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/obs"
+)
+
+// This file binds the analyzer to the live observability layer
+// (internal/obs). A nil Config.Obs keeps every hook a single branch;
+// with a registry configured the pipeline maintains:
+//
+//   - per-decode-stage packet counters (the live Table 2 view),
+//   - state-table occupancy gauges against the PR 2 bounded-state caps
+//     (labeled per shard in parallel mode),
+//   - eviction / rejection / panic counters, and
+//   - a snapshot counter.
+//
+// Counters that aggregate across shards (stage counts, panics,
+// evictions) are registered unlabeled and shared — every shard adds to
+// the same atomic. Occupancy and cap gauges are per-shard, since shard
+// tables partition the state.
+
+// obsUpdateEvery is the packet cadence for refreshing occupancy gauges.
+const obsUpdateEvery = 2048
+
+// coreObs holds the registered metric handles of one analyzer. All
+// methods are nil-receiver safe.
+type coreObs struct {
+	packets *obs.Counter
+	bytes   *obs.Counter
+
+	stageUndecodable *obs.Counter
+	stageFiltered    *obs.Counter
+	stageSTUN        *obs.Counter
+	stageTCP         *obs.Counter
+	stageZoomUDP     *obs.Counter
+	stageMedia       *obs.Counter
+
+	panics    *obs.Counter
+	snapshots *obs.Counter
+
+	evicted  map[string]*obs.Counter // kind → counter (shared)
+	rejected map[string]*obs.Counter // reason → counter (shared)
+	occ      map[string]*obs.Gauge   // table → gauge (per shard)
+	caps     map[string]*obs.Gauge   // table → cap gauge (per shard)
+
+	// prev tracks this analyzer's cumulative eviction/rejection counts so
+	// the shared counters receive deltas, not double-counted totals.
+	prev map[*obs.Counter]uint64
+}
+
+// stateTables are the occupancy/cap gauge dimensions.
+var stateTables = []string{"flows", "streams", "tcp", "dedup_streams", "copy_pending", "finished"}
+
+// newCoreObs registers the analyzer's metrics; shard is the shard label
+// ("" for the sequential / merged analyzer).
+func newCoreObs(reg *obs.Registry, shard string, cfg Config) *coreObs {
+	if reg == nil {
+		return nil
+	}
+	shardLbl := func(extra ...obs.Label) []obs.Label {
+		if shard == "" {
+			return extra
+		}
+		return append(extra, obs.L("shard", shard))
+	}
+	o := &coreObs{
+		packets: reg.Counter("zoomlens_packets_total", "Frames ingested by the analyzer."),
+		bytes:   reg.Counter("zoomlens_bytes_total", "Wire bytes ingested by the analyzer."),
+
+		stageUndecodable: reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "undecodable")),
+		stageFiltered:    reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "filtered")),
+		stageSTUN:        reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "stun")),
+		stageTCP:         reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "tcp")),
+		stageZoomUDP:     reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "zoom_udp")),
+		stageMedia:       reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "media")),
+
+		panics:    reg.Counter("zoomlens_panics_recovered_total", "Packets whose processing panicked and was quarantined."),
+		snapshots: reg.Counter("zoomlens_snapshots_total", "QoE snapshots taken."),
+
+		evicted:  make(map[string]*obs.Counter),
+		rejected: make(map[string]*obs.Counter),
+		occ:      make(map[string]*obs.Gauge),
+		caps:     make(map[string]*obs.Gauge),
+		prev:     make(map[*obs.Counter]uint64),
+	}
+	for _, kind := range []string{"flows", "streams", "tcp", "archived"} {
+		o.evicted[kind] = reg.Counter("zoomlens_evicted_total", "State entries evicted by idle TTL.", obs.L("kind", kind))
+	}
+	for _, reason := range []string{"flow", "stream", "substream", "tcp"} {
+		o.rejected[reason] = reg.Counter("zoomlens_rejected_packets_total", "Packets refused new state at a hard cap.", obs.L("reason", reason))
+	}
+	for _, table := range stateTables {
+		o.occ[table] = reg.Gauge("zoomlens_state_occupancy", "Live entries per state table.", shardLbl(obs.L("table", table))...)
+		o.caps[table] = reg.Gauge("zoomlens_state_cap", "Configured cap per state table (0 = unlimited).", shardLbl(obs.L("table", table))...)
+	}
+	o.caps["flows"].Set(int64(cfg.MaxFlows))
+	o.caps["streams"].Set(int64(cfg.MaxStreams))
+	o.caps["tcp"].Set(int64(cfg.MaxTCP))
+	o.caps["dedup_streams"].Set(int64(cfg.MaxMeetingStreams))
+	cp := effectiveMaxCopyPending(cfg)
+	if cp == 0 {
+		cp = metrics.DefaultMaxPending
+	}
+	o.caps["copy_pending"].Set(int64(cp))
+	o.caps["finished"].Set(int64(cfg.MaxFinished))
+	return o
+}
+
+func (o *coreObs) packetIn(wireLen int) {
+	if o == nil {
+		return
+	}
+	o.packets.Inc()
+	o.bytes.Add(uint64(wireLen))
+}
+
+func (o *coreObs) undecodable() {
+	if o == nil {
+		return
+	}
+	o.stageUndecodable.Inc()
+}
+
+func (o *coreObs) filtered() {
+	if o == nil {
+		return
+	}
+	o.stageFiltered.Inc()
+}
+
+func (o *coreObs) stun() {
+	if o == nil {
+		return
+	}
+	o.stageSTUN.Inc()
+}
+
+func (o *coreObs) tcp() {
+	if o == nil {
+		return
+	}
+	o.stageTCP.Inc()
+}
+
+func (o *coreObs) zoomUDP() {
+	if o == nil {
+		return
+	}
+	o.stageZoomUDP.Inc()
+}
+
+func (o *coreObs) media() {
+	if o == nil {
+		return
+	}
+	o.stageMedia.Inc()
+}
+
+func (o *coreObs) panicRecovered() {
+	if o == nil {
+		return
+	}
+	o.panics.Inc()
+}
+
+func (o *coreObs) snapshot() {
+	if o == nil {
+		return
+	}
+	o.snapshots.Inc()
+}
+
+// mirror feeds a shared counter the delta between this analyzer's
+// cumulative count and what it last pushed, so shard analyzers can all
+// mirror into one counter without double counting.
+func (o *coreObs) mirror(c *obs.Counter, cur uint64) {
+	if d := cur - o.prev[c]; d > 0 {
+		c.Add(d)
+		o.prev[c] = cur
+	}
+}
+
+// bindObs (re)registers the analyzer's metric handles under the given
+// shard label. NewAnalyzer binds with ""; NewParallelAnalyzer rebinds
+// each shard analyzer with its index.
+func (a *Analyzer) bindObs(shard string) {
+	a.o = newCoreObs(a.cfg.Obs, shard, a.cfg)
+}
+
+// updateObsGauges refreshes occupancy gauges and eviction/rejection
+// mirrors from the analyzer's current state. Called on a packet-count
+// cadence, at Finish, and at every snapshot.
+func (a *Analyzer) updateObsGauges() {
+	o := a.o
+	if o == nil {
+		return
+	}
+	tot := a.Flows.Totals()
+	o.occ["flows"].Set(int64(tot.Flows))
+	o.occ["streams"].Set(int64(tot.Streams))
+	o.occ["tcp"].Set(int64(len(a.TCP)))
+	o.occ["dedup_streams"].Set(int64(a.Dedup.Len()))
+	o.occ["copy_pending"].Set(int64(a.Copies.Pending()))
+	o.occ["finished"].Set(int64(len(a.Finished)))
+	ev := a.Flows.Evictions()
+	o.mirror(o.rejected["flow"], ev.RejectedFlowPackets)
+	o.mirror(o.rejected["stream"], ev.RejectedStreamPackets)
+	o.mirror(o.rejected["substream"], ev.RejectedSubstreamPackets)
+	o.mirror(o.rejected["tcp"], a.RejectedTCPPackets)
+	o.mirror(o.evicted["flows"], ev.EvictedFlows)
+	o.mirror(o.evicted["streams"], ev.EvictedStreams)
+	o.mirror(o.evicted["tcp"], a.EvictedTCP)
+	o.mirror(o.evicted["archived"], uint64(len(a.Finished))+a.FinishedDropped)
+}

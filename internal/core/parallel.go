@@ -35,6 +35,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/metrics"
+	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
 	"zoomlens/internal/zoom"
 )
@@ -69,10 +71,15 @@ const (
 )
 
 // pbatch is one unit of work handed to a shard: frames copied
-// back-to-back into data, with per-packet offsets in items.
+// back-to-back into data, with per-packet offsets in items. A batch with
+// sync set carries no packets; the shard acknowledges on the channel
+// after draining everything queued before it (the Snapshot quiesce
+// barrier — the ack's happens-before edge makes the shard's state safely
+// readable from the dispatcher goroutine until more work is sent).
 type pbatch struct {
 	items []pitem
 	data  []byte
+	sync  chan<- struct{}
 }
 
 type pitem struct {
@@ -99,6 +106,10 @@ func (s *pshard) run(pool *sync.Pool) {
 	defer close(s.done)
 	var pkt layers.Packet
 	for b := range s.ch {
+		if b.sync != nil {
+			b.sync <- struct{}{}
+			continue // sync batches are not pooled
+		}
 		for _, it := range b.items {
 			s.runOne(it, b.data[it.off:it.end], &pkt)
 		}
@@ -135,6 +146,9 @@ func (s *pshard) runOne(it pitem, frame []byte, pkt *layers.Packet) {
 	if ttl := s.a.cfg.FlowTTL; ttl > 0 && s.a.cfg.MaintainEvery > 0 && s.ingested%s.a.cfg.MaintainEvery == 0 {
 		s.a.EvictIdle(it.at.Add(-ttl))
 	}
+	if s.a.o != nil && s.ingested%obsUpdateEvery == 0 {
+		s.a.updateObsGauges()
+	}
 }
 
 // ParallelAnalyzer is the sharded multi-core pipeline. Feed packets in
@@ -161,6 +175,12 @@ type ParallelAnalyzer struct {
 	pool   sync.Pool
 	shards []*pshard
 
+	// o holds the dispatcher's live-metric handles (shared counters plus
+	// the unlabeled aggregate gauges, which Snapshot refreshes); qdepth
+	// exposes each shard's channel backlog.
+	o      *coreObs
+	qdepth []*obs.Gauge
+
 	// Dispatcher-owned totals; the rest accumulate in the shards.
 	nextSeq     uint64
 	packets     uint64
@@ -173,6 +193,23 @@ type ParallelAnalyzer struct {
 	lastTS      time.Time
 
 	merged *Analyzer
+
+	// live is the snapshot-time replica of the cross-flow state (see
+	// liveView); lazily created on the first Snapshot.
+	live *liveView
+}
+
+// liveView incrementally replicates the cross-flow state (stream
+// unification + copy matching) for snapshots, completely separate from
+// the authoritative merge-time replay: each snapshot advances it through
+// the shard observation logs from heads, in global capture order — the
+// same deterministic replay Finish performs, just consumed as the run
+// progresses. Final results therefore never depend on whether (or when)
+// snapshots were taken.
+type liveView struct {
+	dedup  *meeting.Dedup
+	copies *metrics.CopyMatcher
+	heads  []int
 }
 
 // NewParallelAnalyzer builds a sharded analyzer with the given worker
@@ -192,6 +229,7 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 	})
 	pa.pool.New = func() any { return &pbatch{} }
 	pa.shards = make([]*pshard, workers)
+	pa.qdepth = make([]*obs.Gauge, workers)
 	shardCfg := scaleLimits(cfg, workers)
 	for i := range pa.shards {
 		sh := &pshard{
@@ -199,10 +237,21 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 			ch:   make(chan *pbatch, shardQueueDepth),
 			done: make(chan struct{}),
 		}
+		// The shard analyzer registered unlabeled gauges at construction;
+		// rebind so its occupancy series carry the shard label.
+		sh.a.bindObs(strconv.Itoa(i))
+		if cfg.Obs != nil {
+			pa.qdepth[i] = cfg.Obs.Gauge("zoomlens_shard_queue_depth",
+				"Batches queued per shard channel.", obs.L("shard", strconv.Itoa(i)))
+		}
 		sh.a.obsSink = func(o mediaObs) { sh.obs = append(sh.obs, o) }
 		pa.shards[i] = sh
 		go sh.run(&pa.pool)
 	}
+	// Registered after the shard loop so the unlabeled cap gauges reflect
+	// the global configuration, not the transient per-shard binding each
+	// NewAnalyzer performed before its rebind above.
+	pa.o = newCoreObs(cfg.Obs, "", cfg)
 	return pa
 }
 
@@ -240,6 +289,7 @@ func (pa *ParallelAnalyzer) Packet(at time.Time, frame []byte) {
 	}
 	pa.packets++
 	pa.bytes += uint64(len(frame))
+	pa.o.packetIn(len(frame))
 	if pa.firstTS.IsZero() || at.Before(pa.firstTS) {
 		pa.firstTS = at
 	}
@@ -257,6 +307,7 @@ func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			pa.panics++
+			pa.o.panicRecovered()
 			if pa.cfg.Quarantine != nil {
 				pa.cfg.Quarantine.Add(at, frame, fmt.Sprintf("panic: %v", r))
 			}
@@ -264,14 +315,17 @@ func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 	}()
 	if err := pa.parser.Parse(frame, &pa.pkt); err != nil {
 		pa.undecodable++
+		pa.o.undecodable()
 		return
 	}
 	verdict := pa.filter.Classify(&pa.pkt, at)
 	if !verdict.Keep() && !pa.cfg.PreFiltered {
 		pa.dropped++
+		pa.o.filtered()
 		return
 	}
-	sh := pa.shards[pa.shardIndex(&pa.pkt)]
+	idx := pa.shardIndex(&pa.pkt)
+	sh := pa.shards[idx]
 	if sh.cur == nil {
 		sh.cur = pa.pool.Get().(*pbatch)
 	}
@@ -282,6 +336,10 @@ func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 	if len(b.items) >= shardBatchSize {
 		sh.ch <- b
 		sh.cur = nil
+		// Sampled at batch granularity: the backlog right after an enqueue
+		// is the honest congestion signal (0 = keeping up, cap = the
+		// dispatcher is about to block).
+		pa.qdepth[idx].Set(int64(len(sh.ch)))
 	}
 }
 
@@ -345,6 +403,9 @@ func (pa *ParallelAnalyzer) Finish() {
 	}
 	for _, sh := range pa.shards {
 		<-sh.done
+		// Single-threaded again once done is closed: flush each shard's
+		// final occupancy and eviction mirrors before merging.
+		sh.a.updateObsGauges()
 	}
 	pa.merged = pa.merge()
 }
@@ -354,7 +415,14 @@ func (pa *ParallelAnalyzer) Finish() {
 // is exact; Dedup and CopyMatcher are rebuilt by replaying the logged
 // media observations in global capture order.
 func (pa *ParallelAnalyzer) merge() *Analyzer {
+	defer pa.cfg.trace("merge")()
 	m := NewAnalyzer(pa.cfg)
+	// The shards and the dispatcher already fed the shared counters and
+	// mirrored their cumulative eviction stats; the merged analyzer
+	// absorbs those same cumulative counts, so letting it mirror too
+	// would double-count. Its gauges are redundant with the per-shard
+	// series as well.
+	m.o = nil
 	m.Packets = pa.packets
 	m.Bytes = pa.bytes
 	m.Undecodable = pa.undecodable
@@ -459,6 +527,126 @@ func (pa *ParallelAnalyzer) ReadPCAP(r io.Reader) error {
 	pa.truncated = s.Truncated()
 	pa.Finish()
 	return nil
+}
+
+// quiesce flushes every shard's batch under construction and blocks
+// until all shards have drained their queues. On return, shard state is
+// safely readable from the dispatcher goroutine (the ack receive is the
+// happens-before edge) and stays frozen until more work is dispatched.
+func (pa *ParallelAnalyzer) quiesce() {
+	ack := make(chan struct{}, len(pa.shards))
+	for _, sh := range pa.shards {
+		if sh.cur != nil && len(sh.cur.items) > 0 {
+			sh.ch <- sh.cur
+			sh.cur = nil
+		}
+		sh.ch <- &pbatch{sync: ack}
+	}
+	for range pa.shards {
+		<-ack
+	}
+}
+
+// Snapshot quiesces the shards and returns the per-meeting rolling
+// metrics at trace time now over the trailing window. Call only from
+// the dispatching goroutine (between Packet calls); results match the
+// sequential analyzer's Snapshot at the same packet boundary.
+func (pa *ParallelAnalyzer) Snapshot(now time.Time, window time.Duration) []MeetingSnapshot {
+	if pa.seq != nil {
+		return pa.seq.Snapshot(now, window)
+	}
+	if pa.merged != nil {
+		return pa.merged.Snapshot(now, window)
+	}
+	defer pa.cfg.trace("snapshot")()
+	pa.o.snapshot()
+	pa.quiesce()
+	if pa.live == nil {
+		d := meeting.NewDedup()
+		d.MaxStreams = pa.cfg.MaxMeetingStreams
+		c := metrics.NewCopyMatcher()
+		c.MaxPending = effectiveMaxCopyPending(pa.cfg)
+		pa.live = &liveView{dedup: d, copies: c, heads: make([]int, len(pa.shards))}
+	}
+	pa.advanceLive()
+	src := snapshotSource{
+		dedup:  pa.live.dedup,
+		copies: pa.live.copies,
+		cfg:    pa.cfg,
+		lookup: pa.lookupShardStream,
+	}
+	snaps := src.take(now, window)
+	pa.updateAggregateGauges()
+	return snaps
+}
+
+// advanceLive replays newly logged shard observations into the live
+// replica, in global capture order (the same k-way seq merge the final
+// merge performs).
+func (pa *ParallelAnalyzer) advanceLive() {
+	lv := pa.live
+	for {
+		best := -1
+		var bestSeq uint64
+		for si, sh := range pa.shards {
+			if lv.heads[si] >= len(sh.obs) {
+				continue
+			}
+			if s := sh.obs[lv.heads[si]].seq; best < 0 || s < bestSeq {
+				best, bestSeq = si, s
+			}
+		}
+		if best < 0 {
+			return
+		}
+		o := pa.shards[best].obs[lv.heads[best]]
+		lv.heads[best]++
+		unified := lv.dedup.Observe(meeting.StreamObs{
+			Time: o.at, Flow: o.flow, Key: o.key, Seq: o.rtpSeq, TS: o.rtpTS,
+		})
+		lv.copies.Observe(unified, o.flow, o.pt, o.rtpSeq, o.rtpTS, o.at)
+	}
+}
+
+// lookupShardStream resolves a stream record to its shard's metric
+// engine (live, then archived). Valid only while quiesced.
+func (pa *ParallelAnalyzer) lookupShardStream(id flow.MediaStreamID) *metrics.StreamMetrics {
+	for _, sh := range pa.shards {
+		if sm := sh.a.StreamMetrics[id]; sm != nil {
+			return sm
+		}
+	}
+	for _, sh := range pa.shards {
+		for i := range sh.a.Finished {
+			if sh.a.Finished[i].ID == id {
+				return sh.a.Finished[i].Metrics
+			}
+		}
+	}
+	return nil
+}
+
+// updateAggregateGauges refreshes the unlabeled occupancy gauges with
+// cross-shard totals (plus the live replica's cross-flow tables). Valid
+// only while quiesced.
+func (pa *ParallelAnalyzer) updateAggregateGauges() {
+	if pa.o == nil {
+		return
+	}
+	var flows, streams, tcp, finished int
+	for _, sh := range pa.shards {
+		tot := sh.a.Flows.Totals()
+		flows += tot.Flows
+		streams += tot.Streams
+		tcp += len(sh.a.TCP)
+		finished += len(sh.a.Finished)
+	}
+	pa.o.occ["flows"].Set(int64(flows))
+	pa.o.occ["streams"].Set(int64(streams))
+	pa.o.occ["tcp"].Set(int64(tcp))
+	pa.o.occ["finished"].Set(int64(finished))
+	pa.o.occ["dedup_streams"].Set(int64(pa.live.dedup.Len()))
+	pa.o.occ["copy_pending"].Set(int64(pa.live.copies.Pending()))
 }
 
 // Result returns the merged sequential-equivalent analyzer. It panics if

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"zoomlens/internal/flow"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/metrics"
+)
+
+// Periodic QoE snapshots: a live, per-meeting view of the §5 metrics
+// over a trailing window, for continuous deployments that cannot wait
+// for the end-of-capture report. Snapshots are strictly read-only over
+// analyzer state — a run with snapshots enabled produces final reports
+// byte-identical to a run without (the differential test pins this).
+//
+// Time is trace time (packet capture timestamps), not wall clock: the
+// SnapshotWriter fires off the packet stream's own clock, which makes
+// offline replays emit the same snapshots a live tap would have.
+
+// MeetingSnapshot is one meeting's rolling QoE state, emitted as one
+// JSON line per meeting per interval.
+type MeetingSnapshot struct {
+	// Time is the snapshot instant (trace time).
+	Time time.Time `json:"time"`
+	// Meeting is the §4.3 grouper's meeting ID (stable within a run
+	// unless meetings merge).
+	Meeting      int `json:"meeting"`
+	Participants int `json:"participants"`
+	// Streams counts the meeting's observed stream records (per flow and
+	// SSRC, before unification).
+	Streams int `json:"streams"`
+	// Packets, Lost, and Retransmits are cumulative over the meeting's
+	// streams since capture start.
+	Packets     uint64 `json:"packets"`
+	Lost        uint64 `json:"lost"`
+	Retransmits uint64 `json:"retx"`
+	// MediaBPS is the summed media bit rate over the trailing window.
+	MediaBPS float64 `json:"media_bps"`
+	// FPS is the mean delivered video frame rate over the window (0 when
+	// no video frame completed in it).
+	FPS float64 `json:"fps"`
+	// JitterMS is the mean frame-level jitter over the window.
+	JitterMS float64 `json:"jitter_ms"`
+	// RTTMS is the mean §5.3 method-1 RTT over the window; RTTSamples
+	// counts the samples behind it.
+	RTTMS      float64 `json:"rtt_ms"`
+	RTTSamples int     `json:"rtt_samples"`
+}
+
+// snapshotSource abstracts where the cross-flow state lives: the
+// sequential analyzer reads its own Dedup/CopyMatcher, the parallel
+// analyzer reads the live replica it advances at each quiesce.
+type snapshotSource struct {
+	dedup  *meeting.Dedup
+	copies *metrics.CopyMatcher
+	cfg    Config
+	// lookup resolves one stream record to its metric engine (live or
+	// archived), nil when unknown.
+	lookup func(flow.MediaStreamID) *metrics.StreamMetrics
+}
+
+// Snapshot returns the per-meeting rolling metrics at trace time now
+// over the trailing window. Read-only; call at any point between
+// packets. Meetings are ordered by start time (the Meetings() order).
+func (a *Analyzer) Snapshot(now time.Time, window time.Duration) []MeetingSnapshot {
+	defer a.cfg.trace("snapshot")()
+	a.o.snapshot()
+	a.updateObsGauges()
+	src := snapshotSource{
+		dedup:  a.Dedup,
+		copies: a.Copies,
+		cfg:    a.cfg,
+		lookup: a.lookupStreamMetrics,
+	}
+	return src.take(now, window)
+}
+
+// lookupStreamMetrics finds a stream's engine among live then archived
+// streams.
+func (a *Analyzer) lookupStreamMetrics(id flow.MediaStreamID) *metrics.StreamMetrics {
+	if sm := a.StreamMetrics[id]; sm != nil {
+		return sm
+	}
+	for i := range a.Finished {
+		if a.Finished[i].ID == id {
+			return a.Finished[i].Metrics
+		}
+	}
+	return nil
+}
+
+// take computes the snapshot. Aggregation iterates the dedup records in
+// their deterministic order, so identical analyzer state yields
+// byte-identical snapshots (the sequential/parallel differential test
+// relies on this).
+func (s snapshotSource) take(now time.Time, window time.Duration) []MeetingSnapshot {
+	if window <= 0 {
+		window = time.Second
+	}
+	cut := now.Add(-window)
+	clientOf := meeting.ClientOf(s.cfg.isZoomAddr)
+	recs := s.dedup.Records(clientOf)
+	meetings := meeting.Group(recs)
+	if len(meetings) == 0 {
+		return nil
+	}
+
+	byUnified := make(map[meeting.UnifiedID]int, len(recs))
+	out := make([]MeetingSnapshot, len(meetings))
+	type agg struct {
+		fpsSum, fpsN float64
+		jitSum, jitN float64
+		rttSum, rttN float64
+		mediaBits    float64
+	}
+	aggs := make([]agg, len(meetings))
+	for i, m := range meetings {
+		out[i] = MeetingSnapshot{
+			Time:         now,
+			Meeting:      m.ID,
+			Participants: m.Participants(),
+		}
+		for _, u := range m.Streams {
+			byUnified[u] = i
+		}
+	}
+
+	windowed := func(ser *metrics.Series) []metrics.Sample {
+		// Samples are appended in time order; take the tail inside
+		// (cut, now].
+		ss := ser.Samples
+		lo := len(ss)
+		for lo > 0 && ss[lo-1].Time.After(cut) {
+			lo--
+		}
+		hi := len(ss)
+		for hi > lo && ss[hi-1].Time.After(now) {
+			hi--
+		}
+		return ss[lo:hi]
+	}
+
+	for _, r := range recs {
+		mi, ok := byUnified[r.Unified]
+		if !ok {
+			continue
+		}
+		out[mi].Streams++
+		sm := s.lookup(flow.MediaStreamID{Flow: r.Flow, Key: r.Key})
+		if sm == nil {
+			continue
+		}
+		out[mi].Packets += sm.Packets
+		ls := sm.LossStats()
+		out[mi].Lost += ls.EstimatedLost
+		out[mi].Retransmits += ls.Duplicates
+		a := &aggs[mi]
+		for _, smp := range windowed(&sm.MediaRate) {
+			a.mediaBits += smp.Value
+		}
+		for _, smp := range windowed(&sm.FrameRate) {
+			a.fpsSum += smp.Value
+			a.fpsN++
+		}
+		for _, smp := range windowed(&sm.JitterMS) {
+			a.jitSum += smp.Value
+			a.jitN++
+		}
+	}
+
+	// RTT samples carry their unified stream; fold each into its meeting.
+	ss := s.copies.Samples
+	lo := len(ss)
+	for lo > 0 && ss[lo-1].Time.After(cut) {
+		lo--
+	}
+	for _, rs := range ss[lo:] {
+		if rs.Time.After(now) {
+			continue
+		}
+		if mi, ok := byUnified[rs.Unified]; ok {
+			aggs[mi].rttSum += float64(rs.RTT) / float64(time.Millisecond)
+			aggs[mi].rttN++
+		}
+	}
+
+	for i := range out {
+		a := &aggs[i]
+		// MediaRate emits one bin per stream per elapsed second; averaging
+		// bins per stream then summing equals dividing the bit total by
+		// the per-stream bin count only when streams align — instead
+		// report bits per window second: total bits / window seconds.
+		out[i].MediaBPS = a.mediaBits / window.Seconds()
+		if a.fpsN > 0 {
+			out[i].FPS = a.fpsSum / a.fpsN
+		}
+		if a.jitN > 0 {
+			out[i].JitterMS = a.jitSum / a.jitN
+		}
+		if a.rttN > 0 {
+			out[i].RTTMS = a.rttSum / a.rttN
+			out[i].RTTSamples = int(a.rttN)
+		}
+	}
+	return out
+}
+
+// SnapshotWriter emits JSON-line snapshots on a trace-time cadence: call
+// Tick with every packet's capture timestamp and it snapshots whenever
+// the interval elapses. The interval doubles as the trailing window.
+type SnapshotWriter struct {
+	// Interval is the cadence and trailing window; zero disables Tick.
+	Interval time.Duration
+	// W receives one JSON line per meeting per firing.
+	W io.Writer
+	// Snap produces the snapshot (Analyzer.Snapshot or
+	// ParallelAnalyzer.Snapshot).
+	Snap func(now time.Time, window time.Duration) []MeetingSnapshot
+
+	next time.Time
+	err  error
+}
+
+// Tick advances trace time. The first tick only arms the timer; after
+// that, at most one snapshot fires per tick (bursts do not backfill).
+func (w *SnapshotWriter) Tick(at time.Time) {
+	if w == nil || w.Interval <= 0 {
+		return
+	}
+	if w.next.IsZero() {
+		w.next = at.Add(w.Interval)
+		return
+	}
+	if at.Before(w.next) {
+		return
+	}
+	w.next = at.Add(w.Interval)
+	w.emit(at)
+}
+
+// Flush takes one final snapshot at the given time (end of capture).
+func (w *SnapshotWriter) Flush(at time.Time) {
+	if w == nil || w.Interval <= 0 {
+		return
+	}
+	w.emit(at)
+}
+
+func (w *SnapshotWriter) emit(at time.Time) {
+	enc := json.NewEncoder(w.W)
+	for _, ms := range w.Snap(at, w.Interval) {
+		if err := enc.Encode(ms); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+}
+
+// Err reports the first write error, if any.
+func (w *SnapshotWriter) Err() error {
+	if w == nil {
+		return nil
+	}
+	return w.err
+}

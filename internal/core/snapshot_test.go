@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reportBytes renders an analyzer's complete results as a deterministic
+// byte blob: summary, meetings, every stream's loss stats and series,
+// and the RTT samples. Two runs whose blobs match are byte-identical for
+// reporting purposes.
+func reportBytes(t *testing.T, a *Analyzer) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	must := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(a.Summary())
+	must(a.Meetings())
+	for _, id := range a.StreamIDs() {
+		sm, _ := a.MetricsFor(id)
+		must(id)
+		must(sm.LossStats())
+		must(sm.FrameRate.Samples)
+		must(sm.MediaRate.Samples)
+		must(sm.WireRate.Samples)
+		must(sm.JitterMS.Samples)
+		must(sm.FrameSize.Samples)
+		must(sm.FrameDelay.Samples)
+	}
+	must(a.Copies.Samples)
+	return b.Bytes()
+}
+
+// TestSnapshotsDoNotPerturbResults is the acceptance gate for the
+// observability layer: enabling periodic snapshots must leave the final
+// report byte-identical — sequential and 4-worker parallel alike — to a
+// run without snapshots, and the snapshot streams themselves must match
+// between sequential and parallel runs at the same packet boundaries.
+func TestSnapshotsDoNotPerturbResults(t *testing.T) {
+	tr, opts := seededTrace(t, 20)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	const interval = 2 * time.Second
+
+	// Baseline: sequential, no snapshots.
+	base := NewAnalyzer(cfg)
+	tr.feed(base.Packet)
+	base.Finish()
+	want := reportBytes(t, base)
+
+	// Sequential with snapshots every 2 seconds of trace time.
+	seq := NewAnalyzer(cfg)
+	var seqSnaps bytes.Buffer
+	sw := &SnapshotWriter{Interval: interval, W: &seqSnaps, Snap: seq.Snapshot}
+	tr.feed(func(at time.Time, frame []byte) {
+		seq.Packet(at, frame)
+		sw.Tick(at)
+	})
+	seq.Finish()
+	if err := sw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, seq); !bytes.Equal(got, want) {
+		t.Error("sequential report changed when snapshots were enabled")
+	}
+
+	// 4-worker parallel with the same snapshot cadence.
+	pa := NewParallelAnalyzer(cfg, 4)
+	var parSnaps bytes.Buffer
+	pw := &SnapshotWriter{Interval: interval, W: &parSnaps, Snap: pa.Snapshot}
+	tr.feed(func(at time.Time, frame []byte) {
+		pa.Packet(at, frame)
+		pw.Tick(at)
+	})
+	pa.Finish()
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, pa.Result()); !bytes.Equal(got, want) {
+		t.Error("parallel report changed when snapshots were enabled")
+	}
+
+	// The snapshot stream is itself deterministic across modes: the same
+	// packet prefix quiesced at the same boundary yields the same bytes.
+	if !bytes.Equal(seqSnaps.Bytes(), parSnaps.Bytes()) {
+		t.Errorf("snapshot streams diverge between sequential and parallel:\n--- sequential\n%s--- parallel\n%s",
+			&seqSnaps, &parSnaps)
+	}
+
+	checkSnapshotStream(t, seqSnaps.String(), interval)
+}
+
+// checkSnapshotStream validates the JSON-lines snapshot output: every
+// line parses, fields are sane, and cumulative packet counts are
+// monotone over time (summed across meetings — meeting IDs may merge
+// between snapshots).
+func checkSnapshotStream(t *testing.T, out string, interval time.Duration) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected several snapshot lines over the trace, got %d:\n%s", len(lines), out)
+	}
+	sumAt := make(map[time.Time]uint64)
+	var times []time.Time
+	var sawMedia, sawRTT bool
+	for _, ln := range lines {
+		var ms MeetingSnapshot
+		if err := json.Unmarshal([]byte(ln), &ms); err != nil {
+			t.Fatalf("snapshot line does not parse: %v\n%s", err, ln)
+		}
+		if ms.Time.IsZero() || ms.Meeting <= 0 || ms.Streams <= 0 || ms.Participants <= 0 {
+			t.Fatalf("implausible snapshot: %+v", ms)
+		}
+		if _, seen := sumAt[ms.Time]; !seen {
+			times = append(times, ms.Time)
+		}
+		sumAt[ms.Time] += ms.Packets
+		if ms.MediaBPS > 0 {
+			sawMedia = true
+		}
+		if ms.RTTSamples > 0 {
+			sawRTT = true
+		}
+	}
+	if !sawMedia {
+		t.Error("no snapshot reported a positive media bit rate")
+	}
+	if !sawRTT {
+		t.Error("no snapshot reported RTT samples (copy-rich trace should)")
+	}
+	var prev uint64
+	for i, ts := range times {
+		if i > 0 && ts.Sub(times[i-1]) < interval {
+			t.Errorf("snapshots %v and %v closer than the interval", times[i-1], ts)
+		}
+		if sumAt[ts] < prev {
+			t.Errorf("cumulative packets regressed at %v: %d < %d", ts, sumAt[ts], prev)
+		}
+		prev = sumAt[ts]
+	}
+}
+
+// TestSnapshotAfterFinish checks Snapshot remains callable once the
+// parallel pipeline has merged (it reads the merged analyzer).
+func TestSnapshotAfterFinish(t *testing.T) {
+	tr, opts := seededTrace(t, 6)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	pa := NewParallelAnalyzer(cfg, 2)
+	tr.feed(pa.Packet)
+	pa.Finish()
+	end := tr.at[len(tr.at)-1]
+	snaps := pa.Snapshot(end, 10*time.Second)
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot from finished analyzer")
+	}
+	seq := NewAnalyzer(cfg)
+	tr.feed(seq.Packet)
+	seq.Finish()
+	want := seq.Snapshot(end, 10*time.Second)
+	got, _ := json.Marshal(snaps)
+	wantB, _ := json.Marshal(want)
+	if !bytes.Equal(got, wantB) {
+		t.Errorf("post-finish snapshot diverges:\n%s\n%s", got, wantB)
+	}
+}

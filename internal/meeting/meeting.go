@@ -189,6 +189,10 @@ func (d *Dedup) Evict(cutoff time.Time) {
 	}
 }
 
+// Len reports the number of retained stream records (for the
+// observability occupancy gauges; compare against MaxStreams).
+func (d *Dedup) Len() int { return len(d.streams) }
+
 // Records returns one StreamRecord per observed (flow, SSRC, type)
 // stream, ordered by start time, deriving the client endpoint with
 // clientOf.

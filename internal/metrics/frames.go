@@ -252,10 +252,14 @@ func (e *EncoderFrameRate) Observe(ts uint32) (fps float64, packetization time.D
 		return 0, 0, false
 	}
 	d := rtp.TSDiff(e.lastTS, ts)
-	e.lastTS = ts
 	if d <= 0 {
+		// Reordered or duplicated frame timestamp: keep the baseline.
+		// Advancing lastTS here would regress it, inflating the next
+		// in-order frame's ΔRTP and skewing both the method-2 frame rate
+		// and the packetization time fed to stall analysis.
 		return 0, 0, false
 	}
+	e.lastTS = ts
 	fps = e.clockRate / float64(d)
 	packetization = time.Duration(float64(d) / e.clockRate * float64(time.Second))
 	return fps, packetization, true

@@ -28,11 +28,20 @@ type RTTSample struct {
 type CopyMatcher struct {
 	// MaxAge bounds how long a first observation waits for its copy.
 	MaxAge time.Duration
+	// MaxPending triggers garbage collection of the pending map beyond
+	// this many entries, bounding matcher state on long captures. Zero
+	// selects DefaultMaxPending; wire it to the analyzer's bounded-state
+	// caps in continuous deployments.
+	MaxPending int
 	// Samples receives each RTT measurement.
 	Samples []RTTSample
 
 	pending map[copyKey]obs
 }
+
+// DefaultMaxPending is the pending-entry GC threshold when MaxPending is
+// unset.
+const DefaultMaxPending = 1 << 16
 
 type copyKey struct {
 	unified meeting.UnifiedID
@@ -67,22 +76,48 @@ func (cm *CopyMatcher) Observe(unified meeting.UnifiedID, flow layers.FiveTuple,
 			}
 		}
 		// Same flow (a retransmission) or stale: refresh the pending
-		// observation so later copies match the most recent send.
-		cm.pending[k] = obs{at: at, flow: prev.flow}
+		// observation so later copies match the most recent send. The
+		// refreshed entry must carry the *observing* packet's flow — a
+		// stale cross-flow copy supersedes the old observation entirely,
+		// and keeping the old flow with the new timestamp would let a
+		// later same-flow packet pair against it as a bogus RTT sample.
+		cm.pending[k] = obs{at: at, flow: flow}
 		return RTTSample{}, false
 	}
 	cm.pending[k] = obs{at: at, flow: flow}
-	if len(cm.pending) > 1<<16 {
+	if len(cm.pending) > cm.maxPending() {
 		cm.gc(at)
 	}
 	return RTTSample{}, false
 }
 
+func (cm *CopyMatcher) maxPending() int {
+	if cm.MaxPending > 0 {
+		return cm.MaxPending
+	}
+	return DefaultMaxPending
+}
+
+// Pending reports the pending-map occupancy (for the observability
+// gauges).
+func (cm *CopyMatcher) Pending() int { return len(cm.pending) }
+
+// gc removes entries older than MaxAge; if the map is still over the
+// cap (a burst of unmatched observations younger than MaxAge), the age
+// bound halves until the map fits, keeping the newest entries — a
+// deterministic eviction order, so capped runs stay reproducible.
 func (cm *CopyMatcher) gc(now time.Time) {
-	for k, o := range cm.pending {
-		if now.Sub(o.at) > cm.MaxAge {
-			delete(cm.pending, k)
+	age := cm.MaxAge
+	for {
+		for k, o := range cm.pending {
+			if now.Sub(o.at) > age {
+				delete(cm.pending, k)
+			}
 		}
+		if len(cm.pending) <= cm.maxPending() || age < time.Millisecond {
+			return
+		}
+		age /= 2
 	}
 }
 

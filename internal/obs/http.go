@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve exposes a registry over HTTP on addr (host:port; port 0 picks a
+// free port): Prometheus text format at /metrics, the process expvars at
+// /debug/vars, and the pprof suite at /debug/pprof/. It returns the
+// listening server and its resolved address; callers own shutdown via
+// srv.Close.
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}
+
+// Handler returns the observability mux: /metrics, /debug/vars, and
+// /debug/pprof/* on a private mux (nothing leaks onto
+// http.DefaultServeMux).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already streaming; nothing to do but stop.
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "zoomlens observability: /metrics /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_packets_total", "Packets ingested.")
+	c.Inc()
+	c.Add(9)
+	stage := r.Counter("test_stage_total", "Per-stage packets.", L("stage", "media"))
+	stage.Add(3)
+	r.Counter("test_stage_total", "Per-stage packets.", L("stage", "stun")).Add(2)
+	g := r.Gauge("test_occupancy", "Table occupancy.", L("table", "flows"), L("shard", "0"))
+	g.Set(42)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_packets_total Packets ingested.",
+		"# TYPE test_packets_total counter",
+		"test_packets_total 10",
+		`test_stage_total{stage="media"} 3`,
+		`test_stage_total{stage="stun"} 2`,
+		"# TYPE test_occupancy gauge",
+		`test_occupancy{shard="0",table="flows"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDedupsHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "x", L("k", "v"))
+	b := r.Counter("dup_total", "x", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles not shared")
+	}
+	if r.Counter("dup_total", "x", L("k", "other")) == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc() // nil counter: no-op, no panic
+	var g *Gauge
+	g.Set(3)
+	var h *Histogram
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() < 5.55 || h.Sum() > 5.56 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter = %d histogram = %d, want 8000", c.Value(), h.Count())
+	}
+	if h.Sum() != 4000 {
+		t.Fatalf("sum = %v, want 4000", h.Sum())
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "Served.").Add(7)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "served_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Errorf("/debug/vars missing memstats")
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+func TestStageStatsAndRegistryTracer(t *testing.T) {
+	stats := NewStageStats()
+	reg := NewRegistry()
+	tr := MultiTracer{stats, NewRegistryTracer(reg), nil}
+	done := Stage(tr, "read")
+	time.Sleep(time.Millisecond)
+	done()
+	tr.StageDone("finish", 2*time.Second)
+	tr.StageDone("finish", 4*time.Second)
+
+	rep := stats.Report()
+	if !strings.Contains(rep, "read") || !strings.Contains(rep, "finish") {
+		t.Fatalf("report missing stages:\n%s", rep)
+	}
+	// finish (6s total) must sort above read.
+	if strings.Index(rep, "finish") > strings.Index(rep, "read") {
+		t.Errorf("stages not ordered by total time:\n%s", rep)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `zoomlens_stage_duration_seconds_count{stage="finish"} 2`) {
+		t.Errorf("registry tracer missing stage histogram:\n%s", b.String())
+	}
+	// Stage with a nil tracer is a safe no-op.
+	Stage(nil, "x")()
+}

@@ -42,6 +42,8 @@
 package zoomlens
 
 import (
+	"net"
+	"net/http"
 	"net/netip"
 
 	"zoomlens/internal/analysis"
@@ -54,6 +56,7 @@ import (
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/metrics"
 	"zoomlens/internal/netsim"
+	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
 	"zoomlens/internal/qos"
 	"zoomlens/internal/rtp"
@@ -92,6 +95,52 @@ func NewAnalyzer(cfg Config) *Analyzer { return core.NewAnalyzer(cfg) }
 func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 	return core.NewParallelAnalyzer(cfg, workers)
 }
+
+// Live observability (metrics endpoint, stage tracing, QoE snapshots).
+type (
+	// MetricsRegistry collects the pipeline's counters, gauges, and
+	// histograms; wire one through Config.Obs and serve it with
+	// ServeMetrics.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name=value label on a metric handle.
+	MetricLabel = obs.Label
+	// MetricCounter is a monotonically increasing metric handle.
+	MetricCounter = obs.Counter
+	// MetricGauge is a settable instantaneous metric handle.
+	MetricGauge = obs.Gauge
+	// Tracer receives per-stage wall-clock timings (Config.Tracer).
+	Tracer = obs.Tracer
+	// StageStats is an in-memory Tracer that renders a timing report.
+	StageStats = obs.StageStats
+	// MultiTracer fans stage timings out to several tracers.
+	MultiTracer = obs.MultiTracer
+	// MeetingSnapshot is one meeting's rolling QoE state, emitted as one
+	// JSON line per meeting per snapshot interval.
+	MeetingSnapshot = core.MeetingSnapshot
+	// SnapshotWriter emits JSON-line snapshots on a trace-time cadence.
+	SnapshotWriter = core.SnapshotWriter
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStageStats builds an in-memory stage-timing tracer.
+func NewStageStats() *StageStats { return obs.NewStageStats() }
+
+// NewRegistryTracer builds a Tracer that records stage timings as
+// counters and histograms in the registry.
+func NewRegistryTracer(reg *MetricsRegistry) Tracer { return obs.NewRegistryTracer(reg) }
+
+// ServeMetrics starts an HTTP endpoint on addr exposing the registry in
+// Prometheus text format at /metrics, plus expvar and net/http/pprof.
+// It returns the server and the bound address (useful with port 0).
+func ServeMetrics(addr string, reg *MetricsRegistry) (*http.Server, net.Addr, error) {
+	return obs.Serve(addr, reg)
+}
+
+// StageTimer times one stage under tr (nil-safe): call the returned
+// function when the stage completes.
+func StageTimer(tr Tracer, stage string) func() { return obs.Stage(tr, stage) }
 
 // Production hardening (bounded state, panic containment).
 type (
