@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench bench-smoke ablation cover tools examples ci fuzz-smoke clean
+.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke clean
 
 all: build test
 
@@ -18,13 +18,24 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full benchmark run; also snapshots the ingest-path numbers (ns, bytes,
+# allocs, and packets/sec per packet for each reader/analyzer variant)
+# into BENCH_ingest.json at the repo root, so the zero-allocation ingest
+# contract has a recorded trajectory across PRs.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
+	BENCH_INGEST_OUT=$(CURDIR)/BENCH_ingest.json $(GO) test -count=1 -run TestBenchIngestJSON .
 
 # One iteration of the pipeline benchmark: catches a broken perf
 # harness without paying for a real measurement run.
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkAnalyzerPipeline -benchtime 1x .
+	$(GO) test -run XXX -bench BenchmarkIngestPath -benchtime 1x .
+
+# The ingest allocation budget, enforced: zero allocations per record in
+# the zero-copy readers, bounded allocations per packet end to end.
+alloc-check:
+	$(GO) test -count=1 -run 'TestIngestReadAllocsZero|TestIngestAnalyzeAllocsBounded' -v .
 
 ablation:
 	$(GO) test -bench=Ablation -benchtime 1x -run XXX .
@@ -42,6 +53,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke FUZZTIME=10s
 	$(MAKE) bench-smoke
+	$(MAKE) alloc-check
 
 # Short native-fuzz runs over every packet codec: the parsers face
 # hostile bytes in production, so every CI run hammers them briefly.

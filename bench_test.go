@@ -390,7 +390,7 @@ var benchTraceAt []time.Time
 var benchTraceFrames [][]byte
 var benchTraceOpts WorldOptions
 
-func benchTrace(b *testing.B) ([]time.Time, [][]byte, Config) {
+func benchTrace(b testing.TB) ([]time.Time, [][]byte, Config) {
 	benchTraceOnce.Do(func() {
 		opts := DefaultWorldOptions()
 		w := NewWorld(opts)

@@ -7,6 +7,8 @@
 //
 //	zoomcap -i all.pcap -o zoom.pcap [-anon -key secret] [-workers N] [-resources]
 //
+// The input may be classic pcap or pcapng, and "-i -" reads from stdin.
+//
 // With -metrics-addr the filter's verdict counters are served live in
 // Prometheus text format (plus expvar and pprof) — the software stand-in
 // for reading the Tofino pipeline's counters mid-capture; -trace prints
@@ -30,6 +32,7 @@ import (
 	"zoomlens"
 	"zoomlens/internal/capture"
 	"zoomlens/internal/cliobs"
+	"zoomlens/internal/engine"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
@@ -39,7 +42,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomcap: ")
 	var (
-		in        = flag.String("i", "", "input pcap path")
+		in        = flag.String("i", "", "input pcap path (\"-\" = stdin)")
 		live      = flag.String("live", "", "capture live from this interface instead of a file (Linux, needs CAP_NET_RAW)")
 		duration  = flag.Duration("duration", 0, "stop live capture after this long (0 = until interrupted)")
 		out       = flag.String("o", "zoom.pcap", "output pcap path")
@@ -71,7 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var next func() (pcap.Record, error)
+	// nextInto fills a record whose Data borrows the source's buffer —
+	// valid only until the next call. The filter and the in-line sink run
+	// before the next read, and the fan-out sink copies at enqueue.
+	var nextInto func(*pcap.Record) error
 	var truncated func() bool
 	var stopAt time.Time
 	nano := true
@@ -81,23 +87,26 @@ func main() {
 			log.Fatal(err)
 		}
 		defer closeFn()
-		next = liveNext
+		nextInto = func(rec *pcap.Record) error {
+			r, err := liveNext()
+			if err != nil {
+				return err
+			}
+			*rec = r
+			return nil
+		}
 		if *duration > 0 {
 			stopAt = time.Now().Add(*duration)
 		}
 	} else {
-		inF, err := os.Open(*in)
+		src, err := engine.Open(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer inF.Close()
-		r, err := pcap.NewReader(inF)
-		if err != nil {
-			log.Fatal(err)
-		}
-		nano = r.Header().Nanosecond
-		next = func() (pcap.Record, error) { return r.Next() }
-		truncated = r.Truncated
+		defer src.Close()
+		nano = src.Nanosecond()
+		nextInto = src.NextInto
+		truncated = src.Truncated
 	}
 	outF, err := os.Create(*out)
 	if err != nil {
@@ -143,6 +152,7 @@ func main() {
 
 	parser := &layers.Parser{}
 	var pkt layers.Packet
+	var rec pcap.Record
 	var seen uint64
 	captureDone := setup.Stage("capture")
 readLoop:
@@ -156,7 +166,7 @@ readLoop:
 		if !stopAt.IsZero() && time.Now().After(stopAt) {
 			break
 		}
-		rec, err := next()
+		err := nextInto(&rec)
 		if err == io.EOF {
 			break
 		}
@@ -233,16 +243,20 @@ func statsMirror(setup *cliobs.Setup, filter *capture.Filter) func() {
 	}
 }
 
-// newSink returns the record write path. Without anonymization (or with
-// one worker) records are written in-line. With -anon and several
-// workers, anonymization — the only CPU-heavy per-packet stage left
-// after filtering — fans out to a pool while a single writer goroutine
-// preserves capture order: every record enters a FIFO alongside its
-// shared work queue, and the writer completes FIFO entries strictly in
-// arrival order as workers finish them. Each worker owns a private
-// Anonymizer (the address cache is not goroutine-safe); the mapping is
-// a pure function of the key, so per-worker caches yield identical
-// output bytes regardless of which worker handles a packet.
+// newSink returns the record write path. The caller's data is borrowed
+// (it aliases the reader's buffer and dies at the next read). Without
+// anonymization (or with one worker) records are written in-line —
+// anonymize the borrowed bytes in place, write, done before the next
+// read. With -anon and several workers, anonymization — the only
+// CPU-heavy per-packet stage left after filtering — fans out to a pool,
+// so each record is first copied into a pooled buffer at enqueue; a
+// single writer goroutine preserves capture order: every record enters
+// a FIFO alongside its shared work queue, and the writer completes FIFO
+// entries strictly in arrival order as workers finish them, recycling
+// each buffer after the write. Each worker owns a private Anonymizer
+// (the address cache is not goroutine-safe); the mapping is a pure
+// function of the key, so per-worker caches yield identical output
+// bytes regardless of which worker handles a packet.
 func newSink(w *pcap.Writer, anon bool, workers int, newAnonymizer func() *capture.Anonymizer) (func(time.Time, []byte) error, func() error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -260,9 +274,10 @@ func newSink(w *pcap.Writer, anon bool, workers int, newAnonymizer func() *captu
 
 	type job struct {
 		ts   time.Time
-		data []byte
+		buf  *[]byte
 		done chan struct{}
 	}
+	bufPool := sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
 	depth := workers * 4
 	jobs := make(chan *job, depth)  // shared worker input
 	order := make(chan *job, depth) // arrival-order FIFO for the writer
@@ -273,7 +288,7 @@ func newSink(w *pcap.Writer, anon bool, workers int, newAnonymizer func() *captu
 			defer wg.Done()
 			anonymizer := newAnonymizer()
 			for j := range jobs {
-				anonymizer.AnonymizeInPlace(j.data)
+				anonymizer.AnonymizeInPlace(*j.buf)
 				close(j.done)
 			}
 		}()
@@ -285,12 +300,15 @@ func newSink(w *pcap.Writer, anon bool, workers int, newAnonymizer func() *captu
 		for j := range order {
 			<-j.done
 			if writeErr == nil {
-				writeErr = w.WriteRecord(j.ts, j.data)
+				writeErr = w.WriteRecord(j.ts, *j.buf)
 			}
+			bufPool.Put(j.buf)
 		}
 	}()
 	write := func(ts time.Time, data []byte) error {
-		j := &job{ts: ts, data: data, done: make(chan struct{})}
+		bp := bufPool.Get().(*[]byte)
+		*bp = append((*bp)[:0], data...)
+		j := &job{ts: ts, buf: bp, done: make(chan struct{})}
 		order <- j
 		jobs <- j
 		return nil

@@ -6,6 +6,9 @@
 // Usage:
 //
 //	zoomdissect -i zoom.pcap [-n 20] [-filter media|rtcp|stun|all]
+//
+// The input may be classic pcap or pcapng, and "-i -" reads from stdin
+// (pipe live captures straight in: tcpdump -w - | zoomdissect -i -).
 package main
 
 import (
@@ -13,9 +16,9 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"os"
 
 	"zoomlens"
+	"zoomlens/internal/engine"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/pcap"
 	"zoomlens/internal/stun"
@@ -26,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomdissect: ")
 	var (
-		in        = flag.String("i", "", "input pcap path")
+		in        = flag.String("i", "", "input pcap path (\"-\" = stdin)")
 		limit     = flag.Int("n", 20, "max packets to dissect (0 = all)")
 		filter    = flag.String("filter", "all", "packet filter: media | rtcp | stun | all")
 		exportLua = flag.Bool("export-lua", false, "print the generated Wireshark dissector plugin and exit")
@@ -39,21 +42,20 @@ func main() {
 	if *in == "" {
 		log.Fatal("missing -i input pcap")
 	}
-	f, err := os.Open(*in)
+	src, err := engine.Open(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	r, err := pcap.NewReader(f)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer src.Close()
 
 	parser := &layers.Parser{}
 	var pkt layers.Packet
+	var rec pcap.Record
 	shown, index := 0, 0
 	for *limit == 0 || shown < *limit {
-		rec, err := r.Next()
+		// rec.Data borrows the reader's buffer; every field below is
+		// printed before the next read, so no copy is needed.
+		err := src.NextInto(&rec)
 		if err == io.EOF {
 			break
 		}

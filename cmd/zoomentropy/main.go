@@ -8,6 +8,8 @@
 // Usage:
 //
 //	zoomentropy -i zoom.pcap [-port 8801] [-max-offset 64]
+//
+// The input may be classic pcap or pcapng, and "-i -" reads from stdin.
 package main
 
 import (
@@ -15,9 +17,9 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"os"
 
 	"zoomlens"
+	"zoomlens/internal/engine"
 	"zoomlens/internal/entropy"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/pcap"
@@ -27,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomentropy: ")
 	var (
-		in        = flag.String("i", "", "input pcap path")
+		in        = flag.String("i", "", "input pcap path (\"-\" = stdin)")
 		dstPort   = flag.Uint("port", 8801, "restrict to UDP payloads with this destination port")
 		maxOffset = flag.Int("max-offset", 64, "largest payload offset to analyze")
 		plot      = flag.String("plot", "", "render an ASCII scatter of one slot, as \"offset:width\" (e.g. 34:2)")
@@ -51,24 +53,22 @@ func main() {
 			log.Fatalf("bad -plot %q: offset must be non-negative", *plot)
 		}
 	}
-	f, err := os.Open(*in)
+	src, err := engine.Open(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	r, err := pcap.NewReader(f)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer src.Close()
 
 	// Collect payloads of the first matching flow (the paper analyzes one
-	// UDP flow at a time).
+	// UDP flow at a time). Records are borrowed, so matching payloads are
+	// copied before the next read.
 	var payloads [][]byte
 	var lockSrc uint16
 	parser := &layers.Parser{}
 	var pkt layers.Packet
+	var rec pcap.Record
 	for {
-		rec, err := r.Next()
+		err := src.NextInto(&rec)
 		if err == io.EOF {
 			break
 		}

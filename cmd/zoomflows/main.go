@@ -4,132 +4,44 @@
 //
 // Usage:
 //
-//	zoomflows -i zoom.pcap [-what streams|flows|meetings]
+//	zoomflows -i zoom.pcap [-what streams|flows|meetings] [-workers N]
 //
-// Live observability (all optional, none changes the final report):
-// -metrics-addr serves Prometheus metrics, expvar, and pprof while the
-// capture streams through; -snapshot-interval emits per-meeting QoE
-// snapshots as JSON lines on the capture clock; -trace prints a
-// per-stage timing report at exit.
+// Input, engine sizing, bounded-state, and live-observability flags are
+// the shared driver's (internal/engine): -i (use "-" for stdin),
+// -workers, -max-flows, -max-streams, -flow-ttl, -quarantine,
+// -metrics-addr, -snapshot-interval, -snapshot-out, -trace. The report
+// is byte-identical at any worker count, and none of the observability
+// flags changes it.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"os/signal"
 	"strconv"
-	"syscall"
-	"time"
 
 	"zoomlens"
-	"zoomlens/internal/cliobs"
-	"zoomlens/internal/pcap"
+	"zoomlens/internal/engine"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomflows: ")
-	var (
-		in         = flag.String("i", "", "input pcap path")
-		what       = flag.String("what", "streams", "output: streams | flows | meetings | reports | summary")
-		maxFlows   = flag.Int("max-flows", 0, "cap concurrent flow-table entries; packets refused at the cap are counted (0 = unlimited)")
-		maxStreams = flag.Int("max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
-		flowTTL    = flag.Duration("flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
-		quarPath   = flag.String("quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
-	)
-	obsFlags := cliobs.Register(flag.CommandLine)
+	what := flag.String("what", "streams", "output: streams | flows | meetings | reports | summary")
+	ef := engine.Register(flag.CommandLine)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -i input pcap")
-	}
-	var f *os.File
-	if *in == "-" {
-		f = os.Stdin
-	} else {
-		var err error
-		f, err = os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-	}
-	setup, err := obsFlags.Apply()
+
+	run, err := ef.Run(zoomlens.DefaultZoomNetworks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer setup.Close()
+	defer run.Close()
+	defer run.EmitStatus()
+	defer run.Stage("report")()
+	a := run.Analyzer
 
-	cfg := zoomlens.Config{
-		ZoomNetworks: zoomlens.DefaultZoomNetworks(),
-		MaxFlows:     *maxFlows,
-		MaxStreams:   *maxStreams,
-		FlowTTL:      *flowTTL,
-		Obs:          setup.Registry,
-		Tracer:       setup.Tracer,
-	}
-	var quarantine *zoomlens.Quarantine
-	if *quarPath != "" {
-		quarantine = zoomlens.NewQuarantine(0)
-		cfg.Quarantine = quarantine
-	}
-	a := zoomlens.NewAnalyzer(cfg)
-
-	// SIGINT/SIGTERM stops reading and emits a valid partial report
-	// instead of killing the run; a capture cut mid-record degrades the
-	// same way.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	stream, err := pcap.OpenStream(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sw := obsFlags.SnapshotWriter(setup, a.Snapshot)
-	var lastTS time.Time
-	interrupted := false
-	ingestDone := setup.Stage("ingest")
-readLoop:
-	for {
-		select {
-		case <-sig:
-			interrupted = true
-			break readLoop
-		default:
-		}
-		rec, err := stream.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		a.Packet(rec.Timestamp, rec.Data)
-		lastTS = rec.Timestamp
-		sw.Tick(rec.Timestamp)
-	}
-	ingestDone()
-	select {
-	case <-sig:
-		interrupted = true
-	default:
-	}
-	signal.Stop(sig)
-	a.Finish()
-	if !lastTS.IsZero() {
-		sw.Flush(lastTS)
-	}
-	if err := sw.Err(); err != nil {
-		log.Printf("snapshots: %v", err)
-	}
-	if stream.Truncated() {
-		a.Truncated = true
-	}
-	defer emitStatus(a, interrupted, quarantine, *quarPath)
-
-	defer setup.Stage("report")()
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	switch *what {
@@ -210,36 +122,4 @@ readLoop:
 	default:
 		log.Fatalf("unknown -what %q", *what)
 	}
-}
-
-// emitStatus prints one JSON object on stderr describing how the run
-// ended, and flushes the panic quarantine when one was requested.
-func emitStatus(a *zoomlens.Analyzer, interrupted bool, quarantine *zoomlens.Quarantine, quarPath string) {
-	s := a.Summary()
-	reason := ""
-	switch {
-	case interrupted:
-		reason = "interrupted"
-	case s.Truncated:
-		reason = "truncated_capture"
-	}
-	var quarantined uint64
-	if quarantine != nil {
-		quarantined = quarantine.Total()
-		if quarantined > 0 {
-			qf, err := os.Create(quarPath)
-			if err != nil {
-				log.Print(err)
-			} else {
-				if err := quarantine.WritePCAP(qf); err != nil {
-					log.Print(err)
-				}
-				qf.Close()
-			}
-		}
-	}
-	fmt.Fprintf(os.Stderr,
-		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t}`+"\n",
-		interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
-		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated)
 }

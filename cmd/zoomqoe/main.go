@@ -7,137 +7,46 @@
 //
 //	zoomqoe -i zoom.pcap [-ssrc N] [-what series|rtt|loss] [-workers N]
 //
-// Live observability (all optional, none changes the final report):
-// -metrics-addr serves Prometheus metrics, expvar, and pprof while the
-// capture streams through; -snapshot-interval emits per-meeting QoE
-// snapshots as JSON lines on the capture clock; -trace prints a
-// per-stage timing report at exit.
+// Input, engine sizing, bounded-state, and live-observability flags are
+// the shared driver's (internal/engine): -i (use "-" for stdin),
+// -workers, -max-flows, -max-streams, -flow-ttl, -quarantine,
+// -metrics-addr, -snapshot-interval, -snapshot-out, -trace. None of the
+// observability flags changes the final report.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"os/signal"
 	"strconv"
-	"syscall"
 	"time"
 
 	"zoomlens"
-	"zoomlens/internal/cliobs"
+	"zoomlens/internal/engine"
 	"zoomlens/internal/metrics"
-	"zoomlens/internal/pcap"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomqoe: ")
 	var (
-		in         = flag.String("i", "", "input pcap path")
-		ssrc       = flag.Uint64("ssrc", 0, "restrict to one SSRC (0 = all)")
-		what       = flag.String("what", "series", "output: series | rtt | loss | talk | clock")
-		workers    = flag.Int("workers", 1, "analysis shards: 1 = sequential, 0 = one per CPU")
-		maxFlows   = flag.Int("max-flows", 0, "cap concurrent flow-table entries; packets refused at the cap are counted (0 = unlimited)")
-		maxStreams = flag.Int("max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
-		flowTTL    = flag.Duration("flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
-		quarPath   = flag.String("quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
+		ssrc = flag.Uint64("ssrc", 0, "restrict to one SSRC (0 = all)")
+		what = flag.String("what", "series", "output: series | rtt | loss | talk | clock")
 	)
-	obsFlags := cliobs.Register(flag.CommandLine)
+	ef := engine.Register(flag.CommandLine)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -i input pcap")
-	}
-	var f *os.File
-	if *in == "-" {
-		f = os.Stdin
-	} else {
-		var err error
-		f, err = os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-	}
-	setup, err := obsFlags.Apply()
+
+	run, err := ef.Run(zoomlens.DefaultZoomNetworks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer setup.Close()
-	cfg := zoomlens.Config{
-		ZoomNetworks: zoomlens.DefaultZoomNetworks(),
-		MaxFlows:     *maxFlows,
-		MaxStreams:   *maxStreams,
-		FlowTTL:      *flowTTL,
-		Obs:          setup.Registry,
-		Tracer:       setup.Tracer,
-	}
-	var quarantine *zoomlens.Quarantine
-	if *quarPath != "" {
-		quarantine = zoomlens.NewQuarantine(0)
-		cfg.Quarantine = quarantine
-	}
-	// The parallel analyzer produces byte-identical results at any worker
-	// count (workers == 1 is the plain sequential analyzer).
-	pa := zoomlens.NewParallelAnalyzer(cfg, *workers)
+	defer run.Close()
+	defer run.EmitStatus()
+	defer run.Stage("report")()
+	a := run.Analyzer
 
-	// SIGINT/SIGTERM does not kill the run: the read loop stops, every
-	// packet seen so far is finalized, and the report below goes out
-	// marked partial. A capture cut mid-record degrades the same way.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	stream, err := pcap.OpenStream(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Periodic QoE snapshots fire on the capture clock, so offline
-	// replays emit exactly what a live tap would have.
-	sw := obsFlags.SnapshotWriter(setup, pa.Snapshot)
-	var lastTS time.Time
-	interrupted := false
-	ingestDone := setup.Stage("ingest")
-readLoop:
-	for {
-		select {
-		case <-sig:
-			interrupted = true
-			break readLoop
-		default:
-		}
-		rec, err := stream.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		pa.Packet(rec.Timestamp, rec.Data)
-		lastTS = rec.Timestamp
-		sw.Tick(rec.Timestamp)
-	}
-	ingestDone()
-	select {
-	case <-sig:
-		interrupted = true
-	default:
-	}
-	signal.Stop(sig)
-	pa.Finish()
-	if !lastTS.IsZero() {
-		sw.Flush(lastTS)
-	}
-	if err := sw.Err(); err != nil {
-		log.Printf("snapshots: %v", err)
-	}
-	a := pa.Result()
-	if stream.Truncated() {
-		a.Truncated = true
-	}
-	defer emitStatus(a, interrupted, quarantine, *quarPath)
-
-	defer setup.Stage("report")()
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	switch *what {
@@ -264,38 +173,4 @@ func index(samples []zoomlens.Sample) map[int64]float64 {
 		out[s.Time.Unix()] = s.Value
 	}
 	return out
-}
-
-// emitStatus prints one JSON object on stderr describing how the run
-// ended: whether the report is partial (interrupted or truncated input)
-// and the hardening counters an operator needs to trust it. It also
-// flushes the panic quarantine when one was requested.
-func emitStatus(a *zoomlens.Analyzer, interrupted bool, quarantine *zoomlens.Quarantine, quarPath string) {
-	s := a.Summary()
-	reason := ""
-	switch {
-	case interrupted:
-		reason = "interrupted"
-	case s.Truncated:
-		reason = "truncated_capture"
-	}
-	var quarantined uint64
-	if quarantine != nil {
-		quarantined = quarantine.Total()
-		if quarantined > 0 {
-			qf, err := os.Create(quarPath)
-			if err != nil {
-				log.Print(err)
-			} else {
-				if err := quarantine.WritePCAP(qf); err != nil {
-					log.Print(err)
-				}
-				qf.Close()
-			}
-		}
-	}
-	fmt.Fprintf(os.Stderr,
-		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t}`+"\n",
-		interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
-		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated)
 }

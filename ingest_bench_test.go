@@ -1,0 +1,244 @@
+package zoomlens
+
+// Ingest-path benchmarks: the end-to-end hot loop from serialized pcap
+// bytes through record reading and analysis. These are the numbers the
+// engine refactor is accountable to — `make bench` snapshots them into
+// BENCH_ingest.json so later PRs have a trajectory, and
+// ingest_alloc_test.go pins the per-packet allocation count.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"zoomlens/internal/pcap"
+)
+
+// ingestTrace lazily serializes the shared benchmark trace into
+// in-memory classic pcap and pcapng captures, so the ingest benchmarks
+// measure read+analyze end to end without disk noise.
+var ingestTraceOnce sync.Once
+var ingestTracePcapBytes []byte
+var ingestTraceNGBytes []byte
+
+func ingestTrace(tb testing.TB) (pcapBytes, ngBytes []byte) {
+	tb.Helper()
+	at, frames, _ := benchTrace(tb)
+	ingestTraceOnce.Do(func() {
+		var buf bytes.Buffer
+		w, err := pcap.NewWriter(&buf, pcap.WriterOptions{Nanosecond: true})
+		if err != nil {
+			panic(err)
+		}
+		for i := range frames {
+			if err := w.WriteRecord(at[i], frames[i]); err != nil {
+				panic(err)
+			}
+		}
+		ingestTracePcapBytes = buf.Bytes()
+
+		var ngBuf bytes.Buffer
+		ng, err := pcap.NewNGWriter(&ngBuf, uint16(pcap.LinkTypeEthernet))
+		if err != nil {
+			panic(err)
+		}
+		for i := range frames {
+			if err := ng.WriteRecord(at[i], frames[i]); err != nil {
+				panic(err)
+			}
+		}
+		ingestTraceNGBytes = ngBuf.Bytes()
+	})
+	return ingestTracePcapBytes, ingestTraceNGBytes
+}
+
+// ingestReadPass drains one serialized capture with the zero-copy
+// reader, returning the record count.
+func ingestReadPass(raw []byte) (int, error) {
+	s, err := pcap.OpenStream(bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var rec pcap.Record
+	for {
+		err := s.NextInto(&rec)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ingestAnalyzePass replays one serialized capture through an engine
+// built from cfg: the same loop the internal/engine driver runs.
+func ingestAnalyzePass(raw []byte, cfg Config, workers int) error {
+	s, err := pcap.OpenStream(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	var eng Engine
+	if workers > 1 {
+		eng = NewParallelAnalyzer(cfg, workers)
+	} else {
+		eng = NewAnalyzer(cfg)
+	}
+	var rec pcap.Record
+	for {
+		err := s.NextInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		eng.Packet(rec.Timestamp, rec.Data)
+	}
+	eng.Finish()
+	return nil
+}
+
+// BenchmarkIngestPath measures the three layers of the hot loop: the
+// pure zero-copy record read for both formats, and the full
+// read+analyze pipeline sequentially and sharded. ns/pkt and pkts/s are
+// derived per-packet metrics on top of the usual per-pass numbers.
+func BenchmarkIngestPath(b *testing.B) {
+	raw, ngRaw := ingestTrace(b)
+	_, frames, cfg := benchTrace(b)
+	n := len(frames)
+	var total int64
+	for _, f := range frames {
+		total += int64(len(f))
+	}
+
+	b.Run("read/pcap", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			got, err := ingestReadPass(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != n {
+				b.Fatalf("read %d records, trace has %d", got, n)
+			}
+		}
+		reportPerPacket(b, n)
+	})
+	b.Run("read/pcapng", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			got, err := ingestReadPass(ngRaw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != n {
+				b.Fatalf("read %d records, trace has %d", got, n)
+			}
+		}
+		reportPerPacket(b, n)
+	})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"analyze/seq", 1},
+		{"analyze/workers4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(total)
+			for i := 0; i < b.N; i++ {
+				if err := ingestAnalyzePass(raw, cfg, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPerPacket(b, n)
+		})
+	}
+}
+
+// reportPerPacket adds derived per-packet metrics to a sub-benchmark
+// whose unit of work is one full pass over the n-packet trace.
+func reportPerPacket(b *testing.B, n int) {
+	b.StopTimer()
+	el := b.Elapsed()
+	if b.N > 0 && el > 0 {
+		b.ReportMetric(float64(el.Nanoseconds())/float64(int64(b.N)*int64(n)), "ns/pkt")
+		b.ReportMetric(float64(int64(b.N)*int64(n))/el.Seconds(), "pkts/s")
+	}
+}
+
+// TestBenchIngestJSON snapshots the ingest benchmarks into the file
+// named by BENCH_INGEST_OUT (per-packet ns, bytes, allocs, and
+// packets/sec for each variant). `make bench` sets the variable; the
+// test is a no-op otherwise so plain `go test` stays fast.
+func TestBenchIngestJSON(t *testing.T) {
+	out := os.Getenv("BENCH_INGEST_OUT")
+	if out == "" {
+		t.Skip("BENCH_INGEST_OUT not set")
+	}
+	raw, ngRaw := ingestTrace(t)
+	_, frames, cfg := benchTrace(t)
+	n := len(frames)
+
+	type row struct {
+		NsPerPacket     float64 `json:"ns_per_packet"`
+		BytesPerPacket  float64 `json:"bytes_per_packet"`
+		AllocsPerPacket float64 `json:"allocs_per_packet"`
+		PacketsPerSec   float64 `json:"packets_per_sec"`
+	}
+	measure := func(pass func() error) row {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := pass(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		perPass := float64(res.NsPerOp())
+		return row{
+			NsPerPacket:     perPass / float64(n),
+			BytesPerPacket:  float64(res.AllocedBytesPerOp()) / float64(n),
+			AllocsPerPacket: float64(res.AllocsPerOp()) / float64(n),
+			PacketsPerSec:   float64(n) / (perPass / float64(time.Second.Nanoseconds())),
+		}
+	}
+
+	report := map[string]any{
+		"trace_packets": n,
+		// Measured on the same 30 s simulated two-meeting trace immediately
+		// before the zero-copy engine refactor (allocating Next(), re-parse
+		// per shard, per-batch buffers), kept here as the fixed comparison
+		// point for the numbers below.
+		"baseline_pre_refactor": map[string]row{
+			"read/pcap":        {NsPerPacket: 276.33, BytesPerPacket: 498.71, AllocsPerPacket: 1.0005, PacketsPerSec: 3_618_890},
+			"read/pcapng":      {NsPerPacket: 550.69, BytesPerPacket: 1027.53, AllocsPerPacket: 3.0009, PacketsPerSec: 1_815_905},
+			"analyze/seq":      {NsPerPacket: 2588.66, BytesPerPacket: 1248.67, AllocsPerPacket: 3.678, PacketsPerSec: 386_300},
+			"analyze/workers4": {NsPerPacket: 3257.25, BytesPerPacket: 2436.27, AllocsPerPacket: 3.719, PacketsPerSec: 307_008},
+		},
+	}
+	report["read/pcap"] = measure(func() error { _, err := ingestReadPass(raw); return err })
+	report["read/pcapng"] = measure(func() error { _, err := ingestReadPass(ngRaw); return err })
+	report["analyze/seq"] = measure(func() error { return ingestAnalyzePass(raw, cfg, 1) })
+	report["analyze/workers4"] = measure(func() error { return ingestAnalyzePass(raw, cfg, 4) })
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

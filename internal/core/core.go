@@ -155,6 +155,11 @@ type Analyzer struct {
 	// is nil; every hook is nil-receiver safe).
 	o *coreObs
 
+	// recScratch is the reused flow observation passed to Flows.Observe
+	// (which copies what it keeps), saving one heap allocation per media
+	// packet on the hot path.
+	recScratch flow.Record
+
 	// obsSink, when non-nil, receives each media-stream observation
 	// instead of it being fed to Dedup and Copies directly. The sharded
 	// parallel analyzer uses this to log observations per shard and
@@ -209,9 +214,12 @@ func effectiveMaxCopyPending(cfg Config) int {
 	return 0
 }
 
-// Packet ingests one captured frame. A panic anywhere in per-packet
-// processing is recovered, counted, and (when configured) quarantined —
-// one hostile frame must not take down a production tap.
+// Packet ingests one captured frame. The frame is borrowed for the
+// duration of the call — anything the analyzer retains (quarantined
+// frames) is copied — so callers may reuse the buffer immediately,
+// including the borrowed Data of pcap.NextInto. A panic anywhere in
+// per-packet processing is recovered, counted, and (when configured)
+// quarantined — one hostile frame must not take down a production tap.
 func (a *Analyzer) Packet(at time.Time, frame []byte) {
 	a.Packets++
 	a.Bytes += uint64(len(frame))
@@ -319,14 +327,14 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 	if !ok {
 		return
 	}
-	rec := &flow.Record{
+	a.recScratch = flow.Record{
 		Time:          at,
 		Flow:          ft,
 		WireLen:       wireLen,
 		UDPPayloadLen: len(pkt.Payload),
 		Z:             zp,
 	}
-	st := a.Flows.Observe(rec)
+	st := a.Flows.Observe(&a.recScratch)
 
 	if !zp.IsMedia() {
 		return
@@ -390,8 +398,9 @@ func (a *Analyzer) ReadPCAP(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	var rec pcap.Record
 	for {
-		rec, err := s.Next()
+		err := s.NextInto(&rec)
 		if err == io.EOF {
 			break
 		}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"time"
+
+	"zoomlens/internal/flow"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/metrics"
+)
+
+// Engine is the analysis substrate behind every tool: the sequential
+// Analyzer and the sharded ParallelAnalyzer both satisfy it, so callers
+// choose a worker count without branching on the concrete type.
+//
+// Buffer ownership: the frame passed to Packet is borrowed for the
+// duration of the call only — the engine copies whatever it needs to
+// retain (shard batches, quarantined frames), so callers may reuse the
+// buffer immediately, including the borrowed Data of pcap.NextInto.
+//
+// Call order: Packet (any number of times, capture order, one
+// goroutine), interleaved with Snapshot as desired; then Finish exactly
+// once; then the report accessors (Summary, Meetings, StreamIDs,
+// MetricsFor, Result).
+type Engine interface {
+	// Packet ingests one captured frame, borrowed for the call.
+	Packet(at time.Time, frame []byte)
+	// Finish flushes all per-stream state; call once after the last packet.
+	Finish()
+	// Snapshot returns per-meeting rolling metrics over the trailing window.
+	Snapshot(now time.Time, window time.Duration) []MeetingSnapshot
+	// Summary computes the capture roll-up (after Finish).
+	Summary() Summary
+	// Meetings runs the §4.3 grouping (after Finish).
+	Meetings() []meeting.Meeting
+	// StreamIDs returns observed stream identifiers in deterministic order.
+	StreamIDs() []flow.MediaStreamID
+	// MetricsFor returns the metric engine of one stream.
+	MetricsFor(id flow.MediaStreamID) (*metrics.StreamMetrics, bool)
+	// Result returns the sequential-equivalent merged analyzer (after
+	// Finish; the parallel engine panics before it).
+	Result() *Analyzer
+}
+
+// Both pipelines satisfy Engine; a missing method is a compile error
+// here rather than a surprise at a call site.
+var (
+	_ Engine = (*Analyzer)(nil)
+	_ Engine = (*ParallelAnalyzer)(nil)
+)
+
+// Result returns the analyzer itself: the sequential pipeline is its
+// own merged result.
+func (a *Analyzer) Result() *Analyzer { return a }

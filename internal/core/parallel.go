@@ -36,7 +36,6 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"sync"
 	"time"
 
 	"zoomlens/internal/capture"
@@ -76,16 +75,21 @@ const (
 // after draining everything queued before it (the Snapshot quiesce
 // barrier — the ack's happens-before edge makes the shard's state safely
 // readable from the dispatcher goroutine until more work is sent).
+// Batches come from and return to the package-wide framePool.
 type pbatch struct {
 	items []pitem
 	data  []byte
 	sync  chan<- struct{}
 }
 
+// pitem is one packet within a batch. pkt is the dispatcher's decode,
+// rebased onto the batch's copy of the frame, so the shard never
+// decodes a frame the dispatcher already decoded.
 type pitem struct {
 	seq      uint64
 	at       time.Time
 	off, end int
+	pkt      layers.Packet
 }
 
 // pshard is one worker: a private Analyzer fed over a bounded channel.
@@ -102,27 +106,28 @@ type pshard struct {
 	ingested uint64
 }
 
-func (s *pshard) run(pool *sync.Pool) {
+func (s *pshard) run() {
 	defer close(s.done)
-	var pkt layers.Packet
 	for b := range s.ch {
 		if b.sync != nil {
 			b.sync <- struct{}{}
-			continue // sync batches are not pooled
+			putBatch(b)
+			continue
 		}
-		for _, it := range b.items {
-			s.runOne(it, b.data[it.off:it.end], &pkt)
+		for i := range b.items {
+			it := &b.items[i]
+			s.runOne(it, b.data[it.off:it.end])
 		}
-		b.items = b.items[:0]
-		b.data = b.data[:0]
-		pool.Put(b)
+		putBatch(b)
 	}
 }
 
 // runOne processes one packet under the same panic quarantine as the
 // sequential path: a frame that panics is counted on the shard analyzer
-// (summed at merge) and deposited in the shared quarantine ring.
-func (s *pshard) runOne(it pitem, frame []byte, pkt *layers.Packet) {
+// (summed at merge) and deposited in the shared quarantine ring. The
+// packet arrives already decoded (it.pkt, rebased onto the batch copy
+// of the frame by the dispatcher), so no shard ever re-decodes.
+func (s *pshard) runOne(it *pitem, frame []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.a.PanicsRecovered++
@@ -134,14 +139,8 @@ func (s *pshard) runOne(it pitem, frame []byte, pkt *layers.Packet) {
 	if s.a.panicHook != nil {
 		s.a.panicHook(it.at, frame)
 	}
-	// The dispatcher already parsed this frame successfully; the
-	// cheap fixed-offset re-parse here avoids shipping a Packet
-	// full of slices aliasing a shared buffer.
-	if err := s.a.parser.Parse(frame, pkt); err != nil {
-		return
-	}
 	s.a.obsSeq = it.seq
-	s.a.ingest(it.at, pkt, len(frame))
+	s.a.ingest(it.at, &it.pkt, len(frame))
 	s.ingested++
 	if ttl := s.a.cfg.FlowTTL; ttl > 0 && s.a.cfg.MaintainEvery > 0 && s.ingested%s.a.cfg.MaintainEvery == 0 {
 		s.a.EvictIdle(it.at.Add(-ttl))
@@ -172,7 +171,6 @@ type ParallelAnalyzer struct {
 	parser layers.Parser
 	pkt    layers.Packet
 	filter *capture.Filter
-	pool   sync.Pool
 	shards []*pshard
 
 	// o holds the dispatcher's live-metric handles (shared counters plus
@@ -227,7 +225,6 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 		ZoomNetworks:   cfg.ZoomNetworks,
 		CampusNetworks: cfg.CampusNetworks,
 	})
-	pa.pool.New = func() any { return &pbatch{} }
 	pa.shards = make([]*pshard, workers)
 	pa.qdepth = make([]*obs.Gauge, workers)
 	shardCfg := scaleLimits(cfg, workers)
@@ -246,7 +243,7 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 		}
 		sh.a.obsSink = func(o mediaObs) { sh.obs = append(sh.obs, o) }
 		pa.shards[i] = sh
-		go sh.run(&pa.pool)
+		go sh.run()
 	}
 	// Registered after the shard loop so the unlabeled cap gauges reflect
 	// the global configuration, not the transient per-shard binding each
@@ -280,8 +277,11 @@ func scaleLimits(cfg Config, workers int) Config {
 // Workers returns the resolved worker count.
 func (pa *ParallelAnalyzer) Workers() int { return pa.workers }
 
-// Packet ingests one captured frame. Not safe for concurrent use; one
-// goroutine dispatches, the shards parallelize behind it.
+// Packet ingests one captured frame. The frame is borrowed for the
+// duration of the call: the dispatcher copies it into a pooled shard
+// batch before returning, so callers may reuse the buffer immediately,
+// including the borrowed Data of pcap.NextInto. Not safe for concurrent
+// use; one goroutine dispatches, the shards parallelize behind it.
 func (pa *ParallelAnalyzer) Packet(at time.Time, frame []byte) {
 	if pa.seq != nil {
 		pa.seq.Packet(at, frame)
@@ -327,12 +327,17 @@ func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 	idx := pa.shardIndex(&pa.pkt)
 	sh := pa.shards[idx]
 	if sh.cur == nil {
-		sh.cur = pa.pool.Get().(*pbatch)
+		sh.cur = getBatch()
 	}
 	b := sh.cur
 	off := len(b.data)
 	b.data = append(b.data, frame...)
-	b.items = append(b.items, pitem{seq: pa.nextSeq, at: at, off: off, end: len(b.data)})
+	b.items = append(b.items, pitem{seq: pa.nextSeq, at: at, off: off, end: len(b.data), pkt: pa.pkt})
+	// Ship the dispatcher's decode along with the copy: re-point the
+	// packet's frame-aliasing slices from the caller's (borrowed) buffer
+	// onto the batch's stable copy, so the shard reuses the decode
+	// instead of parsing again.
+	b.items[len(b.items)-1].pkt.Rebase(frame, b.data[off:len(b.data)])
 	if len(b.items) >= shardBatchSize {
 		sh.ch <- b
 		sh.cur = nil
@@ -514,8 +519,9 @@ func (pa *ParallelAnalyzer) ReadPCAP(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	var rec pcap.Record
 	for {
-		rec, err := s.Next()
+		err := s.NextInto(&rec)
 		if err == io.EOF {
 			break
 		}
@@ -540,7 +546,9 @@ func (pa *ParallelAnalyzer) quiesce() {
 			sh.ch <- sh.cur
 			sh.cur = nil
 		}
-		sh.ch <- &pbatch{sync: ack}
+		sb := getBatch()
+		sb.sync = ack
+		sh.ch <- sb
 	}
 	for range pa.shards {
 		<-ack

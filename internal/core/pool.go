@@ -1,0 +1,24 @@
+package core
+
+import "sync"
+
+// framePool is the one pool behind every transient frame copy the
+// package makes: dispatcher shard batches, snapshot-quiesce sync
+// batches, and quarantine forensic copies all draw *pbatch values from
+// it and return them when drained. One pool instead of one per consumer
+// means a burst in any path (a quarantine storm, a deep shard backlog)
+// reuses buffers warmed by the others rather than growing its own.
+var framePool = sync.Pool{New: func() any { return new(pbatch) }}
+
+// getBatch checks a reset batch out of the pool.
+func getBatch() *pbatch { return framePool.Get().(*pbatch) }
+
+// putBatch resets a batch and returns it to the pool. The caller must
+// be the last holder: items, data, and any packet slices rebased onto
+// data become invalid the moment it lands back in the pool.
+func putBatch(b *pbatch) {
+	b.items = b.items[:0]
+	b.data = b.data[:0]
+	b.sync = nil
+	framePool.Put(b)
+}

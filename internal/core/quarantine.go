@@ -30,6 +30,11 @@ type QuarantinedFrame struct {
 	Time   time.Time
 	Reason string
 	Frame  []byte
+
+	// buf backs Frame while the entry sits in the ring; it is drawn from
+	// the package framePool and recycled when the slot is overwritten.
+	// Entries returned by Frames carry a fresh copy and a nil buf.
+	buf *pbatch
 }
 
 // DefaultQuarantineCapacity bounds the forensic ring when the caller
@@ -46,12 +51,12 @@ func NewQuarantine(capacity int) *Quarantine {
 	return &Quarantine{cap: capacity}
 }
 
-// Add deposits one frame. The frame bytes are copied; callers may reuse
-// their buffer.
+// Add deposits one frame. The frame bytes are copied into a pooled
+// buffer; callers may reuse their buffer.
 func (q *Quarantine) Add(at time.Time, frame []byte, reason string) {
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
-	qf := QuarantinedFrame{Time: at, Reason: reason, Frame: cp}
+	b := getBatch()
+	b.data = append(b.data, frame...)
+	qf := QuarantinedFrame{Time: at, Reason: reason, Frame: b.data, buf: b}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.total++
@@ -59,6 +64,9 @@ func (q *Quarantine) Add(at time.Time, frame []byte, reason string) {
 		q.frames = append(q.frames, qf)
 		q.next = len(q.frames) % q.cap
 		return
+	}
+	if old := q.frames[q.next].buf; old != nil {
+		putBatch(old)
 	}
 	q.frames[q.next] = qf
 	q.next = (q.next + 1) % q.cap
@@ -72,16 +80,26 @@ func (q *Quarantine) Total() uint64 {
 	return q.total
 }
 
-// Frames returns the retained frames, oldest first.
+// Frames returns the retained frames, oldest first. Frame bytes are
+// fresh copies owned by the caller: the ring's own storage is pooled
+// and recycled as newer offenders overwrite old slots.
 func (q *Quarantine) Frames() []QuarantinedFrame {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	out := make([]QuarantinedFrame, 0, len(q.frames))
 	if len(q.frames) < q.cap {
-		return append(out, q.frames...)
+		out = append(out, q.frames...)
+	} else {
+		out = append(out, q.frames[q.next:]...)
+		out = append(out, q.frames[:q.next]...)
 	}
-	out = append(out, q.frames[q.next:]...)
-	return append(out, q.frames[:q.next]...)
+	for i := range out {
+		cp := make([]byte, len(out[i].Frame))
+		copy(cp, out[i].Frame)
+		out[i].Frame = cp
+		out[i].buf = nil
+	}
+	return out
 }
 
 // WritePCAP flushes the retained frames, oldest first, as a classic

@@ -1,0 +1,270 @@
+// Package engine is the shared CLI driver behind the zoomlens tools:
+// one flag surface, one input-opening path, and one ingest loop feed a
+// core.Engine, so the tools differ only in how they print the result.
+//
+// The package has two layers. Source is the input half every tool uses:
+// it opens a path (or stdin), sniffs classic pcap vs. pcapng, and
+// iterates records zero-copy. Flags/Run is the full analysis pipeline
+// for the reporting tools: flags → engine → signal-aware ingest with
+// borrowed buffers → snapshots → status line.
+package engine
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zoomlens/internal/cliobs"
+	"zoomlens/internal/core"
+	"zoomlens/internal/pcap"
+)
+
+// Source is an opened capture input: a file or stdin ("-"), classic
+// pcap or pcapng. Records are iterated zero-copy via NextInto; Next
+// remains for callers that want owned copies.
+type Source struct {
+	f      *os.File
+	stream *pcap.Stream
+}
+
+// Open opens path ("-" selects stdin) and sniffs the capture format.
+func Open(path string) (*Source, error) {
+	var f *os.File
+	if path == "-" {
+		f = os.Stdin
+	} else {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stream, err := pcap.OpenStream(f)
+	if err != nil {
+		if f != os.Stdin {
+			f.Close()
+		}
+		return nil, err
+	}
+	return &Source{f: f, stream: stream}, nil
+}
+
+// NextInto reads the next record into rec; rec.Data borrows the
+// reader's buffer and is valid only until the next call.
+func (s *Source) NextInto(rec *pcap.Record) error { return s.stream.NextInto(rec) }
+
+// Next returns the next record with caller-owned Data.
+func (s *Source) Next() (pcap.Record, error) { return s.stream.Next() }
+
+// Truncated reports whether the stream was cut mid-record.
+func (s *Source) Truncated() bool { return s.stream.Truncated() }
+
+// Nanosecond reports whether record timestamps carry full nanosecond
+// resolution (see pcap.Stream.Nanosecond).
+func (s *Source) Nanosecond() bool { return s.stream.Nanosecond() }
+
+// Close closes the underlying file (a no-op for stdin).
+func (s *Source) Close() error {
+	if s.f == os.Stdin {
+		return nil
+	}
+	return s.f.Close()
+}
+
+// Flags holds the common analysis-tool flag values: input, engine
+// sizing, bounded-state caps, quarantine, and the cliobs observability
+// set.
+type Flags struct {
+	Input          string
+	Workers        int
+	MaxFlows       int
+	MaxStreams     int
+	FlowTTL        time.Duration
+	QuarantinePath string
+	Obs            *cliobs.Flags
+}
+
+// Register installs the shared analysis flags on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Input, "i", "", "input pcap path")
+	fs.IntVar(&f.Workers, "workers", 1, "analysis shards: 1 = sequential, 0 = one per CPU")
+	fs.IntVar(&f.MaxFlows, "max-flows", 0, "cap concurrent flow-table entries; packets refused at the cap are counted (0 = unlimited)")
+	fs.IntVar(&f.MaxStreams, "max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
+	fs.DurationVar(&f.FlowTTL, "flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
+	fs.StringVar(&f.QuarantinePath, "quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
+	f.Obs = cliobs.Register(fs)
+	return f
+}
+
+// Run is one completed analysis run: the engine has ingested the whole
+// input (or the prefix before an interrupt/cut) and Finish has run.
+// Callers print their report from Analyzer, with the standard defers:
+//
+//	defer run.Close()             // observability teardown + trace report
+//	defer run.EmitStatus()        // status JSON, last line on stderr
+//	defer run.Stage("report")()   // report stage timing
+type Run struct {
+	// Engine is the analysis engine that ingested the capture.
+	Engine core.Engine
+	// Analyzer is the merged sequential-equivalent result.
+	Analyzer *core.Analyzer
+	// Setup is the run's observability state.
+	Setup *cliobs.Setup
+	// Interrupted reports a SIGINT/SIGTERM graceful stop: the report
+	// covers every packet read before the signal.
+	Interrupted bool
+
+	quarantine *core.Quarantine
+	quarPath   string
+}
+
+// Run builds an engine from the flags, streams the whole input through
+// it with borrowed (zero-copy) record buffers, and finishes it.
+// SIGINT/SIGTERM stops reading gracefully — every packet seen is
+// finalized and the status line marks the report partial; a capture cut
+// mid-record degrades the same way. zoomNets parameterizes the capture
+// filter (the caller passes its Zoom address ranges, keeping this
+// package free of policy).
+func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
+	if f.Input == "" {
+		return nil, errors.New("missing -i input pcap")
+	}
+	var file *os.File
+	if f.Input == "-" {
+		file = os.Stdin
+	} else {
+		var err error
+		file, err = os.Open(f.Input)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+	}
+	// Observability comes up before the stream header is read: with a
+	// stdin input the first bytes may arrive long after startup, and the
+	// metrics endpoint must already be scrapeable (and announced on
+	// stderr) while the run waits.
+	setup, err := f.Obs.Apply()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		ZoomNetworks: zoomNets,
+		MaxFlows:     f.MaxFlows,
+		MaxStreams:   f.MaxStreams,
+		FlowTTL:      f.FlowTTL,
+		Obs:          setup.Registry,
+		Tracer:       setup.Tracer,
+	}
+	run := &Run{Setup: setup, quarPath: f.QuarantinePath}
+	if f.QuarantinePath != "" {
+		run.quarantine = core.NewQuarantine(0)
+		cfg.Quarantine = run.quarantine
+	}
+	// The parallel analyzer produces byte-identical results at any worker
+	// count (workers == 1 is the plain sequential analyzer).
+	eng := core.NewParallelAnalyzer(cfg, f.Workers)
+	run.Engine = eng
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stream, err := pcap.OpenStream(file)
+	if err != nil {
+		return nil, err
+	}
+	// Periodic QoE snapshots fire on the capture clock, so offline
+	// replays emit exactly what a live tap would have.
+	sw := f.Obs.SnapshotWriter(setup, eng.Snapshot)
+	var lastTS time.Time
+	var rec pcap.Record
+	ingestDone := setup.Stage("ingest")
+readLoop:
+	for {
+		select {
+		case <-sig:
+			run.Interrupted = true
+			break readLoop
+		default:
+		}
+		err := stream.NextInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		eng.Packet(rec.Timestamp, rec.Data)
+		lastTS = rec.Timestamp
+		sw.Tick(rec.Timestamp)
+	}
+	ingestDone()
+	select {
+	case <-sig:
+		run.Interrupted = true
+	default:
+	}
+	signal.Stop(sig)
+	eng.Finish()
+	if !lastTS.IsZero() {
+		sw.Flush(lastTS)
+	}
+	if err := sw.Err(); err != nil {
+		log.Printf("snapshots: %v", err)
+	}
+	run.Analyzer = eng.Result()
+	if stream.Truncated() {
+		run.Analyzer.Truncated = true
+	}
+	return run, nil
+}
+
+// Stage times one CLI stage under the run's tracer (no-op when tracing
+// is off). Use as: defer run.Stage("report")().
+func (r *Run) Stage(name string) func() { return r.Setup.Stage(name) }
+
+// Close tears the observability surface down and prints the stage
+// report. Register it first so it runs after EmitStatus — the status
+// JSON must stay the last stderr line when tracing is off.
+func (r *Run) Close() { r.Setup.Close() }
+
+// EmitStatus prints one JSON object on stderr describing how the run
+// ended: whether the report is partial (interrupted or truncated input)
+// and the hardening counters an operator needs to trust it. It also
+// flushes the panic quarantine when one was requested.
+func (r *Run) EmitStatus() {
+	s := r.Analyzer.Summary()
+	reason := ""
+	switch {
+	case r.Interrupted:
+		reason = "interrupted"
+	case s.Truncated:
+		reason = "truncated_capture"
+	}
+	var quarantined uint64
+	if r.quarantine != nil {
+		quarantined = r.quarantine.Total()
+		if quarantined > 0 {
+			qf, err := os.Create(r.quarPath)
+			if err != nil {
+				log.Print(err)
+			} else {
+				if err := r.quarantine.WritePCAP(qf); err != nil {
+					log.Print(err)
+				}
+				qf.Close()
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t}`+"\n",
+		r.Interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
+		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated)
+}

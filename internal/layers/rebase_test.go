@@ -1,0 +1,85 @@
+package layers
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestRebaseUDP pins the slice-retargeting contract the parallel
+// dispatcher relies on: after Rebase(old, fresh), every frame-aliasing
+// slice in the Packet points into fresh at the same offset, so the old
+// buffer can be reused immediately.
+func TestRebaseUDP(t *testing.T) {
+	payload := []byte("rebase me")
+	old := EthernetIPv4UDP(ap("10.8.1.2:52143"), ap("52.81.1.9:8801"), 64, payload)
+
+	var p Packet
+	if err := (&Parser{First: FirstEthernet}).Parse(old, &p); err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]byte, len(old))
+	copy(fresh, old)
+	p.Rebase(old, fresh)
+
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload after rebase = %q", p.Payload)
+	}
+	// Prove aliasing: mutating fresh must show through, mutating old must
+	// not.
+	old[len(old)-1] ^= 0xff
+	if !bytes.Equal(p.Payload, payload) {
+		t.Error("payload still aliases the old buffer")
+	}
+	fresh[len(fresh)-1] ^= 0xff
+	if bytes.Equal(p.Payload, payload) {
+		t.Error("payload does not alias the fresh buffer")
+	}
+}
+
+// TestRebaseTCPOptions covers the second frame-aliasing slice: TCP
+// options, and a rebase onto a subslice of a larger batch buffer (extra
+// capacity beyond the frame), which is exactly how the dispatcher calls
+// it.
+func TestRebaseTCPOptions(t *testing.T) {
+	base := EthernetIPv4TCP(ap("10.8.1.2:44123"), ap("52.81.1.9:443"), 57, 1000, 2000, TCPAck, 65535, []byte{9, 9})
+	// The builder emits a bare 20-byte TCP header; splice four NOP option
+	// bytes in after it (data offset 5 → 6, IP total length += 4) so the
+	// parser populates TCP.Options.
+	const tcpOff = 14 + 20
+	old := append(append(append([]byte(nil), base[:tcpOff+20]...), 1, 1, 1, 1), base[tcpOff+20:]...)
+	binary.BigEndian.PutUint16(old[14+2:], binary.BigEndian.Uint16(old[14+2:])+4)
+	old[tcpOff+12] = 6 << 4
+
+	var p Packet
+	if err := (&Parser{First: FirstEthernet}).Parse(old, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.TCP.Options) != 4 {
+		t.Fatalf("options = %x, want 4 NOP bytes", p.TCP.Options)
+	}
+	wantPayload := append([]byte(nil), p.Payload...)
+	wantOpts := append([]byte(nil), p.TCP.Options...)
+
+	// Batch-style destination: the frame copy sits mid-buffer with live
+	// capacity after it.
+	batch := make([]byte, 0, 4*len(old))
+	batch = append(batch, 0xee, 0xee, 0xee)
+	start := len(batch)
+	batch = append(batch, old...)
+	fresh := batch[start:len(batch):len(batch)]
+	p.Rebase(old, fresh)
+
+	if !bytes.Equal(p.Payload, wantPayload) {
+		t.Errorf("payload = %x, want %x", p.Payload, wantPayload)
+	}
+	if !bytes.Equal(p.TCP.Options, wantOpts) {
+		t.Errorf("options = %x, want %x", p.TCP.Options, wantOpts)
+	}
+	for i := range old {
+		old[i] = 0xaa
+	}
+	if !bytes.Equal(p.Payload, wantPayload) || !bytes.Equal(p.TCP.Options, wantOpts) {
+		t.Error("rebased slices still alias the old buffer")
+	}
+}

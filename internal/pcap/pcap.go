@@ -75,6 +75,10 @@ type Reader struct {
 	hdr       Header
 	truncated bool
 	scratch   [recordHeaderLen]byte
+	// buf is the reused record body buffer NextInto lends out; it grows
+	// to the largest record seen and is never returned to the caller's
+	// ownership.
+	buf []byte
 }
 
 // NewReader parses the global header from r and returns a Reader
@@ -119,48 +123,67 @@ func (r *Reader) Header() Header { return r.hdr }
 // itself surfaces as a clean io.EOF from Next, not an error.
 func (r *Reader) Truncated() bool { return r.truncated }
 
-// Next returns the next record, or io.EOF at a clean end of stream. The
-// returned Data slice is freshly allocated and owned by the caller. A
-// stream cut mid-record yields io.EOF with Truncated() set.
-func (r *Reader) Next() (Record, error) {
+// NextInto reads the next record into rec without allocating: rec.Data
+// borrows a buffer owned by the Reader and is valid only until the next
+// NextInto or Next call. Callers that retain the bytes must copy them.
+// io.EOF marks a clean end of stream; a cut mid-record yields io.EOF
+// with Truncated() set.
+func (r *Reader) NextInto(rec *Record) error {
 	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
 		if err == io.EOF {
-			return Record{}, io.EOF
+			return io.EOF
 		}
 		if err == io.ErrUnexpectedEOF {
 			r.truncated = true
-			return Record{}, io.EOF
+			return io.EOF
 		}
-		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
+		return fmt.Errorf("pcap: reading record header: %w", err)
 	}
 	sec := r.order.Uint32(r.scratch[0:4])
 	sub := r.order.Uint32(r.scratch[4:8])
 	capLen := r.order.Uint32(r.scratch[8:12])
 	origLen := r.order.Uint32(r.scratch[12:16])
 	if capLen > r.hdr.SnapLen && r.hdr.SnapLen != 0 {
-		return Record{}, fmt.Errorf("pcap: record capture length %d exceeds snap length %d", capLen, r.hdr.SnapLen)
+		return fmt.Errorf("pcap: record capture length %d exceeds snap length %d", capLen, r.hdr.SnapLen)
 	}
 	const sanityCap = 1 << 26
 	if capLen > sanityCap {
-		return Record{}, fmt.Errorf("pcap: implausible record capture length %d", capLen)
+		return fmt.Errorf("pcap: implausible record capture length %d", capLen)
 	}
-	data := make([]byte, capLen)
+	if int(capLen) > cap(r.buf) {
+		r.buf = make([]byte, capLen)
+	}
+	data := r.buf[:capLen]
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			r.truncated = true
-			return Record{}, io.EOF
+			return io.EOF
 		}
-		return Record{}, fmt.Errorf("pcap: reading record body: %w", err)
+		return fmt.Errorf("pcap: reading record body: %w", err)
 	}
 	nsec := int64(sub)
 	if !r.hdr.Nanosecond {
 		nsec *= 1000
 	}
-	return Record{
-		Timestamp:   time.Unix(int64(sec), nsec).UTC(),
-		OriginalLen: int(origLen),
-		Data:        data,
-	}, nil
+	rec.Timestamp = time.Unix(int64(sec), nsec).UTC()
+	rec.OriginalLen = int(origLen)
+	rec.Data = data
+	return nil
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream. The
+// returned Data slice is a fresh copy owned by the caller; hot loops
+// should prefer NextInto, which lends the Reader's buffer instead. A
+// stream cut mid-record yields io.EOF with Truncated() set.
+func (r *Reader) Next() (Record, error) {
+	var rec Record
+	if err := r.NextInto(&rec); err != nil {
+		return Record{}, err
+	}
+	data := make([]byte, len(rec.Data))
+	copy(data, rec.Data)
+	rec.Data = data
+	return rec, nil
 }
 
 // Writer appends pcap records to an underlying stream. Writers always emit

@@ -38,6 +38,13 @@ type NGReader struct {
 	interfaces []ngInterface
 	snapLen    uint32
 	truncated  bool
+	// buf is the reused block buffer; record Data returned by NextInto
+	// aliases it and is valid only until the next block is read.
+	buf []byte
+	// hdr is the persistent block-header scratch: a local would escape
+	// through the io.Reader interface call and cost one heap allocation
+	// per block.
+	hdr [8]byte
 }
 
 // Truncated reports whether the stream ended mid-block (a cut capture).
@@ -71,11 +78,10 @@ func NewNGReader(r io.Reader) (*NGReader, error) {
 // (resolved properly once the SHB fixes the byte order; the SHB's own
 // type code is order-independent).
 func (ng *NGReader) readBlockHeaderless() (uint32, []byte, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(ng.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(ng.r, ng.hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	btype := binary.LittleEndian.Uint32(hdr[0:4])
+	btype := binary.LittleEndian.Uint32(ng.hdr[0:4])
 	if btype == blockSHB {
 		// Peek the byte-order magic to determine endianness before
 		// trusting the length.
@@ -91,29 +97,38 @@ func (ng *NGReader) readBlockHeaderless() (uint32, []byte, error) {
 		default:
 			return 0, nil, ErrNotPcapng
 		}
-		total := ng.order.Uint32(hdr[4:8])
+		total := ng.order.Uint32(ng.hdr[4:8])
 		if total < 16 || total%4 != 0 || total > 1<<20 {
 			return 0, nil, fmt.Errorf("pcap: bad SHB length %d", total)
 		}
-		rest := make([]byte, total-12)
-		if _, err := io.ReadFull(ng.r, rest); err != nil {
+		body := ng.grow(int(total - 8))
+		copy(body, bom[:])
+		if _, err := io.ReadFull(ng.r, body[4:]); err != nil {
 			return 0, nil, midEOF(err)
 		}
-		body := append(bom[:], rest[:len(rest)-4]...)
-		return btype, body, nil
+		return btype, body[:total-12], nil
 	}
 	if ng.order == nil {
 		return 0, nil, ErrNotPcapng
 	}
-	total := ng.order.Uint32(hdr[4:8])
+	total := ng.order.Uint32(ng.hdr[4:8])
 	if total < 12 || total%4 != 0 || total > 1<<26 {
 		return 0, nil, fmt.Errorf("pcap: bad block length %d", total)
 	}
-	body := make([]byte, total-8)
+	body := ng.grow(int(total - 8))
 	if _, err := io.ReadFull(ng.r, body); err != nil {
 		return 0, nil, midEOF(err)
 	}
-	return btype, body[:len(body)-4], nil
+	return btype, body[:total-12], nil
+}
+
+// grow returns ng.buf resized to n bytes, reallocating only when the
+// block is larger than any seen before.
+func (ng *NGReader) grow(n int) []byte {
+	if n > cap(ng.buf) {
+		ng.buf = make([]byte, n)
+	}
+	return ng.buf[:n]
 }
 
 // midEOF upgrades a bare io.EOF hit after a block header was already
@@ -177,43 +192,60 @@ func pow10(n uint8) uint64 {
 	return out
 }
 
-// Next returns the next packet record, skipping non-packet blocks.
-// io.EOF marks a clean end of stream.
-func (ng *NGReader) Next() (Record, error) {
+// NextInto reads the next packet record into rec, skipping non-packet
+// blocks, without allocating: rec.Data borrows the reader's block
+// buffer and is valid only until the next NextInto or Next call.
+// io.EOF marks a clean end of stream; a cut mid-block yields io.EOF
+// with Truncated() set.
+func (ng *NGReader) NextInto(rec *Record) error {
 	for {
 		btype, body, err := ng.readBlockHeaderless()
 		if err == io.EOF {
-			return Record{}, io.EOF
+			return io.EOF
 		}
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
 				ng.truncated = true
-				return Record{}, io.EOF
+				return io.EOF
 			}
-			return Record{}, err
+			return err
 		}
 		switch btype {
 		case blockSHB:
 			if err := ng.parseSHB(body); err != nil {
-				return Record{}, err
+				return err
 			}
 		case blockIDB:
 			if err := ng.parseIDB(body); err != nil {
-				return Record{}, err
+				return err
 			}
 		case blockEPB:
-			return ng.parseEPB(body)
+			return ng.parseEPB(body, rec)
 		case blockSPB:
-			return ng.parseSPB(body)
+			return ng.parseSPB(body, rec)
 		default:
 			// skip
 		}
 	}
 }
 
-func (ng *NGReader) parseEPB(body []byte) (Record, error) {
+// Next returns the next packet record, skipping non-packet blocks. The
+// returned Data slice is a fresh copy owned by the caller; hot loops
+// should prefer NextInto. io.EOF marks a clean end of stream.
+func (ng *NGReader) Next() (Record, error) {
+	var rec Record
+	if err := ng.NextInto(&rec); err != nil {
+		return Record{}, err
+	}
+	data := make([]byte, len(rec.Data))
+	copy(data, rec.Data)
+	rec.Data = data
+	return rec, nil
+}
+
+func (ng *NGReader) parseEPB(body []byte, rec *Record) error {
 	if len(body) < 20 {
-		return Record{}, fmt.Errorf("pcap: EPB too short")
+		return fmt.Errorf("pcap: EPB too short")
 	}
 	ifIdx := ng.order.Uint32(body[0:4])
 	tsHigh := ng.order.Uint32(body[4:8])
@@ -221,7 +253,7 @@ func (ng *NGReader) parseEPB(body []byte) (Record, error) {
 	capLen := ng.order.Uint32(body[12:16])
 	origLen := ng.order.Uint32(body[16:20])
 	if int(capLen) > len(body)-20 {
-		return Record{}, fmt.Errorf("pcap: EPB capture length %d exceeds block", capLen)
+		return fmt.Errorf("pcap: EPB capture length %d exceeds block", capLen)
 	}
 	units := uint64(1_000_000)
 	if int(ifIdx) < len(ng.interfaces) {
@@ -231,27 +263,25 @@ func (ng *NGReader) parseEPB(body []byte) (Record, error) {
 	sec := raw / units
 	frac := raw % units
 	nsec := frac * uint64(time.Second) / units
-	data := make([]byte, capLen)
-	copy(data, body[20:20+capLen])
-	return Record{
-		Timestamp:   time.Unix(int64(sec), int64(nsec)).UTC(),
-		OriginalLen: int(origLen),
-		Data:        data,
-	}, nil
+	rec.Timestamp = time.Unix(int64(sec), int64(nsec)).UTC()
+	rec.OriginalLen = int(origLen)
+	rec.Data = body[20 : 20+capLen]
+	return nil
 }
 
-func (ng *NGReader) parseSPB(body []byte) (Record, error) {
+func (ng *NGReader) parseSPB(body []byte, rec *Record) error {
 	if len(body) < 4 {
-		return Record{}, fmt.Errorf("pcap: SPB too short")
+		return fmt.Errorf("pcap: SPB too short")
 	}
 	origLen := ng.order.Uint32(body[0:4])
 	capLen := uint32(len(body) - 4)
 	if ng.snapLen > 0 && origLen < capLen {
 		capLen = origLen
 	}
-	data := make([]byte, capLen)
-	copy(data, body[4:4+capLen])
-	return Record{OriginalLen: int(origLen), Data: data}, nil
+	rec.Timestamp = time.Time{}
+	rec.OriginalLen = int(origLen)
+	rec.Data = body[4 : 4+capLen]
+	return nil
 }
 
 // Stream is a format-agnostic record iterator over either classic pcap
@@ -259,15 +289,28 @@ func (ng *NGReader) parseSPB(body []byte) (Record, error) {
 // records.
 type Stream struct {
 	next      func() (Record, error)
+	nextInto  func(*Record) error
 	truncated func() bool
+	nano      bool
 }
 
 // Next returns the next record, or io.EOF at end of stream (clean or
-// cut — consult Truncated to distinguish).
+// cut — consult Truncated to distinguish). The returned Data is a fresh
+// copy owned by the caller; hot loops should prefer NextInto.
 func (s *Stream) Next() (Record, error) { return s.next() }
+
+// NextInto reads the next record into rec without allocating: rec.Data
+// borrows the underlying reader's buffer and is valid only until the
+// next NextInto or Next call.
+func (s *Stream) NextInto(rec *Record) error { return s.nextInto(rec) }
 
 // Truncated reports whether the underlying stream was cut mid-record.
 func (s *Stream) Truncated() bool { return s.truncated() }
+
+// Nanosecond reports whether record timestamps carry full nanosecond
+// resolution: the global-header flag for classic pcap, always true for
+// pcapng. Writers that preserve timestamp resolution consult this.
+func (s *Stream) Nanosecond() bool { return s.nano }
 
 // OpenStream sniffs the stream and returns a record iterator for either
 // classic pcap or pcapng. It reads the first four bytes to decide.
@@ -282,13 +325,13 @@ func OpenStream(r io.Reader) (*Stream, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Stream{next: ng.Next, truncated: ng.Truncated}, nil
+		return &Stream{next: ng.Next, nextInto: ng.NextInto, truncated: ng.Truncated, nano: true}, nil
 	}
 	pr, err := NewReader(joined)
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{next: pr.Next, truncated: pr.Truncated}, nil
+	return &Stream{next: pr.Next, nextInto: pr.NextInto, truncated: pr.Truncated, nano: pr.Header().Nanosecond}, nil
 }
 
 // OpenAny is OpenStream without the truncation accessor, kept for

@@ -69,6 +69,9 @@ import (
 
 // Core analysis pipeline (§4–§5).
 type (
+	// Engine is the common contract of the sequential and parallel
+	// pipelines: feed borrowed packet buffers, finish, read the report.
+	Engine = core.Engine
 	// Analyzer is the end-to-end passive measurement pipeline.
 	Analyzer = core.Analyzer
 	// ParallelAnalyzer is the sharded multi-core pipeline: five-tuples
