@@ -25,6 +25,7 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 	BENCH_INGEST_OUT=$(CURDIR)/BENCH_ingest.json $(GO) test -count=1 -run TestBenchIngestJSON .
+	BENCH_CHECKPOINT_OUT=$(CURDIR)/BENCH_checkpoint.json $(GO) test -count=1 -run TestBenchCheckpointJSON .
 
 # One iteration of the pipeline benchmark: catches a broken perf
 # harness without paying for a real measurement run.
@@ -57,11 +58,15 @@ ci:
 
 # Short native-fuzz runs over every packet codec: the parsers face
 # hostile bytes in production, so every CI run hammers them briefly.
+# The checkpoint decoder faces hostile bytes too (a corrupt or truncated
+# checkpoint file must never panic or half-restore); its target caps
+# minimize time because each exec restores a full engine.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzZoomParse -fuzztime=$(FUZZTIME) ./internal/zoom/
 	$(GO) test -fuzz=FuzzRTPParse -fuzztime=$(FUZZTIME) ./internal/rtp/
 	$(GO) test -fuzz=FuzzSTUNParse -fuzztime=$(FUZZTIME) ./internal/stun/
 	$(GO) test -fuzz=FuzzLayersParse -fuzztime=$(FUZZTIME) ./internal/layers/
+	$(GO) test -fuzz=FuzzCheckpointRestore -fuzztime=$(FUZZTIME) -fuzzminimizetime=5s ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	zoomfeatures -i zoom.pcap > features.csv
+//
+// Input, engine sizing, bounded-state, checkpoint/rotation, and
+// live-observability flags are the shared driver's (internal/engine):
+// -i (use "-" for stdin; classic pcap or pcapng), -workers, -max-flows,
+// -max-streams, -flow-ttl, -quarantine, -checkpoint, -restore, -rotate,
+// -metrics-addr, -snapshot-interval, -snapshot-out, -trace. None of the
+// observability flags changes the final CSV.
 package main
 
 import (
@@ -15,30 +22,25 @@ import (
 	"os"
 
 	"zoomlens"
+	"zoomlens/internal/engine"
 	"zoomlens/internal/features"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoomfeatures: ")
-	var (
-		in      = flag.String("i", "", "input pcap path")
-		minPkts = flag.Uint64("min-packets", 50, "skip streams with fewer packets")
-	)
+	minPkts := flag.Uint64("min-packets", 50, "skip streams with fewer packets")
+	ef := engine.Register(flag.CommandLine)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -i input pcap")
-	}
-	f, err := os.Open(*in)
+
+	run, err := ef.Run(zoomlens.DefaultZoomNetworks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-
-	a := zoomlens.NewAnalyzer(zoomlens.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()})
-	if err := a.ReadPCAP(f); err != nil {
-		log.Fatal(err)
-	}
+	defer run.Close()
+	defer run.EmitStatus()
+	defer run.Stage("report")()
+	a := run.Analyzer
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -4,21 +4,40 @@
 // the GeoIP model, and prints Table 7 along with the ownership split of
 // the address space.
 //
+// With -i it additionally cross-checks a capture against the inventory:
+// which Zoom server addresses the trace actually talked to, how the
+// observed traffic splits across owners, and which observed endpoints
+// fall outside the published networks (the gap Appendix B calls out
+// between the advertised footprint and live traffic). The input may be
+// classic pcap or pcapng, or "-" for stdin.
+//
 // Usage:
 //
-//	zoominfra [-seed 1]
+//	zoominfra [-seed 1] [-i zoom.pcap]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"sort"
 
 	"zoomlens"
+	"zoomlens/internal/engine"
 	"zoomlens/internal/infra"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/pcap"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "inventory seed")
+	log.SetFlags(0)
+	log.SetPrefix("zoominfra: ")
+	var (
+		seed = flag.Int64("seed", 1, "inventory seed")
+		in   = flag.String("i", "", "optional capture to cross-check against the inventory (pcap/pcapng, \"-\" for stdin)")
+	)
 	flag.Parse()
 
 	inv := zoomlens.BuildInventory(*seed)
@@ -34,4 +53,107 @@ func main() {
 	res := inv.Survey()
 	fmt.Printf("rDNS sweep: %d addresses scanned, %d resolved to the MMR/ZC naming scheme\n\n", res.Scanned, res.Resolved)
 	fmt.Print(zoomlens.Table7(inv))
+
+	if *in != "" {
+		if err := crossCheck(inv, *in); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// crossCheck streams a capture through engine.Source and compares the
+// server endpoints it observes against the inventory's networks.
+func crossCheck(inv *infra.Inventory, path string) error {
+	src, err := engine.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	zoomNets := zoomlens.DefaultZoomNetworks()
+	inZoom := func(a netip.Addr) bool {
+		for _, p := range zoomNets {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	ownerOf := func(a netip.Addr) (infra.Owner, bool) {
+		for _, n := range inv.Networks {
+			if n.Prefix.Contains(a) {
+				return n.Owner, true
+			}
+		}
+		return 0, false
+	}
+
+	var parser layers.Parser
+	var pkt layers.Packet
+	var rec pcap.Record
+	var packets, undecodable uint64
+	servers := make(map[netip.Addr]uint64)
+	for {
+		err := src.NextInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		packets++
+		if err := parser.Parse(rec.Data, &pkt); err != nil {
+			undecodable++
+			continue
+		}
+		for _, a := range []netip.Addr{pkt.SrcAddr(), pkt.DstAddr()} {
+			if a.IsValid() && inZoom(a) {
+				servers[a]++
+			}
+		}
+	}
+
+	fmt.Printf("\nCapture cross-check (%d packets", packets)
+	if src.Truncated() {
+		fmt.Print(", truncated")
+	}
+	fmt.Printf("):\n")
+	if len(servers) == 0 {
+		fmt.Println("  no Zoom server addresses observed")
+		return nil
+	}
+
+	byOwner := make(map[infra.Owner]uint64)
+	var unlisted []netip.Addr
+	var unlistedPkts uint64
+	for a, n := range servers {
+		if owner, ok := ownerOf(a); ok {
+			byOwner[owner] += n
+		} else {
+			unlisted = append(unlisted, a)
+			unlistedPkts += n
+		}
+	}
+	fmt.Printf("  %d distinct Zoom server addresses observed\n", len(servers))
+	fmt.Println("  observed packets by owner:")
+	for _, owner := range []infra.Owner{infra.OwnerZoomAS, infra.OwnerAWS, infra.OwnerOracle, infra.OwnerOther} {
+		if byOwner[owner] > 0 {
+			fmt.Printf("    %-22s %d\n", owner, byOwner[owner])
+		}
+	}
+	if len(unlisted) > 0 {
+		sort.Slice(unlisted, func(i, j int) bool { return unlisted[i].Compare(unlisted[j]) < 0 })
+		fmt.Printf("  %d observed addresses (%d packets) outside the published networks:\n", len(unlisted), unlistedPkts)
+		for i, a := range unlisted {
+			if i == 10 {
+				fmt.Printf("    ... and %d more\n", len(unlisted)-10)
+				break
+			}
+			fmt.Printf("    %s\n", a)
+		}
+	}
+	if undecodable > 0 {
+		fmt.Printf("  %d undecodable frames skipped\n", undecodable)
+	}
+	return nil
 }

@@ -1,0 +1,551 @@
+package core
+
+// Checkpoint/restore and windowed rotation for both engines.
+//
+// A checkpoint is the engine's complete mutable state behind the
+// statecodec boundary: resume a run from it and the final report is
+// byte-identical to a run that was never interrupted, at any worker
+// count. The file format is
+//
+//	"ZLCP" | file version (u8) | engine kind (u8) | payload
+//
+// where kind 0 carries one sequential Analyzer payload and kind 1
+// carries the parallel dispatcher's state followed by each shard's
+// analyzer state and its media-observation log (the log is what the
+// merge replays through Dedup/CopyMatcher in global capture order, so
+// it is as much state as any map). The live snapshot replica
+// (liveView) is deliberately not serialized: it is a pure function of
+// the shard logs and is rebuilt lazily by the first Snapshot after
+// restore.
+//
+// Restore never yields a partial engine: any decode error (truncated
+// file, hostile count, unknown version) returns an error and the
+// half-built engine is discarded.
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"slices"
+	"strconv"
+	"time"
+
+	"zoomlens/internal/flow"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/tcprtt"
+	"zoomlens/internal/zoom"
+)
+
+const (
+	checkpointMagic  = "ZLCP"
+	checkpointFileV1 = 1
+
+	engineKindSequential = 0
+	engineKindParallel   = 1
+
+	analyzerStateV1 = 1
+	parallelStateV1 = 1
+
+	// maxCheckpointWorkers bounds the shard count a hostile checkpoint
+	// can demand (each shard costs a goroutine and an analyzer).
+	maxCheckpointWorkers = 4096
+)
+
+func writeCheckpointHeader(w *statecodec.Writer, kind uint8) {
+	for i := 0; i < len(checkpointMagic); i++ {
+		w.U8(checkpointMagic[i])
+	}
+	w.U8(checkpointFileV1)
+	w.U8(kind)
+}
+
+// State encodes the analyzer's complete mutable state. Maps are written
+// in sorted key order so identical state yields identical bytes.
+func (a *Analyzer) State(w *statecodec.Writer) {
+	w.U8(analyzerStateV1)
+	w.U64(a.Packets)
+	w.U64(a.Bytes)
+	w.U64(a.ZoomUDP)
+	w.U64(a.Undecodable)
+	w.U64(a.TCPPackets)
+	w.U64(a.STUNPackets)
+	w.U64(a.DroppedByFilter)
+	w.U64(a.UDPKeptPackets)
+	w.U64(a.UDPKeptBytes)
+	w.U64(a.PanicsRecovered)
+	w.Bool(a.Truncated)
+	w.U64(a.EvictedTCP)
+	w.U64(a.RejectedTCPPackets)
+	w.U64(a.FinishedDropped)
+	w.Bool(a.finished)
+	w.Time(a.firstTS)
+	w.Time(a.lastTS)
+	w.U64(a.compactEvery)
+	w.Duration(a.compactIdle)
+
+	a.filter.State(w)
+	a.Flows.State(w)
+	a.Dedup.State(w)
+	a.Copies.State(w)
+
+	ids := make([]flow.MediaStreamID, 0, len(a.StreamMetrics))
+	for id := range a.StreamMetrics {
+		ids = append(ids, id)
+	}
+	slices.SortFunc(ids, flow.CompareStreamID)
+	w.Int(len(ids))
+	for _, id := range ids {
+		id.Flow.EncodeTo(w)
+		id.Key.EncodeTo(w)
+		a.StreamMetrics[id].State(w)
+	}
+
+	clients := make([]netip.AddrPort, 0, len(a.TCP))
+	for c := range a.TCP {
+		clients = append(clients, c)
+	}
+	sortAddrPorts(clients)
+	w.Int(len(clients))
+	for _, c := range clients {
+		w.AddrPort(c)
+		a.TCP[c].State(w)
+	}
+
+	seen := make([]netip.AddrPort, 0, len(a.tcpSeen))
+	for c := range a.tcpSeen {
+		seen = append(seen, c)
+	}
+	sortAddrPorts(seen)
+	w.Int(len(seen))
+	for _, c := range seen {
+		w.AddrPort(c)
+		w.Time(a.tcpSeen[c])
+	}
+
+	w.Int(len(a.Finished))
+	for i := range a.Finished {
+		f := &a.Finished[i]
+		f.ID.Flow.EncodeTo(w)
+		f.ID.Key.EncodeTo(w)
+		w.Time(f.LastSeen)
+		f.Metrics.State(w)
+	}
+}
+
+func sortAddrPorts(aps []netip.AddrPort) {
+	slices.SortFunc(aps, func(a, b netip.AddrPort) int {
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c
+		}
+		return int(a.Port()) - int(b.Port())
+	})
+}
+
+// restoreState decodes a State payload into the receiver, replacing all
+// mutable state but keeping its configuration and wiring (obs handles,
+// obsSink, parser). The receiver must come from NewAnalyzer.
+func (a *Analyzer) restoreState(r *statecodec.Reader) error {
+	r.Version("core.Analyzer", analyzerStateV1)
+	a.Packets = r.U64()
+	a.Bytes = r.U64()
+	a.ZoomUDP = r.U64()
+	a.Undecodable = r.U64()
+	a.TCPPackets = r.U64()
+	a.STUNPackets = r.U64()
+	a.DroppedByFilter = r.U64()
+	a.UDPKeptPackets = r.U64()
+	a.UDPKeptBytes = r.U64()
+	a.PanicsRecovered = r.U64()
+	a.Truncated = r.Bool()
+	a.EvictedTCP = r.U64()
+	a.RejectedTCPPackets = r.U64()
+	a.FinishedDropped = r.U64()
+	a.finished = r.Bool()
+	a.firstTS = r.Time()
+	a.lastTS = r.Time()
+	a.compactEvery = r.U64()
+	a.compactIdle = r.Duration()
+
+	if err := a.filter.Restore(r); err != nil {
+		return err
+	}
+	if err := a.Flows.Restore(r); err != nil {
+		return err
+	}
+	if err := a.Dedup.Restore(r); err != nil {
+		return err
+	}
+	if err := a.Copies.Restore(r); err != nil {
+		return err
+	}
+
+	nm := r.Count(12)
+	a.StreamMetrics = make(map[flow.MediaStreamID]*metrics.StreamMetrics, nm)
+	for i := 0; i < nm; i++ {
+		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		sm, err := metrics.RestoreStreamMetrics(r)
+		if err != nil {
+			return err
+		}
+		if _, dup := a.StreamMetrics[id]; dup {
+			r.Failf("core.Analyzer duplicate stream %v/%v", id.Flow, id.Key)
+			return r.Err()
+		}
+		a.StreamMetrics[id] = sm
+	}
+
+	nt := r.Count(4)
+	a.TCP = make(map[netip.AddrPort]*tcprtt.Tracker, nt)
+	for i := 0; i < nt; i++ {
+		c := r.AddrPort()
+		tr := tcprtt.NewTracker()
+		if err := tr.Restore(r); err != nil {
+			return err
+		}
+		if _, dup := a.TCP[c]; dup {
+			r.Failf("core.Analyzer duplicate TCP tracker %v", c)
+			return r.Err()
+		}
+		a.TCP[c] = tr
+	}
+
+	ns := r.Count(4)
+	a.tcpSeen = make(map[netip.AddrPort]time.Time, ns)
+	for i := 0; i < ns; i++ {
+		c := r.AddrPort()
+		a.tcpSeen[c] = r.Time()
+	}
+
+	nf := r.Count(14)
+	a.Finished = nil
+	if nf > 0 {
+		a.Finished = make([]FinishedStream, 0, nf)
+	}
+	for i := 0; i < nf; i++ {
+		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		last := r.Time()
+		sm, err := metrics.RestoreStreamMetrics(r)
+		if err != nil {
+			return err
+		}
+		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: last, Metrics: sm})
+	}
+	return r.Err()
+}
+
+// stateSizeHint estimates the encoded size so the writer can reserve
+// once instead of doubling through megabytes (streams dominate at
+// roughly 800 bytes each on production-shaped state).
+func (a *Analyzer) stateSizeHint() int {
+	return 4096 + 1024*(len(a.StreamMetrics)+len(a.Finished))
+}
+
+// Checkpoint writes the analyzer's complete state to w in one Write.
+func (a *Analyzer) Checkpoint(w io.Writer) error {
+	defer a.cfg.trace("checkpoint")()
+	var enc statecodec.Writer
+	enc.Grow(a.stateSizeHint())
+	writeCheckpointHeader(&enc, engineKindSequential)
+	a.State(&enc)
+	_, err := w.Write(enc.Bytes())
+	return err
+}
+
+// putMediaObs/getMediaObs encode one logged shard observation.
+func putMediaObs(w *statecodec.Writer, o *mediaObs) {
+	w.U64(o.seq)
+	w.Time(o.at)
+	o.flow.EncodeTo(w)
+	o.key.EncodeTo(w)
+	w.U8(o.pt)
+	w.U16(o.rtpSeq)
+	w.U32(o.rtpTS)
+}
+
+func getMediaObs(r *statecodec.Reader) mediaObs {
+	return mediaObs{
+		seq:    r.U64(),
+		at:     r.Time(),
+		flow:   layers.DecodeFiveTuple(r),
+		key:    zoom.DecodeStreamKey(r),
+		pt:     r.U8(),
+		rtpSeq: r.U16(),
+		rtpTS:  r.U32(),
+	}
+}
+
+// Checkpoint quiesces the shards (sync-batch barrier) and writes the
+// dispatcher's state, every shard's analyzer state, and every shard's
+// observation log. After Finish it checkpoints the merged result as a
+// sequential payload — the parallel scaffolding is gone by then.
+func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
+	if pa.seq != nil {
+		return pa.seq.Checkpoint(w)
+	}
+	if pa.merged != nil {
+		return pa.merged.Checkpoint(w)
+	}
+	defer pa.cfg.trace("checkpoint")()
+	pa.quiesce()
+	var enc statecodec.Writer
+	hint := 4096
+	for _, sh := range pa.shards {
+		hint += sh.a.stateSizeHint() + 40*len(sh.obs)
+	}
+	enc.Grow(hint)
+	writeCheckpointHeader(&enc, engineKindParallel)
+	enc.Int(pa.workers)
+	enc.U8(parallelStateV1)
+	enc.U64(pa.nextSeq)
+	enc.U64(pa.packets)
+	enc.U64(pa.bytes)
+	enc.U64(pa.undecodable)
+	enc.U64(pa.dropped)
+	enc.U64(pa.panics)
+	enc.Bool(pa.truncated)
+	enc.Time(pa.firstTS)
+	enc.Time(pa.lastTS)
+	pa.filter.State(&enc)
+	for _, sh := range pa.shards {
+		enc.U64(sh.ingested)
+		sh.a.State(&enc)
+		enc.Int(len(sh.obs))
+		for i := range sh.obs {
+			putMediaObs(&enc, &sh.obs[i])
+		}
+	}
+	_, err := w.Write(enc.Bytes())
+	return err
+}
+
+// restoreState decodes a parallel payload into a freshly constructed
+// ParallelAnalyzer (quiescent: no batch has been dispatched yet, so the
+// shard goroutines are parked on their channels and their analyzers are
+// safely writable from this goroutine).
+func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
+	r.Version("core.ParallelAnalyzer", parallelStateV1)
+	pa.nextSeq = r.U64()
+	pa.packets = r.U64()
+	pa.bytes = r.U64()
+	pa.undecodable = r.U64()
+	pa.dropped = r.U64()
+	pa.panics = r.U64()
+	pa.truncated = r.Bool()
+	pa.firstTS = r.Time()
+	pa.lastTS = r.Time()
+	if err := pa.filter.Restore(r); err != nil {
+		return err
+	}
+	for _, sh := range pa.shards {
+		sh.ingested = r.U64()
+		if err := sh.a.restoreState(r); err != nil {
+			return err
+		}
+		n := r.Count(10)
+		sh.obs = nil
+		if n > 0 {
+			sh.obs = make([]mediaObs, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			sh.obs = append(sh.obs, getMediaObs(r))
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+	}
+	return r.Err()
+}
+
+// abandon tears down a half-restored parallel analyzer's shard
+// goroutines so a failed restore leaks nothing.
+func (pa *ParallelAnalyzer) abandon() {
+	for _, sh := range pa.shards {
+		sh.cur = nil
+		close(sh.ch)
+	}
+	for _, sh := range pa.shards {
+		<-sh.done
+	}
+}
+
+// RestoreAnalyzer rebuilds an engine from a checkpoint stream. The
+// engine kind and worker count come from the checkpoint, not from cfg:
+// a checkpoint taken at N workers restores to N workers (required for
+// the shard-partitioned state to line up). cfg supplies everything that
+// is configuration rather than state — networks, caps, quarantine, obs
+// — and should match the original run's for byte-identical resumption.
+//
+// Errors never yield a partial engine: the input is either restored in
+// full (including a trailing-bytes check) or rejected.
+func RestoreAnalyzer(rd io.Reader, cfg Config) (Engine, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	r := statecodec.NewReader(data)
+	for i := 0; i < len(checkpointMagic); i++ {
+		if r.U8() != checkpointMagic[i] {
+			return nil, fmt.Errorf("%w: not a checkpoint (bad magic)", statecodec.ErrCorrupt)
+		}
+	}
+	r.Version("checkpoint file", checkpointFileV1)
+	kind := r.U8()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case engineKindSequential:
+		a := NewAnalyzer(cfg)
+		if err := a.restoreState(r); err != nil {
+			return nil, err
+		}
+		if err := requireDrained(r); err != nil {
+			return nil, err
+		}
+		return a, nil
+	case engineKindParallel:
+		workers := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if workers < 2 || workers > maxCheckpointWorkers {
+			return nil, fmt.Errorf("%w: checkpoint worker count %d out of range", statecodec.ErrCorrupt, workers)
+		}
+		// Each shard payload is at least its version/state skeleton; a
+		// worker count the remaining bytes cannot possibly cover is
+		// corrupt, and rejecting it here avoids spinning up a large
+		// engine only to tear it down on the first short read.
+		if minShard := workers * 16; r.Remaining() < minShard {
+			return nil, fmt.Errorf("%w: %d workers but only %d payload bytes", statecodec.ErrCorrupt, workers, r.Remaining())
+		}
+		pa := NewParallelAnalyzer(cfg, workers)
+		if err := pa.restoreState(r); err != nil {
+			pa.abandon()
+			return nil, err
+		}
+		if err := requireDrained(r); err != nil {
+			pa.abandon()
+			return nil, err
+		}
+		return pa, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown engine kind %d", statecodec.ErrCorrupt, kind)
+	}
+}
+
+func requireDrained(r *statecodec.Reader) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n := r.Remaining(); n > 0 {
+		return fmt.Errorf("%w: %d trailing bytes after checkpoint payload", statecodec.ErrCorrupt, n)
+	}
+	return nil
+}
+
+// Rotate closes the current report window: it detaches everything
+// accumulated so far into a finalized window analyzer (returned for
+// rendering) and re-seeds the live state so the next window starts
+// empty. Configuration and the capture filter's P2P table persist
+// across windows — an armed P2P flow keeps matching after rotation,
+// exactly as it would mid-window. now is the rotation boundary chosen
+// by the caller; the window's own timestamps still come from its
+// packets.
+func (a *Analyzer) Rotate(now time.Time) *Analyzer {
+	defer a.cfg.trace("rotate")()
+	win := &Analyzer{
+		cfg:                a.cfg,
+		filter:             a.filter,
+		Flows:              a.Flows,
+		Dedup:              a.Dedup,
+		StreamMetrics:      a.StreamMetrics,
+		Copies:             a.Copies,
+		TCP:                a.TCP,
+		tcpSeen:            a.tcpSeen,
+		Packets:            a.Packets,
+		Bytes:              a.Bytes,
+		ZoomUDP:            a.ZoomUDP,
+		Undecodable:        a.Undecodable,
+		TCPPackets:         a.TCPPackets,
+		STUNPackets:        a.STUNPackets,
+		DroppedByFilter:    a.DroppedByFilter,
+		UDPKeptPackets:     a.UDPKeptPackets,
+		UDPKeptBytes:       a.UDPKeptBytes,
+		PanicsRecovered:    a.PanicsRecovered,
+		Truncated:          a.Truncated,
+		EvictedTCP:         a.EvictedTCP,
+		RejectedTCPPackets: a.RejectedTCPPackets,
+		FinishedDropped:    a.FinishedDropped,
+		Finished:           a.Finished,
+		firstTS:            a.firstTS,
+		lastTS:             a.lastTS,
+	}
+	win.Finish()
+
+	a.Flows = flow.NewTable()
+	a.Flows.SetLimits(flow.Limits{
+		MaxFlows:      a.cfg.MaxFlows,
+		MaxStreams:    a.cfg.MaxStreams,
+		MaxSubstreams: a.cfg.MaxSubstreams,
+	})
+	a.Dedup = meeting.NewDedup()
+	a.Dedup.MaxStreams = a.cfg.MaxMeetingStreams
+	a.Copies = metrics.NewCopyMatcher()
+	a.Copies.MaxPending = effectiveMaxCopyPending(a.cfg)
+	a.StreamMetrics = make(map[flow.MediaStreamID]*metrics.StreamMetrics)
+	a.TCP = make(map[netip.AddrPort]*tcprtt.Tracker)
+	a.tcpSeen = make(map[netip.AddrPort]time.Time)
+	a.Packets, a.Bytes, a.ZoomUDP, a.Undecodable = 0, 0, 0, 0
+	a.TCPPackets, a.STUNPackets, a.DroppedByFilter = 0, 0, 0
+	a.UDPKeptPackets, a.UDPKeptBytes, a.PanicsRecovered = 0, 0, 0
+	a.EvictedTCP, a.RejectedTCPPackets, a.FinishedDropped = 0, 0, 0
+	a.Truncated = false
+	a.Finished = nil
+	a.firstTS, a.lastTS = time.Time{}, time.Time{}
+	a.finished = false
+	// The window took the cumulative eviction counts with it; re-baseline
+	// the obs mirrors so the next window's deltas start from zero.
+	a.o.resetMirrors()
+	return win
+}
+
+// Rotate quiesces the shards, produces the window's merged report (the
+// same deterministic merge Finish performs), and re-seeds every shard
+// for the next window. The capture filter — dispatcher-owned and
+// cross-window by design — is the only mutable state that survives.
+// Rotate after Finish panics: the shards are gone.
+func (pa *ParallelAnalyzer) Rotate(now time.Time) *Analyzer {
+	if pa.seq != nil {
+		return pa.seq.Rotate(now)
+	}
+	if pa.merged != nil {
+		panic(fmt.Sprintf("core: ParallelAnalyzer.Rotate after Finish (%d workers)", pa.workers))
+	}
+	defer pa.cfg.trace("rotate")()
+	pa.quiesce()
+	win := pa.merge()
+
+	pa.packets, pa.bytes, pa.undecodable, pa.dropped, pa.panics = 0, 0, 0, 0, 0
+	pa.truncated = false
+	pa.firstTS, pa.lastTS = time.Time{}, time.Time{}
+	shardCfg := scaleLimits(pa.cfg, pa.workers)
+	for i := range pa.shards {
+		sh := pa.shards[i]
+		na := NewAnalyzer(shardCfg)
+		na.bindObs(strconv.Itoa(i))
+		na.obsSink = func(o mediaObs) { sh.obs = append(sh.obs, o) }
+		sh.a = na
+		sh.obs = nil
+		sh.ingested = 0
+	}
+	// Fresh shard analyzers re-registered the unlabeled cap gauges with
+	// their per-shard values; re-register the dispatcher's handles so the
+	// unlabeled series reflect the global configuration again (same dance
+	// as NewParallelAnalyzer).
+	pa.o = newCoreObs(pa.cfg.Obs, "", pa.cfg)
+	pa.live = nil
+	return win
+}

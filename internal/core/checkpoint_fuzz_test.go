@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// FuzzCheckpointRestore feeds arbitrary bytes to the checkpoint decoder.
+// The contract under fuzzing mirrors the packet parsers': never panic,
+// and never hand back a partially restored engine — RestoreAnalyzer
+// either returns an error (and no engine) or an engine healthy enough to
+// ingest packets, finish, and summarize.
+func FuzzCheckpointRestore(f *testing.F) {
+	tr, opts := seededTrace(f, 1)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+
+	// Seed with real checkpoints: empty and mid-trace, sequential and
+	// parallel, so mutation starts from every valid layout. A short
+	// packet prefix keeps the seeds a few KB — the mutator and the
+	// interesting-input minimizer rerun these shapes constantly, and a
+	// restore costs a full engine per exec.
+	for _, workers := range []int{1, 2} {
+		for _, cut := range []int{0, 100} {
+			var eng Engine
+			if workers > 1 {
+				eng = NewParallelAnalyzer(cfg, workers)
+			} else {
+				eng = NewAnalyzer(cfg)
+			}
+			for i := 0; i < cut; i++ {
+				eng.Packet(tr.at[i], tr.frames[i])
+			}
+			var buf bytes.Buffer
+			if err := eng.Checkpoint(&buf); err != nil {
+				f.Fatal(err)
+			}
+			eng.Finish()
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ZLCP"))
+	f.Add([]byte{'Z', 'L', 'C', 'P', 1, 0})
+	f.Add([]byte{'Z', 'L', 'C', 'P', 1, 1})
+	f.Add([]byte{'Z', 'L', 'C', 'P', 0xff})
+
+	at := time.Unix(1700000000, 0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, err := RestoreAnalyzer(bytes.NewReader(data), cfg)
+		if err != nil {
+			if eng != nil {
+				t.Fatalf("restore failed (%v) but still returned an engine", err)
+			}
+			return
+		}
+		// A nil-error engine must be fully wired: accept a packet,
+		// finish, and produce a summary without panicking.
+		eng.Packet(at, []byte{0x45})
+		eng.Finish()
+		_ = eng.Result().Summary()
+	})
+}

@@ -140,6 +140,12 @@ type Analyzer struct {
 	compactEvery uint64
 	compactIdle  time.Duration
 
+	// finished makes Finish idempotent: ReadPCAP finishes internally, so
+	// a caller following it with its own Finish must not flush (and
+	// double-count) per-stream state again. Ingesting another packet
+	// re-arms it.
+	finished bool
+
 	// tcpSeen tracks per-client TCP activity for idle eviction.
 	tcpSeen map[netip.AddrPort]time.Time
 
@@ -221,6 +227,7 @@ func effectiveMaxCopyPending(cfg Config) int {
 // per-packet processing is recovered, counted, and (when configured)
 // quarantined — one hostile frame must not take down a production tap.
 func (a *Analyzer) Packet(at time.Time, frame []byte) {
+	a.finished = false
 	a.Packets++
 	a.Bytes += uint64(len(frame))
 	a.o.packetIn(len(frame))
@@ -380,8 +387,14 @@ func (cfg Config) isZoomAddr(addr netip.Addr) bool {
 	return false
 }
 
-// Finish flushes all per-stream state. Call once after the last packet.
+// Finish flushes all per-stream state. It is idempotent: repeated calls
+// without an intervening Packet are no-ops, so following ReadPCAP (which
+// finishes internally) with an explicit Finish is safe.
 func (a *Analyzer) Finish() {
+	if a.finished {
+		return
+	}
+	a.finished = true
 	defer a.cfg.trace("finish")()
 	for _, sm := range a.StreamMetrics {
 		sm.Finish()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"io"
 	"time"
 
 	"zoomlens/internal/flow"
@@ -39,6 +40,13 @@ type Engine interface {
 	// Result returns the sequential-equivalent merged analyzer (after
 	// Finish; the parallel engine panics before it).
 	Result() *Analyzer
+	// Checkpoint serializes the engine's complete mutable state so
+	// RestoreAnalyzer can resume the run with byte-identical results.
+	// Call it between Packet calls (it quiesces a parallel engine).
+	Checkpoint(w io.Writer) error
+	// Rotate finalizes the current report window, returns it for
+	// rendering, and re-seeds the live state for the next window.
+	Rotate(now time.Time) *Analyzer
 }
 
 // Both pipelines satisfy Engine; a missing method is a compile error

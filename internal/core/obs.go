@@ -181,6 +181,18 @@ func (o *coreObs) mirror(c *obs.Counter, cur uint64) {
 	}
 }
 
+// resetMirrors clears the delta baselines. Rotate re-seeds the
+// analyzer's cumulative counters back to zero; without a baseline reset
+// the next mirror would compute cur-prev on uint64s and wrap.
+func (o *coreObs) resetMirrors() {
+	if o == nil {
+		return
+	}
+	for c := range o.prev {
+		delete(o.prev, c)
+	}
+}
+
 // bindObs (re)registers the analyzer's metric handles under the given
 // shard label. NewAnalyzer binds with ""; NewParallelAnalyzer rebinds
 // each shard analyzer with its index.

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,11 +19,13 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"zoomlens/internal/cliobs"
 	"zoomlens/internal/core"
+	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
 )
 
@@ -89,6 +92,14 @@ type Flags struct {
 	FlowTTL        time.Duration
 	QuarantinePath string
 	Obs            *cliobs.Flags
+
+	// Checkpoint/restore and report rotation (all trace-clock driven, so
+	// offline replays behave exactly like the live tap they replay).
+	Checkpoint         string
+	CheckpointInterval time.Duration
+	Restore            string
+	Rotate             time.Duration
+	RotateOut          string
 }
 
 // Register installs the shared analysis flags on fs.
@@ -100,6 +111,11 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.MaxStreams, "max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
 	fs.DurationVar(&f.FlowTTL, "flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
 	fs.StringVar(&f.QuarantinePath, "quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "write engine state to this path (atomic write-rename) every -checkpoint-interval of trace time and on shutdown")
+	fs.DurationVar(&f.CheckpointInterval, "checkpoint-interval", time.Minute, "trace-clock cadence between periodic checkpoints (with -checkpoint)")
+	fs.StringVar(&f.Restore, "restore", "", "resume from a checkpoint written by -checkpoint; engine kind and worker count come from the file")
+	fs.DurationVar(&f.Rotate, "rotate", 0, "close and emit the report window every this much trace time, writing <rotate-out>-NNNN.json per window (0 = one report)")
+	fs.StringVar(&f.RotateOut, "rotate-out", "zoomlens-window", "path prefix for rotated window report files")
 	f.Obs = cliobs.Register(fs)
 	return f
 }
@@ -121,9 +137,18 @@ type Run struct {
 	// Interrupted reports a SIGINT/SIGTERM graceful stop: the report
 	// covers every packet read before the signal.
 	Interrupted bool
+	// Restored reports that the run resumed from a -restore checkpoint.
+	Restored bool
+	// Checkpoints counts checkpoint files written (periodic + shutdown).
+	Checkpoints int
+	// Rotations counts report windows closed by -rotate. With rotation
+	// on, the final report (run.Analyzer) covers only the last window;
+	// earlier windows live in the <rotate-out>-NNNN.json files.
+	Rotations int
 
 	quarantine *core.Quarantine
 	quarPath   string
+	ckm        *obs.CheckpointMetrics
 }
 
 // Run builds an engine from the flags, streams the whole input through
@@ -165,13 +190,35 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 		Tracer:       setup.Tracer,
 	}
 	run := &Run{Setup: setup, quarPath: f.QuarantinePath}
+	run.ckm = obs.NewCheckpointMetrics(setup.Registry)
 	if f.QuarantinePath != "" {
 		run.quarantine = core.NewQuarantine(0)
 		cfg.Quarantine = run.quarantine
 	}
 	// The parallel analyzer produces byte-identical results at any worker
-	// count (workers == 1 is the plain sequential analyzer).
-	eng := core.NewParallelAnalyzer(cfg, f.Workers)
+	// count (workers == 1 is the plain sequential analyzer). A restored
+	// run takes its engine kind and worker count from the checkpoint —
+	// shard-partitioned state only lines up at the worker count it was
+	// saved at.
+	var eng core.Engine
+	if f.Restore != "" {
+		rf, err := os.Open(f.Restore)
+		if err != nil {
+			return nil, err
+		}
+		eng, err = core.RestoreAnalyzer(rf, cfg)
+		rf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("restoring %s: %w", f.Restore, err)
+		}
+		run.Restored = true
+		run.ckm.Restored.Inc()
+		if pa, ok := eng.(*core.ParallelAnalyzer); ok && f.Workers > 1 && pa.Workers() != f.Workers {
+			log.Printf("restore: checkpoint was taken at %d workers; ignoring -workers=%d", pa.Workers(), f.Workers)
+		}
+	} else {
+		eng = core.NewParallelAnalyzer(cfg, f.Workers)
+	}
 	run.Engine = eng
 
 	sig := make(chan os.Signal, 1)
@@ -185,6 +232,9 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 	sw := f.Obs.SnapshotWriter(setup, eng.Snapshot)
 	var lastTS time.Time
 	var rec pcap.Record
+	// Rotation and checkpoint deadlines run on the trace clock, armed by
+	// the first packet.
+	var rotateAt, winStart, ckptAt time.Time
 	ingestDone := setup.Stage("ingest")
 readLoop:
 	for {
@@ -201,9 +251,33 @@ readLoop:
 		if err != nil {
 			return nil, err
 		}
+		// Rotate before ingesting: the packet that crosses the boundary
+		// opens the next window.
+		if f.Rotate > 0 {
+			if rotateAt.IsZero() {
+				rotateAt = rec.Timestamp.Add(f.Rotate)
+				winStart = rec.Timestamp
+			} else if !rec.Timestamp.Before(rotateAt) {
+				run.rotateWindow(eng, winStart, rec.Timestamp, f.RotateOut)
+				winStart = rec.Timestamp
+				for !rec.Timestamp.Before(rotateAt) {
+					rotateAt = rotateAt.Add(f.Rotate)
+				}
+			}
+		}
 		eng.Packet(rec.Timestamp, rec.Data)
 		lastTS = rec.Timestamp
 		sw.Tick(rec.Timestamp)
+		if f.Checkpoint != "" && f.CheckpointInterval > 0 {
+			if ckptAt.IsZero() {
+				ckptAt = rec.Timestamp.Add(f.CheckpointInterval)
+			} else if !rec.Timestamp.Before(ckptAt) {
+				run.writeCheckpoint(eng, f.Checkpoint)
+				for !rec.Timestamp.Before(ckptAt) {
+					ckptAt = ckptAt.Add(f.CheckpointInterval)
+				}
+			}
+		}
 	}
 	ingestDone()
 	select {
@@ -212,6 +286,12 @@ readLoop:
 	default:
 	}
 	signal.Stop(sig)
+	// The shutdown checkpoint lands before Finish so a parallel run's
+	// file keeps its parallel payload (restorable at the same worker
+	// count); it covers every packet ingested, interrupt included.
+	if f.Checkpoint != "" {
+		run.writeCheckpoint(eng, f.Checkpoint)
+	}
 	eng.Finish()
 	if !lastTS.IsZero() {
 		sw.Flush(lastTS)
@@ -224,6 +304,87 @@ readLoop:
 		run.Analyzer.Truncated = true
 	}
 	return run, nil
+}
+
+// countWriter counts bytes on their way to the underlying writer so a
+// checkpoint's size can be reported without buffering it twice.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeCheckpoint writes the engine's state to path atomically: encode
+// into a temp file in the destination directory, fsync, rename over
+// path. A reader never sees a torn checkpoint; a failed write leaves
+// the previous checkpoint in place. Failures are logged and counted,
+// not fatal — losing one checkpoint must not kill the tap.
+func (r *Run) writeCheckpoint(eng core.Engine, path string) {
+	start := time.Now()
+	size, err := atomicCheckpoint(eng, path)
+	if err != nil {
+		log.Printf("checkpoint %s: %v", path, err)
+		r.ckm.Failed.Inc()
+		return
+	}
+	r.Checkpoints++
+	r.ckm.Record(time.Since(start), size, time.Now())
+}
+
+func atomicCheckpoint(eng core.Engine, path string) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
+	if err != nil {
+		return 0, err
+	}
+	tmpName := tmp.Name()
+	cw := &countWriter{w: tmp}
+	err = eng.Checkpoint(cw)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// windowReport is the JSON written per rotated window: the window's
+// bounds on the trace clock plus its full capture roll-up.
+type windowReport struct {
+	Window  int          `json:"window"`
+	Start   time.Time    `json:"start"`
+	End     time.Time    `json:"end"`
+	Summary core.Summary `json:"summary"`
+}
+
+// rotateWindow closes the current report window and writes its roll-up
+// to <prefix>-NNNN.json. Report-file failures are logged, never fatal.
+func (r *Run) rotateWindow(eng core.Engine, start, end time.Time, prefix string) {
+	win := eng.Rotate(end)
+	path := fmt.Sprintf("%s-%04d.json", prefix, r.Rotations)
+	r.Rotations++
+	r.ckm.Rotations.Inc()
+	data, err := json.Marshal(windowReport{
+		Window: r.Rotations - 1, Start: start, End: end, Summary: win.Summary(),
+	})
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		log.Printf("rotate %s: %v", path, err)
+	}
 }
 
 // Stage times one CLI stage under the run's tracer (no-op when tracing
@@ -264,7 +425,8 @@ func (r *Run) EmitStatus() {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t}`+"\n",
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t,"checkpoints":%d,"restored":%t,"rotations":%d}`+"\n",
 		r.Interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
-		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated)
+		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated,
+		r.Checkpoints, r.Restored, r.Rotations)
 }

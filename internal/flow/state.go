@@ -1,0 +1,217 @@
+package flow
+
+import (
+	"slices"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/zoom"
+)
+
+// Checkpoint boundary for the flow table. Limits are configuration, not
+// state: Restore keeps whatever SetLimits installed on the receiver, so
+// a checkpoint taken under one deployment's caps restores cleanly under
+// another's.
+
+const tableStateV1 = 1
+
+// State encodes the table for a checkpoint. Maps are written in sorted
+// key order so identical state yields identical bytes.
+func (t *Table) State(w *statecodec.Writer) {
+	w.U8(tableStateV1)
+	w.U64(t.totalPackets)
+	w.U64(t.totalBytes)
+	w.U64(t.ev.EvictedFlows)
+	w.U64(t.ev.EvictedStreams)
+	w.U64(t.ev.RejectedFlowPackets)
+	w.U64(t.ev.RejectedStreamPackets)
+	w.U64(t.ev.RejectedSubstreamPackets)
+
+	flowKeys := make([]layers.FiveTuple, 0, len(t.flows))
+	for k := range t.flows {
+		flowKeys = append(flowKeys, k)
+	}
+	slices.SortFunc(flowKeys, layers.FiveTuple.Compare)
+	w.Int(len(flowKeys))
+	for _, k := range flowKeys {
+		f := t.flows[k]
+		k.EncodeTo(w)
+		w.Time(f.FirstSeen)
+		w.Time(f.LastSeen)
+		w.U64(f.Packets)
+		w.U64(f.WireBytes)
+		w.U64(f.ServerBased)
+		w.U64(f.P2P)
+		var encapScratch [8]zoom.MediaType
+		encapKeys := encapScratch[:0]
+		for mt := range f.ByEncapType {
+			encapKeys = append(encapKeys, mt)
+		}
+		slices.Sort(encapKeys)
+		w.Int(len(encapKeys))
+		for _, mt := range encapKeys {
+			w.U8(uint8(mt))
+			w.U64(f.ByEncapType[mt])
+		}
+	}
+
+	streamKeys := make([]MediaStreamID, 0, len(t.streams))
+	for k := range t.streams {
+		streamKeys = append(streamKeys, k)
+	}
+	slices.SortFunc(streamKeys, CompareStreamID)
+	w.Int(len(streamKeys))
+	for _, k := range streamKeys {
+		s := t.streams[k]
+		k.Flow.EncodeTo(w)
+		k.Key.EncodeTo(w)
+		w.Time(s.FirstSeen)
+		w.Time(s.LastSeen)
+		w.U64(s.Packets)
+		w.U64(s.WireBytes)
+		w.U64(s.MediaBytes)
+		w.U32(s.FirstRTPTimestamp)
+		w.U32(s.LastRTPTimestamp)
+		w.U16(s.FirstSeq)
+		w.U16(s.LastSeq)
+		w.U64(s.RTCPPackets)
+		var ptScratch [16]uint8
+		pts := ptScratch[:0]
+		for pt := range s.Substreams {
+			pts = append(pts, pt)
+		}
+		slices.Sort(pts)
+		w.Int(len(pts))
+		for _, pt := range pts {
+			sub := s.Substreams[pt]
+			w.U8(pt)
+			w.U64(sub.Packets)
+			w.U64(sub.Bytes)
+		}
+	}
+
+	encapKeys := make([]zoom.MediaType, 0, len(t.evictedEncap))
+	for mt := range t.evictedEncap {
+		encapKeys = append(encapKeys, mt)
+	}
+	slices.Sort(encapKeys)
+	w.Int(len(encapKeys))
+	for _, mt := range encapKeys {
+		a := t.evictedEncap[mt]
+		w.U8(uint8(mt))
+		w.U64(a.pkts)
+		w.U64(a.bytes)
+	}
+
+	ptKeys := make([]ptKey, 0, len(t.evictedPT))
+	for k := range t.evictedPT {
+		ptKeys = append(ptKeys, k)
+	}
+	slices.SortFunc(ptKeys, func(a, b ptKey) int {
+		if a.mt != b.mt {
+			return int(a.mt) - int(b.mt)
+		}
+		return int(a.pt) - int(b.pt)
+	})
+	w.Int(len(ptKeys))
+	for _, k := range ptKeys {
+		a := t.evictedPT[k]
+		w.U8(uint8(k.mt))
+		w.U8(k.pt)
+		w.U64(a.pkts)
+		w.U64(a.bytes)
+	}
+}
+
+// CompareStreamID orders stream identifiers by (flow, key); checkpoint
+// writers use it to serialize stream maps deterministically.
+func CompareStreamID(a, b MediaStreamID) int {
+	if c := a.Flow.Compare(b.Flow); c != 0 {
+		return c
+	}
+	return a.Key.Compare(b.Key)
+}
+
+// Restore rebuilds the table from a checkpoint, replacing every live map
+// but preserving the limits installed on the receiver.
+func (t *Table) Restore(r *statecodec.Reader) error {
+	r.Version("flow.Table", tableStateV1)
+	t.totalPackets = r.U64()
+	t.totalBytes = r.U64()
+	t.ev.EvictedFlows = r.U64()
+	t.ev.EvictedStreams = r.U64()
+	t.ev.RejectedFlowPackets = r.U64()
+	t.ev.RejectedStreamPackets = r.U64()
+	t.ev.RejectedSubstreamPackets = r.U64()
+
+	nf := r.Count(8)
+	t.flows = make(map[layers.FiveTuple]*FlowStats, nf)
+	for i := 0; i < nf; i++ {
+		k := layers.DecodeFiveTuple(r)
+		f := &FlowStats{Flow: k}
+		f.FirstSeen = r.Time()
+		f.LastSeen = r.Time()
+		f.Packets = r.U64()
+		f.WireBytes = r.U64()
+		f.ServerBased = r.U64()
+		f.P2P = r.U64()
+		ne := r.Count(2)
+		f.ByEncapType = make(map[zoom.MediaType]uint64, ne)
+		for j := 0; j < ne; j++ {
+			mt := zoom.MediaType(r.U8())
+			f.ByEncapType[mt] = r.U64()
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.flows[k] = f
+	}
+
+	ns := r.Count(12)
+	t.streams = make(map[MediaStreamID]*StreamStats, ns)
+	for i := 0; i < ns; i++ {
+		id := MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		s := &StreamStats{ID: id}
+		s.FirstSeen = r.Time()
+		s.LastSeen = r.Time()
+		s.Packets = r.U64()
+		s.WireBytes = r.U64()
+		s.MediaBytes = r.U64()
+		s.FirstRTPTimestamp = r.U32()
+		s.LastRTPTimestamp = r.U32()
+		s.FirstSeq = r.U16()
+		s.LastSeq = r.U16()
+		s.RTCPPackets = r.U64()
+		np := r.Count(3)
+		s.Substreams = make(map[uint8]*SubstreamStats, np)
+		for j := 0; j < np; j++ {
+			pt := r.U8()
+			s.Substreams[pt] = &SubstreamStats{PayloadType: pt, Packets: r.U64(), Bytes: r.U64()}
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.streams[id] = s
+	}
+
+	nee := r.Count(3)
+	t.evictedEncap = nil
+	if nee > 0 {
+		t.evictedEncap = make(map[zoom.MediaType]*shareAgg, nee)
+	}
+	for i := 0; i < nee; i++ {
+		mt := zoom.MediaType(r.U8())
+		t.evictedEncap[mt] = &shareAgg{pkts: r.U64(), bytes: r.U64()}
+	}
+
+	nep := r.Count(4)
+	t.evictedPT = nil
+	if nep > 0 {
+		t.evictedPT = make(map[ptKey]*shareAgg, nep)
+	}
+	for i := 0; i < nep; i++ {
+		k := ptKey{mt: zoom.MediaType(r.U8()), pt: r.U8()}
+		t.evictedPT[k] = &shareAgg{pkts: r.U64(), bytes: r.U64()}
+	}
+	return r.Err()
+}

@@ -1,0 +1,60 @@
+package layers
+
+import (
+	"zoomlens/internal/statecodec"
+)
+
+// Checkpoint codec for the identity types other layers key their state
+// by. FiveTuple has no behavior to separate — its state is itself — so
+// it carries no version byte; the containing layer's version governs.
+
+// EncodeTo appends the tuple's wire form to w.
+func (ft FiveTuple) EncodeTo(w *statecodec.Writer) {
+	w.Addr(ft.Src)
+	w.Addr(ft.Dst)
+	w.U16(ft.SrcPort)
+	w.U16(ft.DstPort)
+	w.U8(ft.Proto)
+}
+
+// DecodeFiveTuple reads a tuple written by EncodeTo.
+func DecodeFiveTuple(r *statecodec.Reader) FiveTuple {
+	return FiveTuple{
+		Src:     r.Addr(),
+		Dst:     r.Addr(),
+		SrcPort: r.U16(),
+		DstPort: r.U16(),
+		Proto:   r.U8(),
+	}
+}
+
+// Compare orders tuples lexicographically by (Src, Dst, SrcPort,
+// DstPort, Proto). Checkpoint encoders sort map keys with it so
+// identical state always produces identical checkpoint bytes.
+func (ft FiveTuple) Compare(o FiveTuple) int {
+	if c := ft.Src.Compare(o.Src); c != 0 {
+		return c
+	}
+	if c := ft.Dst.Compare(o.Dst); c != 0 {
+		return c
+	}
+	if ft.SrcPort != o.SrcPort {
+		if ft.SrcPort < o.SrcPort {
+			return -1
+		}
+		return 1
+	}
+	if ft.DstPort != o.DstPort {
+		if ft.DstPort < o.DstPort {
+			return -1
+		}
+		return 1
+	}
+	if ft.Proto != o.Proto {
+		if ft.Proto < o.Proto {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

@@ -69,6 +69,7 @@ func DefaultVideoConfig() VideoConfig {
 type VideoSource struct {
 	cfg   VideoConfig
 	rng   *rand.Rand
+	seed  int64
 	count int
 	// reducedUntilFrame implements abrupt 28→14 fps adaptation.
 	reduced bool
@@ -79,7 +80,7 @@ func NewVideoSource(cfg VideoConfig, seed int64) *VideoSource {
 	if cfg.FPS <= 0 {
 		cfg = DefaultVideoConfig()
 	}
-	return &VideoSource{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &VideoSource{cfg: cfg, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // SetReduced toggles reduced-rate mode (~half frame rate, smaller
@@ -170,6 +171,8 @@ const SilentPacketInterval = 100 * time.Millisecond
 type AudioSource struct {
 	cfg      AudioConfig
 	rng      *rand.Rand
+	seed     int64
+	count    int
 	speaking bool
 	// remaining is the time left in the current spurt/silence.
 	remaining time.Duration
@@ -180,7 +183,7 @@ func NewAudioSource(cfg AudioConfig, seed int64) *AudioSource {
 	if cfg.PacketInterval <= 0 {
 		cfg = DefaultAudioConfig()
 	}
-	s := &AudioSource{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	s := &AudioSource{cfg: cfg, seed: seed, rng: rand.New(rand.NewSource(seed))}
 	s.speaking = false
 	s.remaining = s.draw(cfg.MeanSilence)
 	return s
@@ -199,6 +202,7 @@ func (a *AudioSource) Speaking() bool { return a.cfg.AlwaysUnknownMode || a.spea
 // Next produces the next audio frame: PacketInterval long while
 // speaking, SilentPacketInterval long during silence.
 func (a *AudioSource) Next() Frame {
+	a.count++
 	interval := a.cfg.PacketInterval
 	if !a.Speaking() {
 		interval = SilentPacketInterval
@@ -265,6 +269,8 @@ func DefaultScreenShareConfig() ScreenShareConfig {
 type ScreenShareSource struct {
 	cfg       ScreenShareConfig
 	rng       *rand.Rand
+	seed      int64
+	count     int
 	burstLeft int
 }
 
@@ -273,13 +279,14 @@ func NewScreenShareSource(cfg ScreenShareConfig, seed int64) *ScreenShareSource 
 	if cfg.MeanChangeInterval <= 0 {
 		cfg = DefaultScreenShareConfig()
 	}
-	return &ScreenShareSource{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &ScreenShareSource{cfg: cfg, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Next produces the next frame and the delay until the one after it.
 // Unlike video, the inter-frame gap varies wildly: bursts of updates at
 // ~10 fps during activity, then nothing for seconds.
 func (s *ScreenShareSource) Next() (Frame, time.Duration) {
+	s.count++
 	var f Frame
 	if s.burstLeft > 0 {
 		s.burstLeft--

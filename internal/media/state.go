@@ -1,0 +1,151 @@
+package media
+
+import (
+	"zoomlens/internal/statecodec"
+)
+
+// Checkpoint boundary for the media generators. math/rand exposes no
+// way to export a generator's internal state, so each source records
+// its seed and how many Next calls it has served; Restore re-seeds a
+// fresh generator and replays that many draws. Replay is exact because
+// a source's random consumption depends only on its own deterministic
+// state evolution, never on external inputs. maxReplay bounds the work
+// a corrupt count can demand.
+
+const (
+	videoStateV1  = 1
+	audioStateV1  = 1
+	screenStateV1 = 1
+
+	maxReplay = 1 << 26
+)
+
+// State encodes the source for a checkpoint.
+func (v *VideoSource) State(w *statecodec.Writer) {
+	w.U8(videoStateV1)
+	w.F64(v.cfg.FPS)
+	w.Int(v.cfg.MeanFrameBytes)
+	w.Int(v.cfg.KeyframeInterval)
+	w.F64(v.cfg.KeyframeScale)
+	w.F64(v.cfg.Motion)
+	w.I64(v.seed)
+	w.Int(v.count)
+	w.Bool(v.reduced)
+}
+
+// RestoreVideoSource rebuilds a source from a checkpoint by replay.
+func RestoreVideoSource(r *statecodec.Reader) (*VideoSource, error) {
+	r.Version("media.VideoSource", videoStateV1)
+	var cfg VideoConfig
+	cfg.FPS = r.F64()
+	cfg.MeanFrameBytes = r.Int()
+	cfg.KeyframeInterval = r.Int()
+	cfg.KeyframeScale = r.F64()
+	cfg.Motion = r.F64()
+	seed := r.I64()
+	count := r.Int()
+	reduced := r.Bool()
+	if err := checkReplay(r, count); err != nil {
+		return nil, err
+	}
+	v := NewVideoSource(cfg, seed)
+	if v.cfg != cfg {
+		r.Failf("media.VideoSource config rejected by constructor")
+		return nil, r.Err()
+	}
+	for i := 0; i < count; i++ {
+		v.Next()
+	}
+	v.reduced = reduced
+	return v, nil
+}
+
+// State encodes the source for a checkpoint.
+func (a *AudioSource) State(w *statecodec.Writer) {
+	w.U8(audioStateV1)
+	w.Duration(a.cfg.PacketInterval)
+	w.Int(a.cfg.SpeakingBytes)
+	w.Duration(a.cfg.MeanTalkSpurt)
+	w.Duration(a.cfg.MeanSilence)
+	w.Bool(a.cfg.AlwaysUnknownMode)
+	w.I64(a.seed)
+	w.Int(a.count)
+}
+
+// RestoreAudioSource rebuilds a source from a checkpoint by replay; the
+// speaking state and spurt remainder re-derive themselves.
+func RestoreAudioSource(r *statecodec.Reader) (*AudioSource, error) {
+	r.Version("media.AudioSource", audioStateV1)
+	var cfg AudioConfig
+	cfg.PacketInterval = r.Duration()
+	cfg.SpeakingBytes = r.Int()
+	cfg.MeanTalkSpurt = r.Duration()
+	cfg.MeanSilence = r.Duration()
+	cfg.AlwaysUnknownMode = r.Bool()
+	seed := r.I64()
+	count := r.Int()
+	if err := checkReplay(r, count); err != nil {
+		return nil, err
+	}
+	a := NewAudioSource(cfg, seed)
+	if a.cfg != cfg {
+		r.Failf("media.AudioSource config rejected by constructor")
+		return nil, r.Err()
+	}
+	for i := 0; i < count; i++ {
+		a.Next()
+	}
+	return a, nil
+}
+
+// State encodes the source for a checkpoint.
+func (s *ScreenShareSource) State(w *statecodec.Writer) {
+	w.U8(screenStateV1)
+	w.Duration(s.cfg.MeanChangeInterval)
+	w.Int(s.cfg.BigChangeBytes)
+	w.Int(s.cfg.SmallChangeBytes)
+	w.F64(s.cfg.BigChangeProb)
+	w.Int(s.cfg.BurstFrames)
+	w.I64(s.seed)
+	w.Int(s.count)
+}
+
+// RestoreScreenShareSource rebuilds a source from a checkpoint by
+// replay; the burst position re-derives itself.
+func RestoreScreenShareSource(r *statecodec.Reader) (*ScreenShareSource, error) {
+	r.Version("media.ScreenShareSource", screenStateV1)
+	var cfg ScreenShareConfig
+	cfg.MeanChangeInterval = r.Duration()
+	cfg.BigChangeBytes = r.Int()
+	cfg.SmallChangeBytes = r.Int()
+	cfg.BigChangeProb = r.F64()
+	cfg.BurstFrames = r.Int()
+	seed := r.I64()
+	count := r.Int()
+	if err := checkReplay(r, count); err != nil {
+		return nil, err
+	}
+	if cfg.BurstFrames < 0 {
+		r.Failf("media.ScreenShareSource negative burst frames")
+		return nil, r.Err()
+	}
+	s := NewScreenShareSource(cfg, seed)
+	if s.cfg != cfg {
+		r.Failf("media.ScreenShareSource config rejected by constructor")
+		return nil, r.Err()
+	}
+	for i := 0; i < count; i++ {
+		s.Next()
+	}
+	return s, nil
+}
+
+func checkReplay(r *statecodec.Reader, count int) error {
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if count < 0 || count > maxReplay {
+		r.Failf("media replay count %d out of range", count)
+	}
+	return r.Err()
+}

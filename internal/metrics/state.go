@@ -1,0 +1,458 @@
+package metrics
+
+import (
+	"cmp"
+	"slices"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/zoom"
+)
+
+// Checkpoint boundary for the metric accumulators. StreamMetrics is the
+// deepest composite in the system — per-substream frame assemblers,
+// shared sequence trackers, jitter estimators, rate bins, stall and talk
+// models — and every piece is mid-computation state that must survive a
+// restore exactly for the byte-identical-report invariant to hold.
+
+const (
+	streamMetricsStateV1 = 1
+	copyMatcherStateV1   = 1
+)
+
+func putSeries(w *statecodec.Writer, s *Series) {
+	w.String(s.Name)
+	w.Int(len(s.Samples))
+	for _, sm := range s.Samples {
+		w.Time(sm.Time)
+		w.F64(sm.Value)
+	}
+}
+
+func getSeries(r *statecodec.Reader, s *Series) {
+	s.Name = r.String()
+	n := r.Count(9)
+	s.Samples = nil
+	if n > 0 {
+		s.Samples = make([]Sample, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		s.Samples = append(s.Samples, Sample{Time: r.Time(), Value: r.F64()})
+	}
+}
+
+// State encodes the stream analyzer for a checkpoint.
+func (sm *StreamMetrics) State(w *statecodec.Writer) {
+	w.U8(streamMetricsStateV1)
+	w.F64(sm.ClockRate)
+	w.U8(uint8(sm.MediaType))
+	w.Duration(sm.MaxIdleGap)
+	w.Bool(sm.finished)
+
+	w.U64(sm.Packets)
+	w.U64(sm.MediaBytes)
+	w.U64(sm.WireBytes)
+	w.U64(sm.FramesTotal)
+	w.U64(sm.FramesIncomplete)
+
+	putSeries(w, &sm.FrameRate)
+	putSeries(w, &sm.EncoderRate)
+	putSeries(w, &sm.FrameSize)
+	putSeries(w, &sm.FrameDelay)
+	putSeries(w, &sm.JitterMS)
+	putSeries(w, &sm.Packetization)
+	putSeries(w, &sm.MediaRate)
+	putSeries(w, &sm.WireRate)
+
+	w.Bool(sm.haveBin)
+	w.Time(sm.binStart)
+	w.U64(sm.binWire)
+	w.U64(sm.binMedia)
+
+	w.Int(len(sm.frameObs))
+	for _, fo := range sm.frameObs {
+		w.Time(fo.At)
+		w.U32(fo.TS)
+	}
+
+	// The shared main-space sequence tracker encodes once; substreams
+	// record only whether they reference it.
+	w.Bool(sm.mainSeq != nil)
+	if sm.mainSeq != nil {
+		sm.mainSeq.State(w)
+	}
+
+	w.Bool(sm.Stall != nil)
+	if sm.Stall != nil {
+		sm.Stall.state(w)
+	}
+	w.Bool(sm.Talk != nil)
+	if sm.Talk != nil {
+		sm.Talk.state(w)
+	}
+
+	// Stack-backed scratch: substream counts are tiny, and a checkpoint
+	// walks tens of thousands of streams — per-stream heap slices here
+	// dominate encode time via GC pressure.
+	var ptScratch [16]uint8
+	pts := ptScratch[:0]
+	for pt := range sm.subs {
+		pts = append(pts, pt)
+	}
+	slices.Sort(pts)
+	w.Int(len(pts))
+	for _, pt := range pts {
+		st := sm.subs[pt]
+		w.U8(pt)
+		w.Bool(st.isMain)
+		if !st.isMain {
+			st.seq.State(w) // FEC substreams own their sequence space
+		}
+		w.Duration(st.window.window)
+		w.Int(len(st.window.times))
+		for _, t := range st.window.times {
+			w.Time(t)
+		}
+		w.U32(st.encoder.lastTS)
+		w.Bool(st.encoder.seen)
+		w.Bool(st.jitter != nil)
+		if st.jitter != nil {
+			st.jitter.State(w)
+		}
+		var tsScratch [64]uint32
+		tss := tsScratch[:0]
+		for ts := range st.tsSeen {
+			tss = append(tss, ts)
+		}
+		slices.Sort(tss)
+		w.Int(len(tss))
+		for _, ts := range tss {
+			w.U32(ts)
+		}
+		st.assembler.state(w)
+	}
+}
+
+// RestoreStreamMetrics rebuilds a stream analyzer from a checkpoint. All
+// construction happens here (not via NewStreamMetrics): every field,
+// including the type-dependent stall/talk models, comes from the state.
+func RestoreStreamMetrics(r *statecodec.Reader) (*StreamMetrics, error) {
+	r.Version("metrics.StreamMetrics", streamMetricsStateV1)
+	sm := &StreamMetrics{subs: make(map[uint8]*substreamState)}
+	sm.ClockRate = r.F64()
+	sm.MediaType = zoom.MediaType(r.U8())
+	sm.MaxIdleGap = r.Duration()
+	sm.finished = r.Bool()
+
+	sm.Packets = r.U64()
+	sm.MediaBytes = r.U64()
+	sm.WireBytes = r.U64()
+	sm.FramesTotal = r.U64()
+	sm.FramesIncomplete = r.U64()
+
+	getSeries(r, &sm.FrameRate)
+	getSeries(r, &sm.EncoderRate)
+	getSeries(r, &sm.FrameSize)
+	getSeries(r, &sm.FrameDelay)
+	getSeries(r, &sm.JitterMS)
+	getSeries(r, &sm.Packetization)
+	getSeries(r, &sm.MediaRate)
+	getSeries(r, &sm.WireRate)
+
+	sm.haveBin = r.Bool()
+	sm.binStart = r.Time()
+	sm.binWire = r.U64()
+	sm.binMedia = r.U64()
+
+	nfo := r.Count(5)
+	if nfo > 0 {
+		sm.frameObs = make([]FrameObservation, 0, nfo)
+	}
+	for i := 0; i < nfo; i++ {
+		sm.frameObs = append(sm.frameObs, FrameObservation{At: r.Time(), TS: r.U32()})
+	}
+
+	if r.Bool() {
+		sm.mainSeq = rtp.NewSeqTracker()
+		if err := sm.mainSeq.Restore(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.Bool() {
+		sm.Stall = NewStallDetector()
+		if err := sm.Stall.restore(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.Bool() {
+		sm.Talk = NewTalkTracker()
+		if err := sm.Talk.restore(r); err != nil {
+			return nil, err
+		}
+	}
+
+	nsubs := r.Count(8)
+	for i := 0; i < nsubs; i++ {
+		pt := r.U8()
+		st := &substreamState{isMain: r.Bool()}
+		if st.isMain {
+			if sm.mainSeq == nil {
+				r.Failf("metrics.StreamMetrics main substream %d without shared tracker", pt)
+				return nil, r.Err()
+			}
+			st.seq = sm.mainSeq
+		} else {
+			st.seq = rtp.NewSeqTracker()
+			if err := st.seq.Restore(r); err != nil {
+				return nil, err
+			}
+		}
+		st.window = NewFrameRateWindow(r.Duration())
+		nt := r.Count(3)
+		if nt > 0 {
+			st.window.times = make([]time.Time, 0, nt)
+		}
+		for j := 0; j < nt; j++ {
+			st.window.times = append(st.window.times, r.Time())
+		}
+		st.encoder = NewEncoderFrameRate(sm.ClockRate)
+		st.encoder.lastTS = r.U32()
+		st.encoder.seen = r.Bool()
+		if r.Bool() {
+			st.jitter = &rtp.Jitter{}
+			if err := st.jitter.Restore(r); err != nil {
+				return nil, err
+			}
+		}
+		nts := r.Count(1)
+		if nts > 0 {
+			st.tsSeen = make(map[uint32]struct{}, nts)
+		}
+		for j := 0; j < nts; j++ {
+			st.tsSeen[r.U32()] = struct{}{}
+		}
+		st.assembler = NewFrameAssembler(func(f Frame, complete bool) {
+			sm.onFrame(st, f, complete)
+		})
+		if err := st.assembler.restore(r); err != nil {
+			return nil, err
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		sm.subs[pt] = st
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return sm, nil
+}
+
+func (a *FrameAssembler) state(w *statecodec.Writer) {
+	w.Int(a.MaxOpenFrames)
+	w.U32(a.lastTS)
+	w.Bool(a.seen)
+	// Open frames in insertion (order-slice) order: flushOldest evicts
+	// the head, so the order is behavioral state.
+	w.Int(len(a.order))
+	for _, ts := range a.order {
+		of := a.open[ts]
+		w.U32(ts)
+		w.U16(of.frame.FrameSequence)
+		w.Time(of.frame.FirstPacket)
+		w.Time(of.frame.Completed)
+		w.Int(of.frame.Packets)
+		w.Int(of.frame.ExpectedPackets)
+		w.Int(of.frame.Bytes)
+		w.Bool(of.frame.SawMarker)
+		var seqScratch [32]uint16
+		seqs := seqScratch[:0]
+		for s := range of.seqs {
+			seqs = append(seqs, s)
+		}
+		slices.Sort(seqs)
+		w.Int(len(seqs))
+		for _, s := range seqs {
+			w.U16(s)
+		}
+	}
+}
+
+func (a *FrameAssembler) restore(r *statecodec.Reader) error {
+	a.MaxOpenFrames = r.Int()
+	a.lastTS = r.U32()
+	a.seen = r.Bool()
+	n := r.Count(10)
+	a.open = make(map[uint32]*openFrame, n)
+	a.order = nil
+	if n > 0 {
+		a.order = make([]uint32, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		ts := r.U32()
+		of := &openFrame{frame: Frame{RTPTimestamp: ts}}
+		of.frame.FrameSequence = r.U16()
+		of.frame.FirstPacket = r.Time()
+		of.frame.Completed = r.Time()
+		of.frame.Packets = r.Int()
+		of.frame.ExpectedPackets = r.Int()
+		of.frame.Bytes = r.Int()
+		of.frame.SawMarker = r.Bool()
+		ns := r.Count(1)
+		of.seqs = make(map[uint16]struct{}, ns)
+		for j := 0; j < ns; j++ {
+			of.seqs[r.U16()] = struct{}{}
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		a.open[ts] = of
+		a.order = append(a.order, ts)
+	}
+	return r.Err()
+}
+
+func (d *StallDetector) state(w *statecodec.Writer) {
+	w.Duration(d.InitialBuffer)
+	w.Duration(d.ResumeThreshold)
+	w.Int(len(d.Events))
+	for _, e := range d.Events {
+		w.Time(e.Start)
+		w.Duration(e.Duration)
+		w.Int(e.FramesLate)
+	}
+	w.Bool(d.started)
+	w.Duration(d.buffer)
+	w.Bool(d.stalled)
+	w.Time(d.stallAt)
+	w.Int(d.lateRun)
+	w.Time(d.lastSeen)
+}
+
+func (d *StallDetector) restore(r *statecodec.Reader) error {
+	d.InitialBuffer = r.Duration()
+	d.ResumeThreshold = r.Duration()
+	n := r.Count(3)
+	d.Events = nil
+	if n > 0 {
+		d.Events = make([]StallEvent, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		d.Events = append(d.Events, StallEvent{Start: r.Time(), Duration: r.Duration(), FramesLate: r.Int()})
+	}
+	d.started = r.Bool()
+	d.buffer = r.Duration()
+	d.stalled = r.Bool()
+	d.stallAt = r.Time()
+	d.lateRun = r.Int()
+	d.lastSeen = r.Time()
+	return r.Err()
+}
+
+func (t *TalkTracker) state(w *statecodec.Writer) {
+	w.Duration(t.MergeGap)
+	w.Int(len(t.segments))
+	for _, s := range t.segments {
+		w.Time(s.Start)
+		w.Time(s.End)
+	}
+	w.Bool(t.open)
+	w.Time(t.start)
+	w.Time(t.last)
+	w.U64(t.speakingPkts)
+	w.U64(t.silentPkts)
+	w.U64(t.unknownPkts)
+	w.Time(t.firstSeen)
+	w.Time(t.lastSeen)
+}
+
+func (t *TalkTracker) restore(r *statecodec.Reader) error {
+	t.MergeGap = r.Duration()
+	n := r.Count(2)
+	t.segments = nil
+	if n > 0 {
+		t.segments = make([]TalkSegment, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		t.segments = append(t.segments, TalkSegment{Start: r.Time(), End: r.Time()})
+	}
+	t.open = r.Bool()
+	t.start = r.Time()
+	t.last = r.Time()
+	t.speakingPkts = r.U64()
+	t.silentPkts = r.U64()
+	t.unknownPkts = r.U64()
+	t.firstSeen = r.Time()
+	t.lastSeen = r.Time()
+	return r.Err()
+}
+
+// State encodes the copy matcher for a checkpoint. Pending observations
+// are live latency state: a downlink copy arriving after restore must
+// still pair with its uplink observation from before the checkpoint.
+func (cm *CopyMatcher) State(w *statecodec.Writer) {
+	w.U8(copyMatcherStateV1)
+	w.Duration(cm.MaxAge)
+	w.Int(cm.MaxPending)
+	w.Int(len(cm.Samples))
+	for _, s := range cm.Samples {
+		w.Time(s.Time)
+		w.Duration(s.RTT)
+		w.I64(int64(s.Unified))
+	}
+	keys := make([]copyKey, 0, len(cm.pending))
+	for k := range cm.pending {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b copyKey) int {
+		if c := cmp.Compare(a.unified, b.unified); c != 0 {
+			return c
+		}
+		if a.pt != b.pt {
+			return int(a.pt) - int(b.pt)
+		}
+		if a.seq != b.seq {
+			return int(a.seq) - int(b.seq)
+		}
+		return int(a.ts) - int(b.ts)
+	})
+	w.Int(len(keys))
+	for _, k := range keys {
+		o := cm.pending[k]
+		w.I64(int64(k.unified))
+		w.U8(k.pt)
+		w.U16(k.seq)
+		w.U32(k.ts)
+		w.Time(o.at)
+		o.flow.EncodeTo(w)
+	}
+}
+
+// Restore rebuilds the matcher from a checkpoint, replacing all state.
+func (cm *CopyMatcher) Restore(r *statecodec.Reader) error {
+	r.Version("metrics.CopyMatcher", copyMatcherStateV1)
+	cm.MaxAge = r.Duration()
+	cm.MaxPending = r.Int()
+	n := r.Count(3)
+	cm.Samples = nil
+	if n > 0 {
+		cm.Samples = make([]RTTSample, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		cm.Samples = append(cm.Samples, RTTSample{Time: r.Time(), RTT: r.Duration(), Unified: meeting.UnifiedID(r.I64())})
+	}
+	np := r.Count(12)
+	cm.pending = make(map[copyKey]obs, np)
+	for i := 0; i < np; i++ {
+		k := copyKey{unified: meeting.UnifiedID(r.I64()), pt: r.U8(), seq: r.U16(), ts: r.U32()}
+		o := obs{at: r.Time(), flow: layers.DecodeFiveTuple(r)}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		cm.pending[k] = o
+	}
+	return r.Err()
+}

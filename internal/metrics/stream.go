@@ -151,6 +151,12 @@ type StreamMetrics struct {
 	MediaRate Series // bits per second, one sample per elapsed second
 	WireRate  Series
 
+	// finished guards Finish against double invocation: ReadPCAP calls
+	// Finish internally, and a second Finish must not re-flush the open
+	// rate bin (flushBin advances binStart, so an unguarded second call
+	// appended a spurious zero-rate sample per invocation).
+	finished bool
+
 	// MaxIdleGap caps zero-rate gap-fill in the rate series: when the
 	// stream is silent for longer than this, the rate bins skip ahead to
 	// the next packet instead of emitting one zero sample per elapsed
@@ -221,6 +227,7 @@ func (sm *StreamMetrics) sub(pt uint8) *substreamState {
 // Observe ingests one media packet belonging to this stream. wireLen is
 // the packet's on-the-wire length.
 func (sm *StreamMetrics) Observe(at time.Time, wireLen int, media *zoom.MediaEncap, pkt *rtp.Packet) {
+	sm.finished = false
 	sm.Packets++
 	sm.MediaBytes += uint64(len(pkt.Payload))
 	sm.WireBytes += uint64(wireLen)
@@ -314,9 +321,13 @@ func (sm *StreamMetrics) flushBin() {
 	sm.binWire, sm.binMedia = 0, 0
 }
 
-// Finish flushes assemblers and the open rate bin. Call once at end of
-// stream before reading series.
+// Finish flushes assemblers and the open rate bin. Finish is
+// idempotent: repeated calls without an intervening Observe are no-ops.
 func (sm *StreamMetrics) Finish() {
+	if sm.finished {
+		return
+	}
+	sm.finished = true
 	for _, st := range sm.subs {
 		st.assembler.Flush()
 	}

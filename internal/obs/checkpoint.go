@@ -1,0 +1,44 @@
+package obs
+
+import "time"
+
+// CheckpointMetrics instruments the engine driver's checkpoint writer
+// and report rotation: how many checkpoints were written (or failed),
+// how long the last one took, how big it was, and when it landed (the
+// age an operator alerts on is time() - zoomlens_checkpoint_last_unix).
+// Every method is safe on a nil receiver and on handles from a nil
+// Registry, matching the rest of the package.
+type CheckpointMetrics struct {
+	Written    *Counter
+	Failed     *Counter
+	Restored   *Counter
+	Rotations  *Counter
+	DurationMS *Gauge
+	SizeBytes  *Gauge
+	LastUnix   *Gauge
+}
+
+// NewCheckpointMetrics registers the checkpoint series on r (nil r
+// yields inert handles).
+func NewCheckpointMetrics(r *Registry) *CheckpointMetrics {
+	return &CheckpointMetrics{
+		Written:    r.Counter("zoomlens_checkpoints_written_total", "Checkpoints written successfully."),
+		Failed:     r.Counter("zoomlens_checkpoint_failures_total", "Checkpoint writes that failed."),
+		Restored:   r.Counter("zoomlens_checkpoint_restores_total", "Runs resumed from a checkpoint."),
+		Rotations:  r.Counter("zoomlens_report_rotations_total", "Report windows rotated out."),
+		DurationMS: r.Gauge("zoomlens_checkpoint_duration_ms", "Wall-clock duration of the last checkpoint write."),
+		SizeBytes:  r.Gauge("zoomlens_checkpoint_size_bytes", "Encoded size of the last checkpoint."),
+		LastUnix:   r.Gauge("zoomlens_checkpoint_last_unix", "Unix time of the last successful checkpoint."),
+	}
+}
+
+// Record notes one successful checkpoint write.
+func (m *CheckpointMetrics) Record(d time.Duration, size int64, at time.Time) {
+	if m == nil {
+		return
+	}
+	m.Written.Inc()
+	m.DurationMS.Set(d.Milliseconds())
+	m.SizeBytes.Set(size)
+	m.LastUnix.Set(at.Unix())
+}

@@ -1,0 +1,156 @@
+package statecodec
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(3)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(65535)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 62)
+	w.I64(-42)
+	w.Int(-7)
+	w.F64(3.14159)
+	w.Duration(5 * time.Second)
+	w.Time(time.Unix(1700000000, 123456789))
+	w.Time(time.Time{})
+	w.PutBytes([]byte{1, 2, 3})
+	w.String("hello")
+	w.Addr(netip.MustParseAddr("10.1.2.3"))
+	w.Addr(netip.MustParseAddr("fd00::1"))
+	w.Addr(netip.Addr{})
+	w.AddrPort(netip.MustParseAddrPort("192.168.0.1:8801"))
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 3 {
+		t.Fatalf("u8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip")
+	}
+	if got := r.U16(); got != 65535 {
+		t.Fatalf("u16 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("u32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<62 {
+		t.Fatalf("u64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Fatalf("int = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := r.Duration(); got != 5*time.Second {
+		t.Fatalf("duration = %v", got)
+	}
+	want := time.Unix(1700000000, 123456789)
+	if got := r.Time(); !got.Equal(want) {
+		t.Fatalf("time = %v", got)
+	}
+	if got := r.Time(); !got.IsZero() {
+		t.Fatalf("zero time = %v", got)
+	}
+	if got := r.GetBytes(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := r.Addr(); got != netip.MustParseAddr("10.1.2.3") {
+		t.Fatalf("addr4 = %v", got)
+	}
+	if got := r.Addr(); got != netip.MustParseAddr("fd00::1") {
+		t.Fatalf("addr6 = %v", got)
+	}
+	if got := r.Addr(); got.IsValid() {
+		t.Fatalf("invalid addr = %v", got)
+	}
+	if got := r.AddrPort(); got != netip.MustParseAddrPort("192.168.0.1:8801") {
+		t.Fatalf("addrport = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+// TestTruncation decodes every proper prefix of a valid encoding; every
+// one must end with a sticky error, never a panic.
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.U8(1)
+	w.Time(time.Unix(100, 5))
+	w.String("abcdef")
+	w.F64(2.5)
+	w.AddrPort(netip.MustParseAddrPort("10.0.0.1:443"))
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U8()
+		r.Time()
+		_ = r.String()
+		r.F64()
+		r.AddrPort()
+		if r.Err() == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestHostileCounts confirms that a huge declared count cannot trigger a
+// matching allocation.
+func TestHostileCounts(t *testing.T) {
+	var w Writer
+	w.Int(1 << 40) // claims a petabyte of elements
+	r := NewReader(w.Bytes())
+	if n := r.Count(1); n != 0 || r.Err() == nil {
+		t.Fatalf("hostile count accepted: n=%d err=%v", n, r.Err())
+	}
+	if b := NewReader(w.Bytes()).GetBytes(); b != nil {
+		t.Fatalf("hostile byte length allocated %d bytes", len(b))
+	}
+}
+
+func TestVersionGate(t *testing.T) {
+	var w Writer
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.Version("flow", 1)
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "flow state version 2") {
+		t.Fatalf("version gate: %v", err)
+	}
+	r2 := NewReader(w.Bytes())
+	r2.Version("flow", 2)
+	if err := r2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	enc := func() []byte {
+		var w Writer
+		w.Time(time.Unix(42, 7))
+		w.F64(1.25)
+		w.U64(99)
+		return append([]byte(nil), w.Bytes()...)
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatal("identical state encoded to different bytes")
+	}
+}

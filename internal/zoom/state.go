@@ -1,0 +1,40 @@
+package zoom
+
+import (
+	"zoomlens/internal/statecodec"
+)
+
+// Checkpoint codec for the substream-tracking identity: every stateful
+// layer above (flow table substream accounting, metric engines, stream
+// unification) keys on StreamKey, so it encodes here, once. Like
+// layers.FiveTuple, the key is pure state — the containing layer's
+// version byte governs.
+
+// EncodeTo appends the key's wire form to w.
+func (k StreamKey) EncodeTo(w *statecodec.Writer) {
+	w.U32(k.SSRC)
+	w.U8(uint8(k.Type))
+}
+
+// DecodeStreamKey reads a key written by EncodeTo.
+func DecodeStreamKey(r *statecodec.Reader) StreamKey {
+	return StreamKey{SSRC: r.U32(), Type: MediaType(r.U8())}
+}
+
+// Compare orders keys by (SSRC, Type) for deterministic checkpoint
+// encoding.
+func (k StreamKey) Compare(o StreamKey) int {
+	if k.SSRC != o.SSRC {
+		if k.SSRC < o.SSRC {
+			return -1
+		}
+		return 1
+	}
+	if k.Type != o.Type {
+		if k.Type < o.Type {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

@@ -42,6 +42,7 @@
 package zoomlens
 
 import (
+	"io"
 	"net"
 	"net/http"
 	"net/netip"
@@ -97,6 +98,14 @@ func NewAnalyzer(cfg Config) *Analyzer { return core.NewAnalyzer(cfg) }
 // to the sequential Analyzer.
 func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 	return core.NewParallelAnalyzer(cfg, workers)
+}
+
+// RestoreAnalyzer rebuilds an engine from a checkpoint written by
+// Engine.Checkpoint. The engine kind and worker count come from the
+// checkpoint; cfg supplies the run configuration, which should match
+// the original run's for byte-identical resumption.
+func RestoreAnalyzer(r io.Reader, cfg Config) (Engine, error) {
+	return core.RestoreAnalyzer(r, cfg)
 }
 
 // Live observability (metrics endpoint, stage tracing, QoE snapshots).
