@@ -27,11 +27,14 @@ bench:
 	BENCH_INGEST_OUT=$(CURDIR)/BENCH_ingest.json $(GO) test -count=1 -run TestBenchIngestJSON .
 	BENCH_CHECKPOINT_OUT=$(CURDIR)/BENCH_checkpoint.json $(GO) test -count=1 -run TestBenchCheckpointJSON .
 
-# One iteration of the pipeline benchmark: catches a broken perf
-# harness without paying for a real measurement run.
+# One iteration of the pipeline benchmark (catches a broken perf
+# harness without paying for a real measurement run) plus the
+# parallel-vs-sequential throughput tripwire at its conservative smoke
+# floor.
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkAnalyzerPipeline -benchtime 1x .
 	$(GO) test -run XXX -bench BenchmarkIngestPath -benchtime 1x .
+	BENCH_RATIO_SMOKE=1 $(GO) test -count=1 -run TestIngestWorkerRatioSmoke -v .
 
 # The ingest allocation budget, enforced: zero allocations per record in
 # the zero-copy readers, bounded allocations per packet end to end.

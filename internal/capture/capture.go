@@ -124,8 +124,25 @@ func (f *Filter) Stats() FilterStats { return f.stats }
 // Classify runs one decoded packet through the pipeline and returns the
 // verdict. ts is the capture timestamp, used for P2P table aging.
 func (f *Filter) Classify(pkt *layers.Packet, ts time.Time) Verdict {
+	var srcPort, dstPort uint16
+	var payload []byte
+	if pkt.HasUDP {
+		srcPort, dstPort, payload = pkt.UDP.SrcPort, pkt.UDP.DstPort, pkt.Payload
+	}
+	return f.ClassifyFlow(pkt.SrcAddr(), pkt.DstAddr(), pkt.HasUDP, srcPort, dstPort, payload, ts)
+}
+
+// ClassifyFlow runs the pipeline on pre-extracted flow features, exactly
+// equivalent to Classify on a decoded packet with those features. It
+// exists for dispatchers that route on raw header bytes and defer the
+// full decode to a worker: the filter is the one stateful, cross-flow
+// stage that must still see every packet in global capture order, and
+// this entry point lets it do so without a full per-packet decode.
+// srcPort, dstPort, and payload are only consulted when hasUDP is true
+// (payload must then be the UDP payload, for STUN and Zoom format
+// checks).
+func (f *Filter) ClassifyFlow(src, dst netip.Addr, hasUDP bool, srcPort, dstPort uint16, payload []byte, ts time.Time) Verdict {
 	f.stats.Processed++
-	src, dst := pkt.SrcAddr(), pkt.DstAddr()
 	if !src.IsValid() || !dst.IsValid() {
 		f.stats.Dropped++
 		return Drop
@@ -136,8 +153,8 @@ func (f *Filter) Classify(pkt *layers.Packet, ts time.Time) Verdict {
 	if f.zoomNets.contains(src) || f.zoomNets.contains(dst) {
 		// Stage 2: STUN exchanges with a Zoom server on port 3478 arm the
 		// P2P tables with the campus endpoint (IP + ephemeral port).
-		if pkt.HasUDP && (pkt.UDP.SrcPort == stun.Port || pkt.UDP.DstPort == stun.Port) && stun.Is(pkt.Payload) {
-			f.registerSTUN(pkt, ts)
+		if hasUDP && (srcPort == stun.Port || dstPort == stun.Port) && stun.Is(payload) {
+			f.registerSTUN(src, dst, srcPort, dstPort, ts)
 			f.stats.ZoomSTUN++
 			return KeepSTUN
 		}
@@ -147,10 +164,10 @@ func (f *Filter) Classify(pkt *layers.Packet, ts time.Time) Verdict {
 
 	// Stage 3: stateful P2P lookup — non-server UDP whose campus-side
 	// endpoint was recently seen in a STUN exchange.
-	if pkt.HasUDP {
-		if f.lookupP2P(netip.AddrPortFrom(src, pkt.UDP.SrcPort), ts) ||
-			f.lookupP2P(netip.AddrPortFrom(dst, pkt.UDP.DstPort), ts) {
-			if f.cfg.ValidateP2PPayload && !ValidateP2P(pkt.Payload) {
+	if hasUDP {
+		if f.lookupP2P(netip.AddrPortFrom(src, srcPort), ts) ||
+			f.lookupP2P(netip.AddrPortFrom(dst, dstPort), ts) {
+			if f.cfg.ValidateP2PPayload && !ValidateP2P(payload) {
 				f.stats.P2PFormatRejected++
 				f.stats.Dropped++
 				return Drop
@@ -163,15 +180,15 @@ func (f *Filter) Classify(pkt *layers.Packet, ts time.Time) Verdict {
 	return Drop
 }
 
-func (f *Filter) registerSTUN(pkt *layers.Packet, ts time.Time) {
+func (f *Filter) registerSTUN(src, dst netip.Addr, srcPort, dstPort uint16, ts time.Time) {
 	// Remember the campus-side endpoint: the non-3478 side of the
 	// exchange that is not the Zoom server.
 	var ep netip.AddrPort
 	switch {
-	case pkt.UDP.DstPort == stun.Port:
-		ep = netip.AddrPortFrom(pkt.SrcAddr(), pkt.UDP.SrcPort)
-	case pkt.UDP.SrcPort == stun.Port:
-		ep = netip.AddrPortFrom(pkt.DstAddr(), pkt.UDP.DstPort)
+	case dstPort == stun.Port:
+		ep = netip.AddrPortFrom(src, srcPort)
+	case srcPort == stun.Port:
+		ep = netip.AddrPortFrom(dst, dstPort)
 	default:
 		return
 	}

@@ -10,13 +10,12 @@ package core
 //	"ZLCP" | file version (u8) | engine kind (u8) | payload
 //
 // where kind 0 carries one sequential Analyzer payload and kind 1
-// carries the parallel dispatcher's state followed by each shard's
-// analyzer state and its media-observation log (the log is what the
-// merge replays through Dedup/CopyMatcher in global capture order, so
-// it is as much state as any map). The live snapshot replica
-// (liveView) is deliberately not serialized: it is a pure function of
-// the shard logs and is rebuilt lazily by the first Snapshot after
-// restore.
+// carries the parallel dispatcher's state, the reconciliation
+// Dedup/CopyMatcher state, and each shard's analyzer state. The shard
+// observation logs are never serialized: the checkpoint quiesces and
+// advances the reconciliation pass first, so at encode time the logs
+// are empty and the reconciliation state already reflects every
+// dispatched packet.
 //
 // Restore never yields a partial engine: any decode error (truncated
 // file, hostile count, unknown version) returns an error and the
@@ -47,7 +46,11 @@ const (
 	engineKindParallel   = 1
 
 	analyzerStateV1 = 1
-	parallelStateV1 = 1
+	// parallelStateV2 dropped the per-shard observation logs (the
+	// checkpoint reconciles them before encoding) and added the
+	// reconciliation Dedup/CopyMatcher state. V1 files are rejected by
+	// the version check rather than misread.
+	parallelStateV2 = 2
 
 	// maxCheckpointWorkers bounds the shard count a hostile checkpoint
 	// can demand (each shard costs a goroutine and an analyzer).
@@ -182,12 +185,28 @@ func (a *Analyzer) restoreState(r *statecodec.Reader) error {
 		return err
 	}
 
+	// Stream analyzers decode into chunk-allocated slabs: one allocation
+	// per few thousand streams instead of one per stream. Restore-side GC
+	// pressure was the difference between meeting the recovery-path time
+	// budget and missing it. Chunking (rather than one slab sized by the
+	// declared count) keeps a hostile count from forcing a huge up-front
+	// allocation before the first element fails to decode.
+	var smSlab []metrics.StreamMetrics
+	nextSM := func(remaining int) *metrics.StreamMetrics {
+		if len(smSlab) == 0 {
+			smSlab = make([]metrics.StreamMetrics, min(remaining, 4096))
+		}
+		sm := &smSlab[0]
+		smSlab = smSlab[1:]
+		return sm
+	}
+
 	nm := r.Count(12)
 	a.StreamMetrics = make(map[flow.MediaStreamID]*metrics.StreamMetrics, nm)
 	for i := 0; i < nm; i++ {
 		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
-		sm, err := metrics.RestoreStreamMetrics(r)
-		if err != nil {
+		sm := nextSM(nm - i)
+		if err := metrics.RestoreStreamMetricsInto(r, sm); err != nil {
 			return err
 		}
 		if _, dup := a.StreamMetrics[id]; dup {
@@ -227,8 +246,8 @@ func (a *Analyzer) restoreState(r *statecodec.Reader) error {
 	for i := 0; i < nf; i++ {
 		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
 		last := r.Time()
-		sm, err := metrics.RestoreStreamMetrics(r)
-		if err != nil {
+		sm := nextSM(nf - i)
+		if err := metrics.RestoreStreamMetricsInto(r, sm); err != nil {
 			return err
 		}
 		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: last, Metrics: sm})
@@ -254,32 +273,10 @@ func (a *Analyzer) Checkpoint(w io.Writer) error {
 	return err
 }
 
-// putMediaObs/getMediaObs encode one logged shard observation.
-func putMediaObs(w *statecodec.Writer, o *mediaObs) {
-	w.U64(o.seq)
-	w.Time(o.at)
-	o.flow.EncodeTo(w)
-	o.key.EncodeTo(w)
-	w.U8(o.pt)
-	w.U16(o.rtpSeq)
-	w.U32(o.rtpTS)
-}
-
-func getMediaObs(r *statecodec.Reader) mediaObs {
-	return mediaObs{
-		seq:    r.U64(),
-		at:     r.Time(),
-		flow:   layers.DecodeFiveTuple(r),
-		key:    zoom.DecodeStreamKey(r),
-		pt:     r.U8(),
-		rtpSeq: r.U16(),
-		rtpTS:  r.U32(),
-	}
-}
-
-// Checkpoint quiesces the shards (sync-batch barrier) and writes the
-// dispatcher's state, every shard's analyzer state, and every shard's
-// observation log. After Finish it checkpoints the merged result as a
+// Checkpoint quiesces the shards (sync-batch barrier), advances the
+// reconciliation pass so the observation logs are empty, and writes the
+// dispatcher's state, the reconciliation state, and every shard's
+// analyzer state. After Finish it checkpoints the merged result as a
 // sequential payload — the parallel scaffolding is gone by then.
 func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	if pa.seq != nil {
@@ -290,15 +287,16 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	}
 	defer pa.cfg.trace("checkpoint")()
 	pa.quiesce()
+	pa.advanceRecon()
 	var enc statecodec.Writer
 	hint := 4096
 	for _, sh := range pa.shards {
-		hint += sh.a.stateSizeHint() + 40*len(sh.obs)
+		hint += sh.a.stateSizeHint()
 	}
 	enc.Grow(hint)
 	writeCheckpointHeader(&enc, engineKindParallel)
 	enc.Int(pa.workers)
-	enc.U8(parallelStateV1)
+	enc.U8(parallelStateV2)
 	enc.U64(pa.nextSeq)
 	enc.U64(pa.packets)
 	enc.U64(pa.bytes)
@@ -309,13 +307,11 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	enc.Time(pa.firstTS)
 	enc.Time(pa.lastTS)
 	pa.filter.State(&enc)
+	pa.rec.dedup.State(&enc)
+	pa.rec.copies.State(&enc)
 	for _, sh := range pa.shards {
 		enc.U64(sh.ingested)
 		sh.a.State(&enc)
-		enc.Int(len(sh.obs))
-		for i := range sh.obs {
-			putMediaObs(&enc, &sh.obs[i])
-		}
 	}
 	_, err := w.Write(enc.Bytes())
 	return err
@@ -326,7 +322,7 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 // shard goroutines are parked on their channels and their analyzers are
 // safely writable from this goroutine).
 func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
-	r.Version("core.ParallelAnalyzer", parallelStateV1)
+	r.Version("core.ParallelAnalyzer", parallelStateV2)
 	pa.nextSeq = r.U64()
 	pa.packets = r.U64()
 	pa.bytes = r.U64()
@@ -339,21 +335,16 @@ func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
 	if err := pa.filter.Restore(r); err != nil {
 		return err
 	}
+	if err := pa.rec.dedup.Restore(r); err != nil {
+		return err
+	}
+	if err := pa.rec.copies.Restore(r); err != nil {
+		return err
+	}
 	for _, sh := range pa.shards {
 		sh.ingested = r.U64()
 		if err := sh.a.restoreState(r); err != nil {
 			return err
-		}
-		n := r.Count(10)
-		sh.obs = nil
-		if n > 0 {
-			sh.obs = make([]mediaObs, 0, n)
-		}
-		for i := 0; i < n; i++ {
-			sh.obs = append(sh.obs, getMediaObs(r))
-		}
-		if r.Err() != nil {
-			return r.Err()
 		}
 	}
 	return r.Err()
@@ -364,7 +355,7 @@ func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
 func (pa *ParallelAnalyzer) abandon() {
 	for _, sh := range pa.shards {
 		sh.cur = nil
-		close(sh.ch)
+		sh.ring.close()
 	}
 	for _, sh := range pa.shards {
 		<-sh.done
@@ -381,7 +372,18 @@ func (pa *ParallelAnalyzer) abandon() {
 // Errors never yield a partial engine: the input is either restored in
 // full (including a trailing-bytes check) or rejected.
 func RestoreAnalyzer(rd io.Reader, cfg Config) (Engine, error) {
-	data, err := io.ReadAll(rd)
+	var data []byte
+	var err error
+	if l, ok := rd.(interface{ Len() int }); ok {
+		// bytes.Reader/bytes.Buffer style sources announce their size;
+		// read into one right-sized buffer instead of letting io.ReadAll
+		// double through the checkpoint (restores are on the recovery
+		// path, where a 100 ms budget applies).
+		data = make([]byte, l.Len())
+		_, err = io.ReadFull(rd, data)
+	} else {
+		data, err = io.ReadAll(rd)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
 	}
@@ -536,16 +538,17 @@ func (pa *ParallelAnalyzer) Rotate(now time.Time) *Analyzer {
 		sh := pa.shards[i]
 		na := NewAnalyzer(shardCfg)
 		na.bindObs(strconv.Itoa(i))
-		na.obsSink = func(o mediaObs) { sh.obs = append(sh.obs, o) }
+		na.obsSink = sh.logObs
 		sh.a = na
-		sh.obs = nil
 		sh.ingested = 0
 	}
+	// merge adopted the reconciliation Dedup/CopyMatcher into the window
+	// report; the next window starts with fresh ones.
+	pa.rec = newReconState(pa.cfg)
 	// Fresh shard analyzers re-registered the unlabeled cap gauges with
 	// their per-shard values; re-register the dispatcher's handles so the
 	// unlabeled series reflect the global configuration again (same dance
 	// as NewParallelAnalyzer).
 	pa.o = newCoreObs(pa.cfg.Obs, "", pa.cfg)
-	pa.live = nil
 	return win
 }

@@ -137,6 +137,44 @@ func TestParallelObsAggregates(t *testing.T) {
 	}
 }
 
+// TestShardQueueDepthDrains checks the per-shard backlog gauge reports
+// zero once the pipeline has drained. The dispatcher samples the gauge
+// on enqueue only, so without the shard-side updates (and the explicit
+// zeroing at quiesce and Finish) an idle shard would advertise its last
+// enqueue-time backlog forever.
+func TestShardQueueDepthDrains(t *testing.T) {
+	tr, opts := seededTrace(t, 8)
+	reg := obs.NewRegistry()
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+		Obs:            reg,
+	}
+	const workers = 4
+	pa := NewParallelAnalyzer(cfg, workers)
+	tr.feed(pa.Packet)
+
+	depth := func(shard string) int64 {
+		return reg.Gauge("zoomlens_shard_queue_depth", "", obs.L("shard", shard)).Value()
+	}
+	// A quiesce boundary (Snapshot) must leave every ring empty and say so.
+	pa.Snapshot(tr.at[len(tr.at)-1], time.Second)
+	for i := 0; i < workers; i++ {
+		if got := depth(string(rune('0' + i))); got != 0 {
+			t.Errorf("after snapshot quiesce: shard %d queue depth gauge = %d, want 0", i, got)
+		}
+	}
+
+	// More traffic (so gauges move again), then Finish must zero them.
+	tr.feed(pa.Packet)
+	pa.Finish()
+	for i := 0; i < workers; i++ {
+		if got := depth(string(rune('0' + i))); got != 0 {
+			t.Errorf("after Finish: shard %d queue depth gauge = %d, want 0", i, got)
+		}
+	}
+}
+
 // TestObsPanicCounter checks recovered panics surface on the shared
 // counter (sequential path; the injected panic is quarantined).
 func TestObsPanicCounter(t *testing.T) {

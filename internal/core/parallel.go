@@ -5,11 +5,18 @@ package core
 // The sequential Analyzer funnels every packet through one flow table
 // and one metrics map — the bottleneck Zeek-style deployments solve by
 // distributing flows across workers. Per-flow independence makes the
-// pipeline shardable: all heavy per-packet work (Zoom encapsulation
-// parsing, frame assembly, jitter, loss, rate series, TCP RTT matching)
-// only ever touches state keyed by the packet's flow, so hashing each
-// five-tuple to one of N worker shards preserves exact per-flow
+// pipeline shardable: all heavy per-packet work (frame decode, Zoom
+// encapsulation parsing, frame assembly, jitter, loss, rate series, TCP
+// RTT matching) only ever touches state keyed by the packet's flow, so
+// hashing each flow to one of N worker shards preserves exact per-flow
 // processing order while spreading the work over N cores.
+//
+// The dispatcher stays thin: it scans raw header bytes (rawScan) just
+// far enough to run the capture filter and compute the shard hash, then
+// copies the frame into a per-shard batch and hands the batch over an
+// SPSC ring. The shard owns the full decode. Frames the raw scanner
+// cannot handle (IPv6, fragments, anything unusual) fall back to a full
+// dispatcher-side parse with identical semantics.
 //
 // Two stages are NOT per-flow and stay centralized:
 //
@@ -18,15 +25,20 @@ package core
 //     dispatcher goroutine, exactly as the sequential path runs it.
 //   - Stream unification (meeting.Dedup) and RTP copy matching
 //     (metrics.CopyMatcher) correlate packets across flows. Shards log
-//     compact per-packet observations instead; Finish merges the logs in
-//     global capture order — each packet carries the dispatcher's
-//     sequence number — and replays them through one Dedup and one
-//     CopyMatcher, reproducing the sequential call sequence exactly.
+//     compact per-packet observations into pooled chunks instead; a
+//     reconciliation pass merges the logs in global capture order — each
+//     packet carries the dispatcher's sequence number — and feeds them
+//     through one Dedup and one CopyMatcher. Reconciliation is
+//     incremental: it advances at every quiesce boundary (Snapshot,
+//     Checkpoint, Rotate, a periodic cadence, and finally Finish), and
+//     because the replay consumers are deterministic in observation
+//     order, advancing early is indistinguishable from replaying
+//     everything at Finish.
 //
 // The merge therefore yields results byte-identical to the sequential
 // analyzer: per-stream metric engines saw the same packets in the same
 // order, flow tables partition by five-tuple and union losslessly, TCP
-// trackers partition by client endpoint, and the replayed Dedup/Copies
+// trackers partition by client endpoint, and the reconciled Dedup/Copies
 // see the identical observation sequence.
 
 import (
@@ -49,7 +61,7 @@ import (
 )
 
 // mediaObs is one media-packet observation logged by a shard for the
-// ordered Dedup/CopyMatcher replay at merge time.
+// ordered Dedup/CopyMatcher reconciliation.
 type mediaObs struct {
 	seq    uint64 // global capture sequence number (dispatcher-assigned)
 	at     time.Time
@@ -64,41 +76,54 @@ const (
 	// shardBatchSize is how many packets the dispatcher buffers per shard
 	// before handing the batch to the worker.
 	shardBatchSize = 256
-	// shardQueueDepth bounds each shard's channel; a full channel blocks
-	// the dispatcher (backpressure) instead of buffering unboundedly.
+	// shardQueueDepth bounds each shard's ring; a full ring blocks the
+	// dispatcher (backpressure) instead of buffering unboundedly.
 	shardQueueDepth = 4
+	// reconEvery is the periodic reconciliation cadence in packets: even
+	// a run that never snapshots or checkpoints drains the shard
+	// observation logs (and recycles their chunks) this often, bounding
+	// log memory on long soaks.
+	reconEvery = 1 << 20
 )
 
 // pbatch is one unit of work handed to a shard: frames copied
 // back-to-back into data, with per-packet offsets in items. A batch with
 // sync set carries no packets; the shard acknowledges on the channel
-// after draining everything queued before it (the Snapshot quiesce
-// barrier — the ack's happens-before edge makes the shard's state safely
-// readable from the dispatcher goroutine until more work is sent).
-// Batches come from and return to the package-wide framePool.
+// after draining everything queued before it (the quiesce barrier — the
+// ack's happens-before edge makes the shard's state safely readable from
+// the dispatcher goroutine until more work is sent). Batches come from
+// and return to the package-wide framePool.
 type pbatch struct {
 	items []pitem
 	data  []byte
 	sync  chan<- struct{}
 }
 
-// pitem is one packet within a batch. pkt is the dispatcher's decode,
-// rebased onto the batch's copy of the frame, so the shard never
-// decodes a frame the dispatcher already decoded.
+// pitem is one packet within a batch: just the capture metadata and the
+// frame's offsets into the batch buffer. The shard performs the decode.
 type pitem struct {
 	seq      uint64
 	at       time.Time
-	off, end int
-	pkt      layers.Packet
+	off, end int32
 }
 
-// pshard is one worker: a private Analyzer fed over a bounded channel.
+// pshard is one worker: a private Analyzer fed over an SPSC ring, with
+// its own parser (shards decode their own frames) and a chunked log of
+// media observations awaiting reconciliation.
 type pshard struct {
-	a    *Analyzer
-	obs  []mediaObs
-	ch   chan *pbatch
-	done chan struct{}
-	cur  *pbatch // batch under construction (dispatcher-owned)
+	a     *pshardAnalyzer
+	ring  *spscRing
+	done  chan struct{}
+	cur   *pbatch   // batch under construction (dispatcher-owned)
+	depth *obs.Gauge
+
+	parser layers.Parser
+	pkt    layers.Packet
+
+	// obsHead/obsTail chain this shard's pending media observations,
+	// oldest chunk first. The shard goroutine appends; the dispatcher
+	// consumes and resets the chain at quiesce boundaries.
+	obsHead, obsTail *obsChunk
 
 	// ingested counts packets processed by this shard, driving the
 	// TTL-eviction cadence (the shard analyzer's own Packet counter
@@ -106,9 +131,21 @@ type pshard struct {
 	ingested uint64
 }
 
+// pshardAnalyzer is just *Analyzer; the alias keeps struct literals in
+// this file honest about which analyzers are shard-local.
+type pshardAnalyzer = Analyzer
+
 func (s *pshard) run() {
 	defer close(s.done)
-	for b := range s.ch {
+	for {
+		b, ok := s.ring.pop()
+		if !ok {
+			return
+		}
+		// Consumer-side backlog update: the dispatcher only writes the
+		// gauge on enqueue, so without this an idle shard would report its
+		// last backlog forever.
+		s.depth.Set(int64(s.ring.len()))
 		if b.sync != nil {
 			b.sync <- struct{}{}
 			putBatch(b)
@@ -122,11 +159,28 @@ func (s *pshard) run() {
 	}
 }
 
-// runOne processes one packet under the same panic quarantine as the
-// sequential path: a frame that panics is counted on the shard analyzer
-// (summed at merge) and deposited in the shared quarantine ring. The
-// packet arrives already decoded (it.pkt, rebased onto the batch copy
-// of the frame by the dispatcher), so no shard ever re-decodes.
+// logObs appends one media observation to the shard's pending chain.
+// Installed as the shard analyzer's obsSink.
+func (s *pshard) logObs(o mediaObs) {
+	c := s.obsTail
+	if c == nil || c.n == obsChunkLen {
+		nc := getObsChunk()
+		if c == nil {
+			s.obsHead = nc
+		} else {
+			c.next = nc
+		}
+		s.obsTail = nc
+		c = nc
+	}
+	c.e[c.n] = o
+	c.n++
+}
+
+// runOne decodes and processes one packet under the same panic
+// quarantine as the sequential path: a frame that panics is counted on
+// the shard analyzer (summed at merge) and deposited in the shared
+// quarantine ring.
 func (s *pshard) runOne(it *pitem, frame []byte) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -139,8 +193,16 @@ func (s *pshard) runOne(it *pitem, frame []byte) {
 	if s.a.panicHook != nil {
 		s.a.panicHook(it.at, frame)
 	}
+	if err := s.parser.Parse(frame, &s.pkt); err != nil {
+		// Unreachable for frames admitted by rawScan (it is strictly no
+		// more permissive than the parser) and for slow-path frames (the
+		// dispatcher already parsed them); kept for defense in depth.
+		s.a.Undecodable++
+		s.a.o.undecodable()
+		return
+	}
 	s.a.obsSeq = it.seq
-	s.a.ingest(it.at, &it.pkt, len(frame))
+	s.a.ingest(it.at, &s.pkt, len(frame))
 	s.ingested++
 	if ttl := s.a.cfg.FlowTTL; ttl > 0 && s.a.cfg.MaintainEvery > 0 && s.ingested%s.a.cfg.MaintainEvery == 0 {
 		s.a.EvictIdle(it.at.Add(-ttl))
@@ -156,10 +218,10 @@ func (s *pshard) runOne(it *pitem, frame []byte) {
 // via Result(), which returns a fully merged *Analyzer.
 //
 // With one worker it degenerates to the sequential Analyzer (no
-// goroutines, no copies); with N > 1 it runs one dispatcher (parse +
+// goroutines, no copies); with N > 1 it runs one dispatcher (raw scan +
 // filter + route) plus N shard goroutines. Results are byte-identical to
 // the sequential analyzer either way. AutoCompact is not supported in
-// parallel mode; memory is bounded by channel backpressure instead.
+// parallel mode; memory is bounded by ring backpressure instead.
 type ParallelAnalyzer struct {
 	cfg     Config
 	workers int
@@ -175,9 +237,17 @@ type ParallelAnalyzer struct {
 
 	// o holds the dispatcher's live-metric handles (shared counters plus
 	// the unlabeled aggregate gauges, which Snapshot refreshes); qdepth
-	// exposes each shard's channel backlog.
+	// exposes each shard's ring backlog.
 	o      *coreObs
 	qdepth []*obs.Gauge
+
+	// rec is the always-on reconciliation state for the cross-flow
+	// stages: one Dedup and one CopyMatcher, configured exactly like the
+	// sequential analyzer's, advanced through the shard logs in global
+	// capture order at every quiesce boundary. At Finish it IS the merged
+	// analyzer's cross-flow state — there is no separate merge-time
+	// replay.
+	rec reconState
 
 	// Dispatcher-owned totals; the rest accumulate in the shards.
 	nextSeq     uint64
@@ -191,23 +261,22 @@ type ParallelAnalyzer struct {
 	lastTS      time.Time
 
 	merged *Analyzer
-
-	// live is the snapshot-time replica of the cross-flow state (see
-	// liveView); lazily created on the first Snapshot.
-	live *liveView
 }
 
-// liveView incrementally replicates the cross-flow state (stream
-// unification + copy matching) for snapshots, completely separate from
-// the authoritative merge-time replay: each snapshot advances it through
-// the shard observation logs from heads, in global capture order — the
-// same deterministic replay Finish performs, just consumed as the run
-// progresses. Final results therefore never depend on whether (or when)
-// snapshots were taken.
-type liveView struct {
+// reconState is the incremental replacement for the old merge-time
+// replay (and the old snapshot-only live replica): the authoritative
+// cross-flow consumers, fed in global capture order.
+type reconState struct {
 	dedup  *meeting.Dedup
 	copies *metrics.CopyMatcher
-	heads  []int
+}
+
+func newReconState(cfg Config) reconState {
+	d := meeting.NewDedup()
+	d.MaxStreams = cfg.MaxMeetingStreams
+	c := metrics.NewCopyMatcher()
+	c.MaxPending = effectiveMaxCopyPending(cfg)
+	return reconState{dedup: d, copies: c}
 }
 
 // NewParallelAnalyzer builds a sharded analyzer with the given worker
@@ -225,13 +294,14 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 		ZoomNetworks:   cfg.ZoomNetworks,
 		CampusNetworks: cfg.CampusNetworks,
 	})
+	pa.rec = newReconState(cfg)
 	pa.shards = make([]*pshard, workers)
 	pa.qdepth = make([]*obs.Gauge, workers)
 	shardCfg := scaleLimits(cfg, workers)
 	for i := range pa.shards {
 		sh := &pshard{
 			a:    NewAnalyzer(shardCfg),
-			ch:   make(chan *pbatch, shardQueueDepth),
+			ring: newSPSCRing(shardQueueDepth),
 			done: make(chan struct{}),
 		}
 		// The shard analyzer registered unlabeled gauges at construction;
@@ -239,9 +309,10 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 		sh.a.bindObs(strconv.Itoa(i))
 		if cfg.Obs != nil {
 			pa.qdepth[i] = cfg.Obs.Gauge("zoomlens_shard_queue_depth",
-				"Batches queued per shard channel.", obs.L("shard", strconv.Itoa(i)))
+				"Batches queued per shard ring.", obs.L("shard", strconv.Itoa(i)))
 		}
-		sh.a.obsSink = func(o mediaObs) { sh.obs = append(sh.obs, o) }
+		sh.depth = pa.qdepth[i]
+		sh.a.obsSink = sh.logObs
 		pa.shards[i] = sh
 		go sh.run()
 	}
@@ -269,8 +340,8 @@ func scaleLimits(cfg Config, workers int) Config {
 	cfg.MaxTCP = div(cfg.MaxTCP)
 	cfg.MaxFinished = div(cfg.MaxFinished)
 	// MaxMeetingStreams stays global: shard Dedups never observe (the
-	// obsSink diverts media observations to the merge-time replay), so
-	// the cap only binds on the merged analyzer.
+	// obsSink diverts media observations to the reconciliation pass), so
+	// the cap only binds on the reconciliation state.
 	return cfg
 }
 
@@ -298,10 +369,14 @@ func (pa *ParallelAnalyzer) Packet(at time.Time, frame []byte) {
 	}
 	pa.nextSeq++
 	pa.dispatch(at, frame)
+	if pa.nextSeq%reconEvery == 0 {
+		pa.quiesce()
+		pa.advanceRecon()
+	}
 }
 
-// dispatch runs the centralized parse → filter → route stage under the
-// same panic quarantine as the shards: a frame that blows up the parser
+// dispatch runs the centralized scan → filter → route stage under the
+// same panic quarantine as the shards: a frame that blows up the scanner
 // or the filter is counted and quarantined, never crashes the tap.
 func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 	defer func() {
@@ -313,6 +388,23 @@ func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 			}
 		}
 	}()
+	var ri rawInfo
+	if !rawScan(frame, &ri) {
+		pa.dispatchSlow(at, frame)
+		return
+	}
+	verdict := pa.filter.ClassifyFlow(ri.src, ri.dst, !ri.isTCP, ri.srcPort, ri.dstPort, ri.payload, at)
+	if !verdict.Keep() && !pa.cfg.PreFiltered {
+		pa.dropped++
+		pa.o.filtered()
+		return
+	}
+	pa.enqueue(pa.shardIndexFor(ri.isTCP, ri.src, ri.dst, ri.srcPort, ri.dstPort), at, frame)
+}
+
+// dispatchSlow is the fallback for frames rawScan does not cover: the
+// original full-parse dispatch, with identical counting semantics.
+func (pa *ParallelAnalyzer) dispatchSlow(at time.Time, frame []byte) {
 	if err := pa.parser.Parse(frame, &pa.pkt); err != nil {
 		pa.undecodable++
 		pa.o.undecodable()
@@ -324,59 +416,68 @@ func (pa *ParallelAnalyzer) dispatch(at time.Time, frame []byte) {
 		pa.o.filtered()
 		return
 	}
-	idx := pa.shardIndex(&pa.pkt)
+	pa.enqueue(pa.shardIndex(&pa.pkt), at, frame)
+}
+
+// enqueue copies the frame into the target shard's batch under
+// construction and ships the batch when full.
+func (pa *ParallelAnalyzer) enqueue(idx int, at time.Time, frame []byte) {
 	sh := pa.shards[idx]
 	if sh.cur == nil {
 		sh.cur = getBatch()
 	}
 	b := sh.cur
-	off := len(b.data)
+	off := int32(len(b.data))
 	b.data = append(b.data, frame...)
-	b.items = append(b.items, pitem{seq: pa.nextSeq, at: at, off: off, end: len(b.data), pkt: pa.pkt})
-	// Ship the dispatcher's decode along with the copy: re-point the
-	// packet's frame-aliasing slices from the caller's (borrowed) buffer
-	// onto the batch's stable copy, so the shard reuses the decode
-	// instead of parsing again.
-	b.items[len(b.items)-1].pkt.Rebase(frame, b.data[off:len(b.data)])
+	b.items = append(b.items, pitem{seq: pa.nextSeq, at: at, off: off, end: int32(len(b.data))})
 	if len(b.items) >= shardBatchSize {
-		sh.ch <- b
+		sh.ring.push(b)
 		sh.cur = nil
-		// Sampled at batch granularity: the backlog right after an enqueue
-		// is the honest congestion signal (0 = keeping up, cap = the
-		// dispatcher is about to block).
-		pa.qdepth[idx].Set(int64(len(sh.ch)))
+		// Producer-side backlog sample; the shard updates the same gauge
+		// on dequeue, so it tracks both directions.
+		sh.depth.Set(int64(sh.ring.len()))
 	}
 }
 
-// shardIndex routes a parsed packet to a shard. UDP hashes the directed
-// five-tuple: every packet of a flow — and hence of any media stream on
-// it — lands on one shard, preserving per-flow order. TCP hashes the
-// client endpoint the sequential path keys its RTT trackers by, so both
-// directions (and every connection) of one tracker share a shard.
+// shardIndex routes a parsed packet to a shard (the slow path; the fast
+// path hashes the same features straight from rawScan via
+// shardIndexFor).
 func (pa *ParallelAnalyzer) shardIndex(pkt *layers.Packet) int {
-	var h uint64 = 14695981039346656037 // FNV-1a offset basis
 	if pkt.HasTCP {
-		fromClient := pa.cfg.isZoomAddr(pkt.DstAddr()) && !pa.cfg.isZoomAddr(pkt.SrcAddr())
-		var client netip.AddrPort
-		if fromClient {
-			client = netip.AddrPortFrom(pkt.SrcAddr(), pkt.TCP.SrcPort)
-		} else {
-			client = netip.AddrPortFrom(pkt.DstAddr(), pkt.TCP.DstPort)
-		}
-		a16 := client.Addr().As16()
-		h = fnv1a(h, a16[:])
-		h = fnv1a(h, []byte{byte(client.Port() >> 8), byte(client.Port()), layers.ProtoTCP})
-		return int(h % uint64(len(pa.shards)))
+		return pa.shardIndexFor(true, pkt.SrcAddr(), pkt.DstAddr(), pkt.TCP.SrcPort, pkt.TCP.DstPort)
 	}
 	ft, ok := pkt.FiveTuple()
 	if !ok {
 		return 0
 	}
-	src, dst := ft.Src.As16(), ft.Dst.As16()
-	h = fnv1a(h, src[:])
-	h = fnv1a(h, []byte{byte(ft.SrcPort >> 8), byte(ft.SrcPort)})
-	h = fnv1a(h, dst[:])
-	h = fnv1a(h, []byte{byte(ft.DstPort >> 8), byte(ft.DstPort), ft.Proto})
+	return pa.shardIndexFor(false, ft.Src, ft.Dst, ft.SrcPort, ft.DstPort)
+}
+
+// shardIndexFor hashes flow features to a shard. UDP hashes the directed
+// five-tuple: every packet of a flow — and hence of any media stream on
+// it — lands on one shard, preserving per-flow order. TCP hashes the
+// client endpoint the sequential path keys its RTT trackers by, so both
+// directions (and every connection) of one tracker share a shard.
+func (pa *ParallelAnalyzer) shardIndexFor(isTCP bool, src, dst netip.Addr, srcPort, dstPort uint16) int {
+	var h uint64 = 14695981039346656037 // FNV-1a offset basis
+	if isTCP {
+		client, cport := dst, dstPort
+		if pa.cfg.isZoomAddr(dst) && !pa.cfg.isZoomAddr(src) {
+			client, cport = src, srcPort
+		}
+		a16 := client.As16()
+		h = fnv1a(h, a16[:])
+		tail := [3]byte{byte(cport >> 8), byte(cport), layers.ProtoTCP}
+		h = fnv1a(h, tail[:])
+		return int(h % uint64(len(pa.shards)))
+	}
+	s16, d16 := src.As16(), dst.As16()
+	h = fnv1a(h, s16[:])
+	sp := [2]byte{byte(srcPort >> 8), byte(srcPort)}
+	h = fnv1a(h, sp[:])
+	h = fnv1a(h, d16[:])
+	tail := [3]byte{byte(dstPort >> 8), byte(dstPort), layers.ProtoUDP}
+	h = fnv1a(h, tail[:])
 	return int(h % uint64(len(pa.shards)))
 }
 
@@ -388,8 +489,9 @@ func fnv1a(h uint64, b []byte) uint64 {
 	return h
 }
 
-// Finish flushes the shards, waits for them to drain, and merges their
-// state into one Analyzer. Call once after the last packet.
+// Finish flushes the shards, waits for them to drain, reconciles the
+// remaining observation logs, and merges shard state into one Analyzer.
+// Call once after the last packet.
 func (pa *ParallelAnalyzer) Finish() {
 	if pa.seq != nil {
 		pa.seq.Finish()
@@ -401,26 +503,29 @@ func (pa *ParallelAnalyzer) Finish() {
 	}
 	for _, sh := range pa.shards {
 		if sh.cur != nil && len(sh.cur.items) > 0 {
-			sh.ch <- sh.cur
+			sh.ring.push(sh.cur)
 		}
 		sh.cur = nil
-		close(sh.ch)
+		sh.ring.close()
 	}
 	for _, sh := range pa.shards {
 		<-sh.done
 		// Single-threaded again once done is closed: flush each shard's
-		// final occupancy and eviction mirrors before merging.
+		// final occupancy and eviction mirrors before merging, and zero
+		// the drained ring's backlog gauge.
 		sh.a.updateObsGauges()
+		sh.depth.Set(0)
 	}
 	pa.merged = pa.merge()
 }
 
 // merge combines shard state deterministically. Flow tables, stream
 // metric maps, and TCP trackers partition across shards, so their union
-// is exact; Dedup and CopyMatcher are rebuilt by replaying the logged
-// media observations in global capture order.
+// is exact; the cross-flow Dedup/CopyMatcher state is the reconciliation
+// pass's, advanced here through any observations still unconsumed.
 func (pa *ParallelAnalyzer) merge() *Analyzer {
 	defer pa.cfg.trace("merge")()
+	pa.advanceRecon()
 	m := NewAnalyzer(pa.cfg)
 	// The shards and the dispatcher already fed the shared counters and
 	// mirrored their cumulative eviction stats; the merged analyzer
@@ -476,34 +581,59 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 		}
 		return fi.ID.Flow.String() < fj.ID.Flow.String()
 	})
-	// K-way merge of the per-shard observation logs by global sequence
-	// number. Each log is already seq-sorted (shards consume their
-	// channel FIFO and the dispatcher assigns seq monotonically), so a
-	// linear head scan per step suffices.
-	heads := make([]int, len(pa.shards))
+	m.Dedup = pa.rec.dedup
+	m.Copies = pa.rec.copies
+	m.Finish()
+	return m
+}
+
+// advanceRecon feeds every pending shard observation through the
+// reconciliation Dedup/CopyMatcher in global capture order (a k-way
+// merge by dispatcher sequence number; each shard chain is already
+// seq-sorted because shards consume their ring FIFO), then recycles the
+// consumed chunks. Call only while quiesced or after the shards exited.
+func (pa *ParallelAnalyzer) advanceRecon() {
+	type cursor struct {
+		c *obsChunk
+		i int
+	}
+	cur := make([]cursor, len(pa.shards))
+	for si, sh := range pa.shards {
+		cur[si] = cursor{c: sh.obsHead}
+	}
 	for {
 		best := -1
 		var bestSeq uint64
-		for si, sh := range pa.shards {
-			if heads[si] >= len(sh.obs) {
+		for si := range cur {
+			cc := &cur[si]
+			for cc.c != nil && cc.i >= cc.c.n {
+				cc.c, cc.i = cc.c.next, 0
+			}
+			if cc.c == nil {
 				continue
 			}
-			if s := sh.obs[heads[si]].seq; best < 0 || s < bestSeq {
+			if s := cc.c.e[cc.i].seq; best < 0 || s < bestSeq {
 				best, bestSeq = si, s
 			}
 		}
 		if best < 0 {
 			break
 		}
-		o := pa.shards[best].obs[heads[best]]
-		heads[best]++
-		unified := m.Dedup.Observe(meeting.StreamObs{
+		o := &cur[best].c.e[cur[best].i]
+		cur[best].i++
+		unified := pa.rec.dedup.Observe(meeting.StreamObs{
 			Time: o.at, Flow: o.flow, Key: o.key, Seq: o.rtpSeq, TS: o.rtpTS,
 		})
-		m.Copies.Observe(unified, o.flow, o.pt, o.rtpSeq, o.rtpTS, o.at)
+		pa.rec.copies.Observe(unified, o.flow, o.pt, o.rtpSeq, o.rtpTS, o.at)
 	}
-	m.Finish()
-	return m
+	for _, sh := range pa.shards {
+		for c := sh.obsHead; c != nil; {
+			nc := c.next
+			putObsChunk(c)
+			c = nc
+		}
+		sh.obsHead, sh.obsTail = nil, nil
+	}
 }
 
 // ReadPCAP feeds an entire capture stream through the analyzer and
@@ -536,22 +666,27 @@ func (pa *ParallelAnalyzer) ReadPCAP(r io.Reader) error {
 }
 
 // quiesce flushes every shard's batch under construction and blocks
-// until all shards have drained their queues. On return, shard state is
+// until all shards have drained their rings. On return, shard state is
 // safely readable from the dispatcher goroutine (the ack receive is the
 // happens-before edge) and stays frozen until more work is dispatched.
 func (pa *ParallelAnalyzer) quiesce() {
 	ack := make(chan struct{}, len(pa.shards))
 	for _, sh := range pa.shards {
 		if sh.cur != nil && len(sh.cur.items) > 0 {
-			sh.ch <- sh.cur
+			sh.ring.push(sh.cur)
 			sh.cur = nil
 		}
 		sb := getBatch()
 		sb.sync = ack
-		sh.ch <- sb
+		sh.ring.push(sb)
 	}
 	for range pa.shards {
 		<-ack
+	}
+	for _, sh := range pa.shards {
+		// Every ring is drained; report the quiesced backlog explicitly
+		// (the shard-side update raced the last enqueue sample).
+		sh.depth.Set(0)
 	}
 }
 
@@ -569,51 +704,16 @@ func (pa *ParallelAnalyzer) Snapshot(now time.Time, window time.Duration) []Meet
 	defer pa.cfg.trace("snapshot")()
 	pa.o.snapshot()
 	pa.quiesce()
-	if pa.live == nil {
-		d := meeting.NewDedup()
-		d.MaxStreams = pa.cfg.MaxMeetingStreams
-		c := metrics.NewCopyMatcher()
-		c.MaxPending = effectiveMaxCopyPending(pa.cfg)
-		pa.live = &liveView{dedup: d, copies: c, heads: make([]int, len(pa.shards))}
-	}
-	pa.advanceLive()
+	pa.advanceRecon()
 	src := snapshotSource{
-		dedup:  pa.live.dedup,
-		copies: pa.live.copies,
+		dedup:  pa.rec.dedup,
+		copies: pa.rec.copies,
 		cfg:    pa.cfg,
 		lookup: pa.lookupShardStream,
 	}
 	snaps := src.take(now, window)
 	pa.updateAggregateGauges()
 	return snaps
-}
-
-// advanceLive replays newly logged shard observations into the live
-// replica, in global capture order (the same k-way seq merge the final
-// merge performs).
-func (pa *ParallelAnalyzer) advanceLive() {
-	lv := pa.live
-	for {
-		best := -1
-		var bestSeq uint64
-		for si, sh := range pa.shards {
-			if lv.heads[si] >= len(sh.obs) {
-				continue
-			}
-			if s := sh.obs[lv.heads[si]].seq; best < 0 || s < bestSeq {
-				best, bestSeq = si, s
-			}
-		}
-		if best < 0 {
-			return
-		}
-		o := pa.shards[best].obs[lv.heads[best]]
-		lv.heads[best]++
-		unified := lv.dedup.Observe(meeting.StreamObs{
-			Time: o.at, Flow: o.flow, Key: o.key, Seq: o.rtpSeq, TS: o.rtpTS,
-		})
-		lv.copies.Observe(unified, o.flow, o.pt, o.rtpSeq, o.rtpTS, o.at)
-	}
 }
 
 // lookupShardStream resolves a stream record to its shard's metric
@@ -635,8 +735,8 @@ func (pa *ParallelAnalyzer) lookupShardStream(id flow.MediaStreamID) *metrics.St
 }
 
 // updateAggregateGauges refreshes the unlabeled occupancy gauges with
-// cross-shard totals (plus the live replica's cross-flow tables). Valid
-// only while quiesced.
+// cross-shard totals (plus the reconciliation state's cross-flow
+// tables). Valid only while quiesced.
 func (pa *ParallelAnalyzer) updateAggregateGauges() {
 	if pa.o == nil {
 		return
@@ -653,8 +753,8 @@ func (pa *ParallelAnalyzer) updateAggregateGauges() {
 	pa.o.occ["streams"].Set(int64(streams))
 	pa.o.occ["tcp"].Set(int64(tcp))
 	pa.o.occ["finished"].Set(int64(finished))
-	pa.o.occ["dedup_streams"].Set(int64(pa.live.dedup.Len()))
-	pa.o.occ["copy_pending"].Set(int64(pa.live.copies.Pending()))
+	pa.o.occ["dedup_streams"].Set(int64(pa.rec.dedup.Len()))
+	pa.o.occ["copy_pending"].Set(int64(pa.rec.copies.Pending()))
 }
 
 // Result returns the merged sequential-equivalent analyzer. It panics if

@@ -10,6 +10,17 @@ import "sync"
 // reuses buffers warmed by the others rather than growing its own.
 var framePool = sync.Pool{New: func() any { return new(pbatch) }}
 
+// A pooled batch normally holds at most shardBatchSize frames; the caps
+// below bound what a pooled batch may retain. A batch that grew past
+// them (a burst of jumbo frames, a quarantine copy of a pathological
+// capture) drops its buffer on put instead of pinning the high-water
+// mark in the pool forever — that retention is what once held workers-4
+// at ~1.6x the sequential bytes/packet.
+const (
+	maxPooledBatchData  = shardBatchSize * 2048 // 512 KiB of frame bytes
+	maxPooledBatchItems = 4 * shardBatchSize
+)
+
 // getBatch checks a reset batch out of the pool.
 func getBatch() *pbatch { return framePool.Get().(*pbatch) }
 
@@ -17,8 +28,16 @@ func getBatch() *pbatch { return framePool.Get().(*pbatch) }
 // be the last holder: items, data, and any packet slices rebased onto
 // data become invalid the moment it lands back in the pool.
 func putBatch(b *pbatch) {
-	b.items = b.items[:0]
-	b.data = b.data[:0]
+	if cap(b.items) > maxPooledBatchItems {
+		b.items = nil
+	} else {
+		b.items = b.items[:0]
+	}
+	if cap(b.data) > maxPooledBatchData {
+		b.data = nil
+	} else {
+		b.data = b.data[:0]
+	}
 	b.sync = nil
 	framePool.Put(b)
 }

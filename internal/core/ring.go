@@ -1,0 +1,210 @@
+package core
+
+// Lock-free plumbing for the sharded parallel pipeline: a single-producer
+// single-consumer batch ring per shard, a pooled chunk list for the
+// media-observation log, and a raw-header scanner that lets the
+// dispatcher route frames without a full decode.
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"zoomlens/internal/layers"
+)
+
+// spscRing is a bounded single-producer single-consumer queue of
+// batches. The fast path is two atomic loads and one atomic store per
+// push/pop, with no locks and no channel transfer of the payload; the
+// notify channels only carry park/wake signals when one side runs dry
+// (consumer starved) or full (producer backpressured), so an in-balance
+// pipeline never context-switches on the queue.
+//
+// Only one goroutine may push (and close), and only one may pop.
+type spscRing struct {
+	slots []*pbatch
+	mask  uint64
+
+	head atomic.Uint64 // next slot to pop (consumer-owned)
+	tail atomic.Uint64 // next slot to fill (producer-owned)
+
+	closed      atomic.Bool
+	notifyData  chan struct{} // producer → consumer: new batch available
+	notifySpace chan struct{} // consumer → producer: slot freed
+}
+
+// newSPSCRing builds a ring with the given capacity (rounded up to a
+// power of two, minimum 2).
+func newSPSCRing(capacity int) *spscRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{
+		slots:       make([]*pbatch, n),
+		mask:        uint64(n - 1),
+		notifyData:  make(chan struct{}, 1),
+		notifySpace: make(chan struct{}, 1),
+	}
+}
+
+// len reports the current batch backlog (racy but monotonic enough for
+// a gauge).
+func (r *spscRing) len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// push enqueues one batch, blocking while the ring is full
+// (backpressure on the dispatcher). Producer-only.
+func (r *spscRing) push(b *pbatch) {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.slots)) {
+			r.slots[t&r.mask] = b
+			r.tail.Store(t + 1)
+			select {
+			case r.notifyData <- struct{}{}:
+			default:
+			}
+			return
+		}
+		// Full: park until the consumer frees a slot. The cap-1 notify
+		// buffer means a wakeup sent between our check and this receive is
+		// retained, so no wakeup is ever lost; a stale token just causes
+		// one spurious re-check.
+		<-r.notifySpace
+	}
+}
+
+// pop dequeues one batch, blocking while the ring is empty. It returns
+// ok=false once the ring is closed and fully drained. Consumer-only.
+func (r *spscRing) pop() (*pbatch, bool) {
+	for {
+		h := r.head.Load()
+		if h < r.tail.Load() {
+			b := r.slots[h&r.mask]
+			r.slots[h&r.mask] = nil
+			r.head.Store(h + 1)
+			select {
+			case r.notifySpace <- struct{}{}:
+			default:
+			}
+			return b, true
+		}
+		if r.closed.Load() {
+			// closed is stored after the producer's final push; an empty
+			// ring observed after closed is a definitive end of stream.
+			if r.head.Load() == r.tail.Load() {
+				return nil, false
+			}
+			continue
+		}
+		<-r.notifyData
+	}
+}
+
+// close marks the end of the stream. Producer-only; push must not be
+// called afterwards. Closing notifyData wakes (and keeps waking) a
+// parked consumer so it can observe the closed flag.
+func (r *spscRing) close() {
+	r.closed.Store(true)
+	close(r.notifyData)
+}
+
+// obsChunkLen is the number of media observations per pooled chunk.
+// Chunks are recycled as soon as a reconciliation pass consumes them, so
+// the steady-state log footprint is one partially filled chunk per shard
+// plus whatever accumulated since the last quiesce boundary.
+const obsChunkLen = 512
+
+// obsChunk is one fixed-size segment of a shard's media-observation log,
+// chained oldest-first. The owning shard goroutine appends; the
+// dispatcher consumes whole chains at quiesce boundaries (the sync-batch
+// ack provides the happens-before edge in both directions).
+type obsChunk struct {
+	next *obsChunk
+	n    int
+	e    [obsChunkLen]mediaObs
+}
+
+var obsChunkPool = sync.Pool{New: func() any { return new(obsChunk) }}
+
+func getObsChunk() *obsChunk { return obsChunkPool.Get().(*obsChunk) }
+
+func putObsChunk(c *obsChunk) {
+	c.n = 0
+	c.next = nil
+	obsChunkPool.Put(c)
+}
+
+// rawInfo carries the dispatch-relevant features of a frame extracted by
+// rawScan: enough for the capture filter (global, stateful) and the
+// shard hash, with the full decode deferred to the shard.
+type rawInfo struct {
+	src, dst         netip.Addr
+	srcPort, dstPort uint16
+	isTCP            bool
+	payload          []byte // UDP payload (length-clamped); nil for TCP
+}
+
+// rawScan validates an Ethernet/IPv4/{UDP,TCP} frame with exactly the
+// checks layers.Parser.Parse applies and extracts the flow features
+// without building a Packet. It returns false for anything it does not
+// fully replicate — IPv6, fragments, other ethertypes or protocols,
+// truncated headers — in which case the caller must fall back to the
+// full parse. The contract is strict: rawScan must never accept a frame
+// the parser would reject (or derive different addresses, ports, or
+// payload bounds), because the undecodable and filter counters must
+// match the sequential pipeline byte for byte.
+func rawScan(frame []byte, ri *rawInfo) bool {
+	if len(frame) < 14+20 {
+		return false
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != layers.EtherTypeIPv4 {
+		return false
+	}
+	ip := frame[14:]
+	if ip[0]>>4 != 4 {
+		return false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl {
+		return false
+	}
+	if totalLen := int(binary.BigEndian.Uint16(ip[2:4])); totalLen >= ihl && totalLen <= len(ip) {
+		ip = ip[:totalLen] // strip Ethernet padding, as the parser does
+	}
+	if binary.BigEndian.Uint16(ip[6:8])&0x3fff != 0 {
+		return false // any fragmentation: defer to the parser
+	}
+	rest := ip[ihl:]
+	switch ip[9] {
+	case layers.ProtoUDP:
+		if len(rest) < 8 {
+			return false
+		}
+		ri.srcPort = binary.BigEndian.Uint16(rest[0:2])
+		ri.dstPort = binary.BigEndian.Uint16(rest[2:4])
+		payload := rest[8:]
+		if ulen := int(binary.BigEndian.Uint16(rest[4:6])); ulen >= 8 && ulen-8 <= len(payload) {
+			payload = payload[:ulen-8]
+		}
+		ri.payload = payload
+		ri.isTCP = false
+	case layers.ProtoTCP:
+		if len(rest) < 20 {
+			return false
+		}
+		if hl := int(rest[12]>>4) * 4; hl < 20 || len(rest) < hl {
+			return false
+		}
+		ri.srcPort = binary.BigEndian.Uint16(rest[0:2])
+		ri.dstPort = binary.BigEndian.Uint16(rest[2:4])
+		ri.payload = nil
+		ri.isTCP = true
+	default:
+		return false
+	}
+	ri.src = netip.AddrFrom4([4]byte(ip[12:16]))
+	ri.dst = netip.AddrFrom4([4]byte(ip[16:20]))
+	return true
+}

@@ -144,11 +144,21 @@ func (t *Table) Restore(r *statecodec.Reader) error {
 	t.ev.RejectedStreamPackets = r.U64()
 	t.ev.RejectedSubstreamPackets = r.U64()
 
+	// Flow and stream records decode into chunk-allocated slabs — one
+	// allocation per few thousand entries instead of one each, which is
+	// where a large table's restore time went. Chunking keeps a hostile
+	// count from forcing a huge allocation before decoding fails.
 	nf := r.Count(8)
+	flowSlab := []FlowStats{}
 	t.flows = make(map[layers.FiveTuple]*FlowStats, nf)
 	for i := 0; i < nf; i++ {
+		if len(flowSlab) == 0 {
+			flowSlab = make([]FlowStats, min(nf-i, 4096))
+		}
+		f := &flowSlab[0]
+		flowSlab = flowSlab[1:]
 		k := layers.DecodeFiveTuple(r)
-		f := &FlowStats{Flow: k}
+		f.Flow = k
 		f.FirstSeen = r.Time()
 		f.LastSeen = r.Time()
 		f.Packets = r.U64()
@@ -168,10 +178,17 @@ func (t *Table) Restore(r *statecodec.Reader) error {
 	}
 
 	ns := r.Count(12)
+	streamSlab := []StreamStats{}
+	var subSlab []SubstreamStats
 	t.streams = make(map[MediaStreamID]*StreamStats, ns)
 	for i := 0; i < ns; i++ {
+		if len(streamSlab) == 0 {
+			streamSlab = make([]StreamStats, min(ns-i, 4096))
+		}
+		s := &streamSlab[0]
+		streamSlab = streamSlab[1:]
 		id := MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
-		s := &StreamStats{ID: id}
+		s.ID = id
 		s.FirstSeen = r.Time()
 		s.LastSeen = r.Time()
 		s.Packets = r.U64()
@@ -185,8 +202,14 @@ func (t *Table) Restore(r *statecodec.Reader) error {
 		np := r.Count(3)
 		s.Substreams = make(map[uint8]*SubstreamStats, np)
 		for j := 0; j < np; j++ {
+			if len(subSlab) == 0 {
+				subSlab = make([]SubstreamStats, 256)
+			}
+			sub := &subSlab[0]
+			subSlab = subSlab[1:]
 			pt := r.U8()
-			s.Substreams[pt] = &SubstreamStats{PayloadType: pt, Packets: r.U64(), Bytes: r.U64()}
+			*sub = SubstreamStats{PayloadType: pt, Packets: r.U64(), Bytes: r.U64()}
+			s.Substreams[pt] = sub
 		}
 		if r.Err() != nil {
 			return r.Err()

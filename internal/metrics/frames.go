@@ -59,13 +59,17 @@ type FrameAssembler struct {
 
 	open   map[uint32]*openFrame
 	order  []uint32 // insertion order of open frames
+	free   []*openFrame
 	lastTS uint32
 	seen   bool
 }
 
 type openFrame struct {
 	frame Frame
-	seqs  map[uint16]struct{}
+	// seqs holds the distinct sequence numbers seen for this frame.
+	// Frames are at most a few hundred packets, so a linear dup scan over
+	// a reused slice beats a per-frame map allocation on the hot path.
+	seqs []uint16
 }
 
 // NewFrameAssembler returns an assembler delivering frames to onFrame.
@@ -79,15 +83,21 @@ func NewFrameAssembler(onFrame func(Frame, bool)) *FrameAssembler {
 
 // Observe ingests one RTP media packet of the substream.
 func (a *FrameAssembler) Observe(at time.Time, media *zoom.MediaEncap, pkt *rtp.Packet) {
+	if a.open == nil {
+		// Lazily built so a restored-but-idle assembler costs no map.
+		a.open = make(map[uint32]*openFrame)
+	}
 	ts := pkt.Timestamp
 	of := a.open[ts]
 	if of == nil {
-		of = &openFrame{
-			frame: Frame{
-				RTPTimestamp: ts,
-				FirstPacket:  at,
-			},
-			seqs: make(map[uint16]struct{}),
+		if n := len(a.free); n > 0 {
+			of = a.free[n-1]
+			a.free[n-1] = nil
+			a.free = a.free[:n-1]
+			of.frame = Frame{RTPTimestamp: ts, FirstPacket: at}
+			of.seqs = of.seqs[:0]
+		} else {
+			of = &openFrame{frame: Frame{RTPTimestamp: ts, FirstPacket: at}}
 		}
 		if media.Type == zoom.TypeVideo {
 			of.frame.FrameSequence = media.FrameSequence
@@ -102,10 +112,12 @@ func (a *FrameAssembler) Observe(at time.Time, media *zoom.MediaEncap, pkt *rtp.
 			a.flushOlderThan(ts)
 		}
 	}
-	if _, dup := of.seqs[pkt.SequenceNumber]; dup {
-		return // Zoom retransmission: same seq, do not double count
+	for _, s := range of.seqs {
+		if s == pkt.SequenceNumber {
+			return // Zoom retransmission: same seq, do not double count
+		}
 	}
-	of.seqs[pkt.SequenceNumber] = struct{}{}
+	of.seqs = append(of.seqs, pkt.SequenceNumber)
 	of.frame.Packets++
 	of.frame.Bytes += len(pkt.Payload)
 	if pkt.Marker {
@@ -154,6 +166,9 @@ func (a *FrameAssembler) finish(ts uint32, complete bool) {
 	}
 	if a.OnFrame != nil {
 		a.OnFrame(of.frame, complete)
+	}
+	if len(a.free) < a.MaxOpenFrames {
+		a.free = append(a.free, of)
 	}
 }
 

@@ -140,8 +140,21 @@ func (sm *StreamMetrics) State(w *statecodec.Writer) {
 // construction happens here (not via NewStreamMetrics): every field,
 // including the type-dependent stall/talk models, comes from the state.
 func RestoreStreamMetrics(r *statecodec.Reader) (*StreamMetrics, error) {
+	sm := new(StreamMetrics)
+	if err := RestoreStreamMetricsInto(r, sm); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+// RestoreStreamMetricsInto is RestoreStreamMetrics decoding into
+// caller-provided (typically slab-allocated) storage: a checkpoint
+// restore walks tens of thousands of streams, and the per-stream struct
+// allocation dominates restore GC pressure when each one is separate.
+// Any previous contents of sm are discarded.
+func RestoreStreamMetricsInto(r *statecodec.Reader, sm *StreamMetrics) error {
 	r.Version("metrics.StreamMetrics", streamMetricsStateV1)
-	sm := &StreamMetrics{subs: make(map[uint8]*substreamState)}
+	*sm = StreamMetrics{subs: make(map[uint8]*substreamState)}
 	sm.ClockRate = r.F64()
 	sm.MediaType = zoom.MediaType(r.U8())
 	sm.MaxIdleGap = r.Duration()
@@ -178,39 +191,42 @@ func RestoreStreamMetrics(r *statecodec.Reader) (*StreamMetrics, error) {
 	if r.Bool() {
 		sm.mainSeq = rtp.NewSeqTracker()
 		if err := sm.mainSeq.Restore(r); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if r.Bool() {
 		sm.Stall = NewStallDetector()
 		if err := sm.Stall.restore(r); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if r.Bool() {
 		sm.Talk = NewTalkTracker()
 		if err := sm.Talk.restore(r); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
 	nsubs := r.Count(8)
 	for i := 0; i < nsubs; i++ {
 		pt := r.U8()
-		st := &substreamState{isMain: r.Bool()}
+		st := newSubBlock(sm.ClockRate)
+		st.isMain = r.Bool()
 		if st.isMain {
 			if sm.mainSeq == nil {
 				r.Failf("metrics.StreamMetrics main substream %d without shared tracker", pt)
-				return nil, r.Err()
+				return r.Err()
 			}
 			st.seq = sm.mainSeq
 		} else {
 			st.seq = rtp.NewSeqTracker()
 			if err := st.seq.Restore(r); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		st.window = NewFrameRateWindow(r.Duration())
+		if d := r.Duration(); d > 0 {
+			st.window.window = d
+		}
 		nt := r.Count(3)
 		if nt > 0 {
 			st.window.times = make([]time.Time, 0, nt)
@@ -218,13 +234,12 @@ func RestoreStreamMetrics(r *statecodec.Reader) (*StreamMetrics, error) {
 		for j := 0; j < nt; j++ {
 			st.window.times = append(st.window.times, r.Time())
 		}
-		st.encoder = NewEncoderFrameRate(sm.ClockRate)
 		st.encoder.lastTS = r.U32()
 		st.encoder.seen = r.Bool()
 		if r.Bool() {
 			st.jitter = &rtp.Jitter{}
 			if err := st.jitter.Restore(r); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		nts := r.Count(1)
@@ -234,21 +249,18 @@ func RestoreStreamMetrics(r *statecodec.Reader) (*StreamMetrics, error) {
 		for j := 0; j < nts; j++ {
 			st.tsSeen[r.U32()] = struct{}{}
 		}
-		st.assembler = NewFrameAssembler(func(f Frame, complete bool) {
+		st.assembler.OnFrame = func(f Frame, complete bool) {
 			sm.onFrame(st, f, complete)
-		})
+		}
 		if err := st.assembler.restore(r); err != nil {
-			return nil, err
+			return err
 		}
 		if r.Err() != nil {
-			return nil, r.Err()
+			return r.Err()
 		}
 		sm.subs[pt] = st
 	}
-	if r.Err() != nil {
-		return nil, r.Err()
-	}
-	return sm, nil
+	return r.Err()
 }
 
 func (a *FrameAssembler) state(w *statecodec.Writer) {
@@ -268,11 +280,10 @@ func (a *FrameAssembler) state(w *statecodec.Writer) {
 		w.Int(of.frame.ExpectedPackets)
 		w.Int(of.frame.Bytes)
 		w.Bool(of.frame.SawMarker)
+		// Serialize in sorted order (not arrival order) so the encoding is
+		// canonical; dup detection is order-independent on restore.
 		var seqScratch [32]uint16
-		seqs := seqScratch[:0]
-		for s := range of.seqs {
-			seqs = append(seqs, s)
-		}
+		seqs := append(seqScratch[:0], of.seqs...)
 		slices.Sort(seqs)
 		w.Int(len(seqs))
 		for _, s := range seqs {
@@ -286,7 +297,10 @@ func (a *FrameAssembler) restore(r *statecodec.Reader) error {
 	a.lastTS = r.U32()
 	a.seen = r.Bool()
 	n := r.Count(10)
-	a.open = make(map[uint32]*openFrame, n)
+	a.open = nil
+	if n > 0 {
+		a.open = make(map[uint32]*openFrame, n)
+	}
 	a.order = nil
 	if n > 0 {
 		a.order = make([]uint32, 0, n)
@@ -302,9 +316,11 @@ func (a *FrameAssembler) restore(r *statecodec.Reader) error {
 		of.frame.Bytes = r.Int()
 		of.frame.SawMarker = r.Bool()
 		ns := r.Count(1)
-		of.seqs = make(map[uint16]struct{}, ns)
+		if ns > 0 {
+			of.seqs = make([]uint16, 0, ns)
+		}
 		for j := 0; j < ns; j++ {
-			of.seqs[r.U16()] = struct{}{}
+			of.seqs = append(of.seqs, r.U16())
 		}
 		if r.Err() != nil {
 			return r.Err()

@@ -193,14 +193,39 @@ func NewStreamMetrics(mt zoom.MediaType) *StreamMetrics {
 	return sm
 }
 
+// subBlock bundles a substream's value components into one allocation.
+// Substream construction runs once per (stream, payload type) — tens of
+// thousands of times during a checkpoint restore — and four separately
+// allocated husks per substream showed up as measurable GC pressure
+// there; the assembler's open-frame map is allocated lazily for the
+// same reason (most restored assemblers have no open frames).
+type subBlock struct {
+	st        substreamState
+	window    FrameRateWindow
+	encoder   EncoderFrameRate
+	assembler FrameAssembler
+}
+
+// newSubBlock returns a substream with window/encoder/assembler wired to
+// block-mates. The caller fills in isMain, seq, jitter, and the
+// assembler's OnFrame.
+func newSubBlock(clockRate float64) *substreamState {
+	b := &subBlock{
+		window:    FrameRateWindow{window: time.Second},
+		encoder:   EncoderFrameRate{clockRate: clockRate},
+		assembler: FrameAssembler{MaxOpenFrames: 64},
+	}
+	b.st.window = &b.window
+	b.st.encoder = &b.encoder
+	b.st.assembler = &b.assembler
+	return &b.st
+}
+
 func (sm *StreamMetrics) sub(pt uint8) *substreamState {
 	st := sm.subs[pt]
 	if st == nil {
-		st = &substreamState{
-			window:  NewFrameRateWindow(time.Second),
-			encoder: NewEncoderFrameRate(sm.ClockRate),
-			isMain:  !zoom.ClassifySubstream(sm.MediaType, pt).IsFEC(),
-		}
+		st = newSubBlock(sm.ClockRate)
+		st.isMain = !zoom.ClassifySubstream(sm.MediaType, pt).IsFEC()
 		// Sequence-number spaces: FEC uses its own sequence numbers; all
 		// other substreams of a stream share one space (§4.2.3 — audio
 		// types 99/112 interleave within a single counter). Share the
@@ -216,9 +241,9 @@ func (sm *StreamMetrics) sub(pt uint8) *substreamState {
 		if sm.ClockRate > 0 {
 			st.jitter = rtp.NewJitter(sm.ClockRate)
 		}
-		st.assembler = NewFrameAssembler(func(f Frame, complete bool) {
+		st.assembler.OnFrame = func(f Frame, complete bool) {
 			sm.onFrame(st, f, complete)
-		})
+		}
 		sm.subs[pt] = st
 	}
 	return st
@@ -265,7 +290,12 @@ func (st *substreamState) seenTS(ts uint32) bool {
 		return true
 	}
 	st.tsSeen[ts] = struct{}{}
-	if len(st.tsSeen) > 256 {
+	// Sweep only when the map is well above the steady-state live set
+	// (~300 timestamps for a 90 kHz clock over the 10 s retention window),
+	// so each full-map sweep reclaims hundreds of stale entries and the
+	// cost amortizes to O(1) per insert. A 256 threshold sat below the
+	// live set and degenerated into a full sweep on every insert.
+	if len(st.tsSeen) > 1024 {
 		for k := range st.tsSeen {
 			if rtp.TSDiff(k, ts) > 90000*10 {
 				delete(st.tsSeen, k)
