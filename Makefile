@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke clean
+.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke clean
 
 all: build test
 
@@ -58,6 +58,15 @@ ci:
 	$(MAKE) fuzz-smoke FUZZTIME=10s
 	$(MAKE) bench-smoke
 	$(MAKE) alloc-check
+	$(MAKE) soak-smoke
+
+# The full-shape continuous-operation soak: 100k+ concurrent streams
+# with churn through the production driver on a compressed trace clock,
+# gated on flat goroutines, bounded retained memory, an active delta
+# checkpoint chain, and incremental checkpoints >= 5x cheaper than full
+# snapshots. Snapshots the numbers into BENCH_soak.json.
+soak-smoke:
+	BENCH_SOAK_OUT=$(CURDIR)/BENCH_soak.json $(GO) test -count=1 -run TestBenchSoakJSON -timeout 15m -v .
 
 # Short native-fuzz runs over every packet codec: the parsers face
 # hostile bytes in production, so every CI run hammers them briefly.

@@ -187,6 +187,104 @@ func TestCLILiveMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestCLIShedAndRecoveryCountersExposed pins the continuous-operation
+// counters to both surfaces: the Prometheus exposition must carry the
+// shed and checkpoint-lifecycle series while a shedding, checkpointing
+// tool is mid-capture, and the final status JSON must carry the
+// matching fields.
+func TestCLIShedAndRecoveryCountersExposed(t *testing.T) {
+	bin := buildCLI(t)
+	work := t.TempDir()
+	pcapPath := filepath.Join(work, "meeting.pcap")
+	runTool(t, bin, "zoomsim", "-o", pcapPath, "-mode", "meeting", "-duration", "20s")
+	data, err := os.ReadFile(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(filepath.Join(bin, "zoomqoe"),
+		"-i", "-", "-what", "loss", "-workers", "2", "-shed",
+		"-checkpoint", filepath.Join(work, "state.zlcp"),
+		"-checkpoint-interval", "5s", "-checkpoint-delta", "1s",
+		"-metrics-addr", "127.0.0.1:0")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Wait()
+	defer stdin.Close()
+
+	sc := bufio.NewScanner(stderrPipe)
+	addr := ""
+	var tail strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			addr = strings.TrimSuffix(line[i+len("listening on http://"):], "/metrics")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening address on stderr (scan error: %v)", sc.Err())
+	}
+	// Keep draining stderr so the status line survives for the final
+	// assertion.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			tail.WriteString(sc.Text())
+			tail.WriteByte('\n')
+		}
+	}()
+
+	if _, err := stdin.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	body := scrape(t, "http://"+addr+"/metrics")
+	for _, series := range []string{
+		"zoomlens_shed_packets_total",
+		"zoomlens_shed_bytes_total",
+		"zoomlens_checkpoint_deltas_total",
+		"zoomlens_checkpoint_restore_fallbacks_total",
+		"zoomlens_checkpoint_tmp_cleaned_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("mid-capture exposition missing %s", series)
+		}
+	}
+
+	if _, err := stdin.Write(data[len(data)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	stdin.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("zoomqoe: %v\n%s", err, tail.String())
+	}
+	<-drained
+	status := lastJSONLine(t, tail.String())
+	for _, key := range []string{
+		"shed_packets", "checkpoints", "delta_checkpoints",
+		"restore_fallbacks", "tmp_cleaned", "quarantine_dropped",
+	} {
+		if _, ok := status[key]; !ok {
+			t.Errorf("status JSON missing %q:\n%v", key, status)
+		}
+	}
+	if n, _ := status["delta_checkpoints"].(float64); n < 1 {
+		t.Errorf("delta_checkpoints = %v, want >= 1 (1s cadence over a 20s trace)", status["delta_checkpoints"])
+	}
+}
+
 // scrape GETs a metrics URL, retrying briefly (the first counters may
 // land an instant after the listener).
 func scrape(t *testing.T, url string) string {

@@ -22,7 +22,9 @@ package core
 // half-built engine is discarded.
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/netip"
 	"slices"
@@ -41,34 +43,113 @@ import (
 const (
 	checkpointMagic  = "ZLCP"
 	checkpointFileV1 = 1
+	// checkpointFileV2 appends a CRC32-C (Castagnoli) little-endian
+	// trailer over all preceding bytes, so a torn or bit-flipped file is
+	// detected before any decode work. Writers always emit V2; readers
+	// still accept trailerless V1 files.
+	checkpointFileV2 = 2
 
 	engineKindSequential = 0
 	engineKindParallel   = 1
+	// Kinds 2/3 are delta records: mutations since the last checkpoint
+	// of the matching engine kind, applied via ApplyDelta. They cannot
+	// bootstrap an engine on their own, so RestoreAnalyzer rejects them.
+	engineKindSequentialDelta = 2
+	engineKindParallelDelta   = 3
 
 	analyzerStateV1 = 1
+	// analyzerStateV2 added the overload-shedding counters
+	// (ShedPackets/ShedBytes). V1 payloads restore with them zero.
+	analyzerStateV2 = 2
 	// parallelStateV2 dropped the per-shard observation logs (the
 	// checkpoint reconciles them before encoding) and added the
 	// reconciliation Dedup/CopyMatcher state. V1 files are rejected by
 	// the version check rather than misread.
 	parallelStateV2 = 2
+	// parallelStateV3 added the dispatcher shedding counters. V2
+	// payloads restore with them zero.
+	parallelStateV3 = 3
 
 	// maxCheckpointWorkers bounds the shard count a hostile checkpoint
 	// can demand (each shard costs a goroutine and an analyzer).
 	maxCheckpointWorkers = 4096
 )
 
+// crcTable is the Castagnoli polynomial used by the V2 file trailer.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 func writeCheckpointHeader(w *statecodec.Writer, kind uint8) {
 	for i := 0; i < len(checkpointMagic); i++ {
 		w.U8(checkpointMagic[i])
 	}
-	w.U8(checkpointFileV1)
+	w.U8(checkpointFileV2)
 	w.U8(kind)
+}
+
+// sealCheckpoint appends the V2 CRC trailer to the encoded record and
+// writes the whole file in one Write.
+func sealCheckpoint(w io.Writer, enc *statecodec.Writer) error {
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(enc.Bytes(), crcTable))
+	enc.U8(tr[0])
+	enc.U8(tr[1])
+	enc.U8(tr[2])
+	enc.U8(tr[3])
+	_, err := w.Write(enc.Bytes())
+	return err
+}
+
+// openCheckpoint validates a checkpoint file's magic, file version, and
+// (for V2) CRC trailer, returning the engine kind and a reader
+// positioned at the engine payload.
+func openCheckpoint(data []byte) (kind uint8, r *statecodec.Reader, err error) {
+	if len(data) < len(checkpointMagic)+2 {
+		return 0, nil, fmt.Errorf("%w: not a checkpoint (short file)", statecodec.ErrCorrupt)
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return 0, nil, fmt.Errorf("%w: not a checkpoint (bad magic)", statecodec.ErrCorrupt)
+	}
+	switch v := data[len(checkpointMagic)]; v {
+	case checkpointFileV1:
+		// Legacy trailerless file: accepted as-is.
+	case checkpointFileV2:
+		if len(data) < len(checkpointMagic)+2+4 {
+			return 0, nil, fmt.Errorf("%w: checkpoint too short for CRC trailer", statecodec.ErrCorrupt)
+		}
+		body, trailer := data[:len(data)-4], data[len(data)-4:]
+		want := binary.LittleEndian.Uint32(trailer)
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return 0, nil, fmt.Errorf("%w: checkpoint CRC mismatch (file %08x, computed %08x)", statecodec.ErrCorrupt, want, got)
+		}
+		data = body
+	default:
+		return 0, nil, fmt.Errorf("%w: checkpoint file version %d (supported: %d, %d)", statecodec.ErrCorrupt, v, checkpointFileV1, checkpointFileV2)
+	}
+	kind = data[len(checkpointMagic)+1]
+	return kind, statecodec.NewReader(data[len(checkpointMagic)+2:]), nil
+}
+
+// readAllCheckpoint slurps a checkpoint stream into one buffer,
+// right-sizing when the source announces its length.
+func readAllCheckpoint(rd io.Reader) ([]byte, error) {
+	if l, ok := rd.(interface{ Len() int }); ok {
+		// bytes.Reader/bytes.Buffer style sources announce their size;
+		// read into one right-sized buffer instead of letting io.ReadAll
+		// double through the checkpoint (restores are on the recovery
+		// path, where a 100 ms budget applies).
+		data := make([]byte, l.Len())
+		_, err := io.ReadFull(rd, data)
+		return data, err
+	}
+	return io.ReadAll(rd)
 }
 
 // State encodes the analyzer's complete mutable state. Maps are written
 // in sorted key order so identical state yields identical bytes.
 func (a *Analyzer) State(w *statecodec.Writer) {
-	w.U8(analyzerStateV1)
+	w.U8(analyzerStateV2)
+	w.U64(a.ShedPackets)
+	w.U64(a.ShedBytes)
 	w.U64(a.Packets)
 	w.U64(a.Bytes)
 	w.U64(a.ZoomUDP)
@@ -151,7 +232,16 @@ func sortAddrPorts(aps []netip.AddrPort) {
 // mutable state but keeping its configuration and wiring (obs handles,
 // obsSink, parser). The receiver must come from NewAnalyzer.
 func (a *Analyzer) restoreState(r *statecodec.Reader) error {
-	r.Version("core.Analyzer", analyzerStateV1)
+	switch v := r.U8(); v {
+	case analyzerStateV1:
+		a.ShedPackets, a.ShedBytes = 0, 0
+	case analyzerStateV2:
+		a.ShedPackets = r.U64()
+		a.ShedBytes = r.U64()
+	default:
+		r.Failf("core.Analyzer state version %d (supported: %d, %d)", v, analyzerStateV1, analyzerStateV2)
+		return r.Err()
+	}
 	a.Packets = r.U64()
 	a.Bytes = r.U64()
 	a.ZoomUDP = r.U64()
@@ -263,14 +353,19 @@ func (a *Analyzer) stateSizeHint() int {
 }
 
 // Checkpoint writes the analyzer's complete state to w in one Write.
+// A successful encode also resets delta tracking: the next
+// CheckpointDelta describes mutations relative to this snapshot.
 func (a *Analyzer) Checkpoint(w io.Writer) error {
 	defer a.cfg.trace("checkpoint")()
 	var enc statecodec.Writer
 	enc.Grow(a.stateSizeHint())
 	writeCheckpointHeader(&enc, engineKindSequential)
 	a.State(&enc)
-	_, err := w.Write(enc.Bytes())
-	return err
+	if err := sealCheckpoint(w, &enc); err != nil {
+		return err
+	}
+	a.markCheckpointed()
+	return nil
 }
 
 // Checkpoint quiesces the shards (sync-batch barrier), advances the
@@ -296,7 +391,9 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	enc.Grow(hint)
 	writeCheckpointHeader(&enc, engineKindParallel)
 	enc.Int(pa.workers)
-	enc.U8(parallelStateV2)
+	enc.U8(parallelStateV3)
+	enc.U64(pa.shedPackets)
+	enc.U64(pa.shedBytes)
 	enc.U64(pa.nextSeq)
 	enc.U64(pa.packets)
 	enc.U64(pa.bytes)
@@ -313,8 +410,11 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 		enc.U64(sh.ingested)
 		sh.a.State(&enc)
 	}
-	_, err := w.Write(enc.Bytes())
-	return err
+	if err := sealCheckpoint(w, &enc); err != nil {
+		return err
+	}
+	pa.markCheckpointed()
+	return nil
 }
 
 // restoreState decodes a parallel payload into a freshly constructed
@@ -322,7 +422,16 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 // shard goroutines are parked on their channels and their analyzers are
 // safely writable from this goroutine).
 func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
-	r.Version("core.ParallelAnalyzer", parallelStateV2)
+	switch v := r.U8(); v {
+	case parallelStateV2:
+		pa.shedPackets, pa.shedBytes = 0, 0
+	case parallelStateV3:
+		pa.shedPackets = r.U64()
+		pa.shedBytes = r.U64()
+	default:
+		r.Failf("core.ParallelAnalyzer state version %d (supported: %d, %d)", v, parallelStateV2, parallelStateV3)
+		return r.Err()
+	}
 	pa.nextSeq = r.U64()
 	pa.packets = r.U64()
 	pa.bytes = r.U64()
@@ -372,30 +481,12 @@ func (pa *ParallelAnalyzer) abandon() {
 // Errors never yield a partial engine: the input is either restored in
 // full (including a trailing-bytes check) or rejected.
 func RestoreAnalyzer(rd io.Reader, cfg Config) (Engine, error) {
-	var data []byte
-	var err error
-	if l, ok := rd.(interface{ Len() int }); ok {
-		// bytes.Reader/bytes.Buffer style sources announce their size;
-		// read into one right-sized buffer instead of letting io.ReadAll
-		// double through the checkpoint (restores are on the recovery
-		// path, where a 100 ms budget applies).
-		data = make([]byte, l.Len())
-		_, err = io.ReadFull(rd, data)
-	} else {
-		data, err = io.ReadAll(rd)
-	}
+	data, err := readAllCheckpoint(rd)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
 	}
-	r := statecodec.NewReader(data)
-	for i := 0; i < len(checkpointMagic); i++ {
-		if r.U8() != checkpointMagic[i] {
-			return nil, fmt.Errorf("%w: not a checkpoint (bad magic)", statecodec.ErrCorrupt)
-		}
-	}
-	r.Version("checkpoint file", checkpointFileV1)
-	kind := r.U8()
-	if err := r.Err(); err != nil {
+	kind, r, err := openCheckpoint(data)
+	if err != nil {
 		return nil, err
 	}
 	switch kind {
@@ -407,6 +498,7 @@ func RestoreAnalyzer(rd io.Reader, cfg Config) (Engine, error) {
 		if err := requireDrained(r); err != nil {
 			return nil, err
 		}
+		a.markCheckpointed()
 		return a, nil
 	case engineKindParallel:
 		workers := r.Int()
@@ -432,7 +524,10 @@ func RestoreAnalyzer(rd io.Reader, cfg Config) (Engine, error) {
 			pa.abandon()
 			return nil, err
 		}
+		pa.markCheckpointed()
 		return pa, nil
+	case engineKindSequentialDelta, engineKindParallelDelta:
+		return nil, fmt.Errorf("%w: delta record cannot bootstrap an engine (apply it to a restored checkpoint)", statecodec.ErrCorrupt)
 	default:
 		return nil, fmt.Errorf("%w: unknown engine kind %d", statecodec.ErrCorrupt, kind)
 	}
@@ -481,6 +576,8 @@ func (a *Analyzer) Rotate(now time.Time) *Analyzer {
 		EvictedTCP:         a.EvictedTCP,
 		RejectedTCPPackets: a.RejectedTCPPackets,
 		FinishedDropped:    a.FinishedDropped,
+		ShedPackets:        a.ShedPackets,
+		ShedBytes:          a.ShedBytes,
 		Finished:           a.Finished,
 		firstTS:            a.firstTS,
 		lastTS:             a.lastTS,
@@ -504,6 +601,7 @@ func (a *Analyzer) Rotate(now time.Time) *Analyzer {
 	a.TCPPackets, a.STUNPackets, a.DroppedByFilter = 0, 0, 0
 	a.UDPKeptPackets, a.UDPKeptBytes, a.PanicsRecovered = 0, 0, 0
 	a.EvictedTCP, a.RejectedTCPPackets, a.FinishedDropped = 0, 0, 0
+	a.ShedPackets, a.ShedBytes = 0, 0
 	a.Truncated = false
 	a.Finished = nil
 	a.firstTS, a.lastTS = time.Time{}, time.Time{}
@@ -511,6 +609,10 @@ func (a *Analyzer) Rotate(now time.Time) *Analyzer {
 	// The window took the cumulative eviction counts with it; re-baseline
 	// the obs mirrors so the next window's deltas start from zero.
 	a.o.resetMirrors()
+	// Rotation starts a fresh state lineage: any checkpoint chain built
+	// before it no longer describes this analyzer, so delta tracking
+	// disarms until the next full checkpoint.
+	a.disarmDelta()
 	return win
 }
 
@@ -531,6 +633,7 @@ func (pa *ParallelAnalyzer) Rotate(now time.Time) *Analyzer {
 	win := pa.merge()
 
 	pa.packets, pa.bytes, pa.undecodable, pa.dropped, pa.panics = 0, 0, 0, 0, 0
+	pa.shedPackets, pa.shedBytes = 0, 0
 	pa.truncated = false
 	pa.firstTS, pa.lastTS = time.Time{}, time.Time{}
 	shardCfg := scaleLimits(pa.cfg, pa.workers)
@@ -550,5 +653,9 @@ func (pa *ParallelAnalyzer) Rotate(now time.Time) *Analyzer {
 	// unlabeled series reflect the global configuration again (same dance
 	// as NewParallelAnalyzer).
 	pa.o = newCoreObs(pa.cfg.Obs, "", pa.cfg)
+	// Fresh shards and reconciliation state are unarmed; disarm the
+	// dispatcher-level chain flag too so the next delta attempt reports
+	// unavailable until a full checkpoint re-anchors the chain.
+	pa.deltaArmed = false
 	return win
 }

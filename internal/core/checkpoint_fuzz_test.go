@@ -43,25 +43,75 @@ func FuzzCheckpointRestore(f *testing.F) {
 			f.Add(buf.Bytes())
 		}
 	}
+	// Seed real delta records too: the mutator must explore the delta
+	// decode path (kinds 2 and 3), which ApplyDelta exercises below.
+	for _, workers := range []int{1, 2} {
+		var eng Engine
+		if workers > 1 {
+			eng = NewParallelAnalyzer(cfg, workers)
+		} else {
+			eng = NewAnalyzer(cfg)
+		}
+		for i := 0; i < 50; i++ {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		if err := eng.Checkpoint(&bytes.Buffer{}); err != nil {
+			f.Fatal(err)
+		}
+		for i := 50; i < 100; i++ {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		var delta bytes.Buffer
+		if err := eng.CheckpointDelta(&delta); err != nil {
+			f.Fatal(err)
+		}
+		eng.Finish()
+		f.Add(delta.Bytes())
+	}
 	f.Add([]byte{})
 	f.Add([]byte("ZLCP"))
 	f.Add([]byte{'Z', 'L', 'C', 'P', 1, 0})
 	f.Add([]byte{'Z', 'L', 'C', 'P', 1, 1})
+	f.Add([]byte{'Z', 'L', 'C', 'P', 2, 2})
+	f.Add([]byte{'Z', 'L', 'C', 'P', 2, 3})
 	f.Add([]byte{'Z', 'L', 'C', 'P', 0xff})
+
+	// deltaBase builds the armed engine every ApplyDelta attempt targets:
+	// same trace prefix and a full checkpoint taken, so a valid mutated
+	// delta could in principle apply cleanly.
+	deltaBase := func(t *testing.T) Engine {
+		eng := NewAnalyzer(cfg)
+		for i := 0; i < 50; i++ {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		if err := eng.Checkpoint(&bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
 
 	at := time.Unix(1700000000, 0)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng, err := RestoreAnalyzer(bytes.NewReader(data), cfg)
-		if err != nil {
-			if eng != nil {
-				t.Fatalf("restore failed (%v) but still returned an engine", err)
-			}
-			return
+		if err == nil {
+			// A nil-error engine must be fully wired: accept a packet,
+			// finish, and produce a summary without panicking.
+			eng.Packet(at, []byte{0x45})
+			eng.Finish()
+			_ = eng.Result().Summary()
+		} else if eng != nil {
+			t.Fatalf("restore failed (%v) but still returned an engine", err)
 		}
-		// A nil-error engine must be fully wired: accept a packet,
-		// finish, and produce a summary without panicking.
-		eng.Packet(at, []byte{0x45})
-		eng.Finish()
-		_ = eng.Result().Summary()
+
+		// The delta decoder has the same contract: error or a coherent
+		// engine, never a panic. A failed apply may leave the target
+		// half-mutated — the caller contract is to discard it — but it
+		// must never have corrupted it badly enough to crash teardown.
+		target := deltaBase(t)
+		if aerr := target.ApplyDelta(bytes.NewReader(data)); aerr == nil {
+			target.Packet(at, []byte{0x45})
+		}
+		target.Finish()
+		_ = target.Result().Summary()
 	})
 }

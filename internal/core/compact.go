@@ -43,6 +43,7 @@ func (a *Analyzer) Compact(cutoff time.Time) int {
 		sm.Finish()
 		a.archiveFinished(FinishedStream{ID: id, LastSeen: last, Metrics: sm})
 		delete(a.StreamMetrics, id)
+		a.tombstoneStreamMetric(id)
 		n++
 	}
 	if n > 0 {
@@ -58,6 +59,14 @@ func (a *Analyzer) archiveFinished(f FinishedStream) {
 		drop := len(a.Finished) - a.cfg.MaxFinished + 1
 		a.FinishedDropped += uint64(drop)
 		a.Finished = append(a.Finished[:0], a.Finished[drop:]...)
+		if a.deltaArmed {
+			// Account head drops against the checkpoint baseline first;
+			// drops past it consumed entries appended since the last
+			// checkpoint, which simply never reach a delta.
+			if eat := min(drop, a.ckFinishedLen-a.ckHeadDrops); eat > 0 {
+				a.ckHeadDrops += eat
+			}
+		}
 	}
 	a.Finished = append(a.Finished, f)
 }
@@ -100,6 +109,7 @@ func (a *Analyzer) EvictIdle(cutoff time.Time) {
 		}
 		delete(a.TCP, client)
 		delete(a.tcpSeen, client)
+		a.tombstoneTCP(client)
 		a.EvictedTCP++
 	}
 }

@@ -76,6 +76,15 @@ type Config struct {
 	// across analyzers; it is safe for concurrent use.
 	Quarantine *Quarantine
 
+	// Shed lets the parallel dispatcher drop packets (with accounting)
+	// when a shard ring is full instead of blocking on it. Off by
+	// default: a blocked dispatcher preserves the byte-identical
+	// sequential-equivalence invariant, which shedding necessarily gives
+	// up. Live taps that must never stall ingest turn it on and watch
+	// the shed counters. The sequential analyzer has no queues and never
+	// sheds.
+	Shed bool
+
 	// Obs, when non-nil, receives live pipeline metrics: per-stage packet
 	// counters, state-table occupancy against the caps above, eviction
 	// and panic counts (see internal/obs). Nil costs one branch per hook.
@@ -133,6 +142,12 @@ type Analyzer struct {
 	RejectedTCPPackets uint64
 	// FinishedDropped counts archived streams discarded at MaxFinished.
 	FinishedDropped uint64
+	// ShedPackets/ShedBytes count packets dropped by overload shedding
+	// (Config.Shed) instead of being analyzed. Only the parallel
+	// dispatcher sheds; on a sequential analyzer these are nonzero only
+	// after a merge or restore carried them over.
+	ShedPackets uint64
+	ShedBytes   uint64
 
 	// Finished holds archived streams from Compact.
 	Finished []FinishedStream
@@ -148,6 +163,23 @@ type Analyzer struct {
 
 	// tcpSeen tracks per-client TCP activity for idle eviction.
 	tcpSeen map[netip.AddrPort]time.Time
+
+	// Delta-checkpoint tracking (see delta.go). deltaArmed turns on
+	// tombstone/dirty-set recording; it is set by the first checkpoint
+	// encode, so runs that never checkpoint pay nothing beyond the
+	// per-record dirty bools. ckPackets binds a delta to the exact
+	// packet count of the checkpoint it extends; ckFinishedLen and
+	// ckHeadDrops track the archived-stream baseline (the archive is
+	// append-plus-head-drop only, so a delta carries the head-drop count
+	// and the appended tail).
+	deltaArmed    bool
+	deltaOverflow bool
+	dirtyTCP      map[netip.AddrPort]struct{}
+	deadTCP       []netip.AddrPort
+	deadStreams   []flow.MediaStreamID
+	ckPackets     uint64
+	ckFinishedLen int
+	ckHeadDrops   int
 
 	// panicHook, when set, runs inside the recover() scope of every
 	// packet before parsing. Tests use it to inject deterministic panics;
@@ -194,6 +226,7 @@ func NewAnalyzer(cfg Config) *Analyzer {
 		Copies:        metrics.NewCopyMatcher(),
 		TCP:           make(map[netip.AddrPort]*tcprtt.Tracker),
 		tcpSeen:       make(map[netip.AddrPort]time.Time),
+		dirtyTCP:      make(map[netip.AddrPort]struct{}),
 	}
 	a.Flows.SetLimits(flow.Limits{
 		MaxFlows:      cfg.MaxFlows,
@@ -307,6 +340,9 @@ func (a *Analyzer) observeTCP(at time.Time, pkt *layers.Packet) {
 		a.TCP[client] = tr
 	}
 	a.tcpSeen[client] = at
+	if a.deltaArmed {
+		a.dirtyTCP[client] = struct{}{}
+	}
 	tr.Observe(at, fromClient, &pkt.TCP, len(pkt.Payload))
 }
 
@@ -374,6 +410,7 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 		a.StreamMetrics[id] = sm
 	}
 	sm.Observe(at, wireLen, &zp.Media, &zp.RTP)
+	sm.MarkDirty()
 }
 
 func (a *Analyzer) isZoomAddr(addr netip.Addr) bool { return a.cfg.isZoomAddr(addr) }
@@ -461,6 +498,10 @@ type Summary struct {
 	// PanicsRecovered counts packets whose processing panicked and was
 	// contained.
 	PanicsRecovered uint64
+	// ShedPackets/ShedBytes count packets dropped by overload shedding
+	// (Config.Shed): received and counted, but never analyzed.
+	ShedPackets uint64
+	ShedBytes   uint64
 	// Truncated marks a capture cut mid-record: the summary covers the
 	// readable prefix.
 	Truncated bool
@@ -485,6 +526,8 @@ func (a *Analyzer) Summary() Summary {
 		EvictedStreams:  ev.EvictedStreams,
 		RejectedPackets: ev.RejectedFlowPackets + ev.RejectedStreamPackets + ev.RejectedSubstreamPackets + a.RejectedTCPPackets,
 		PanicsRecovered: a.PanicsRecovered,
+		ShedPackets:     a.ShedPackets,
+		ShedBytes:       a.ShedBytes,
 		Truncated:       a.Truncated,
 	}
 }

@@ -1,0 +1,535 @@
+package core
+
+// Incremental (delta) checkpoints. A full checkpoint rewrites the whole
+// engine — linear in total stream count, which at the paper's 12-hour
+// scale means paying for hundreds of thousands of idle streams on every
+// cadence tick. A delta record instead carries only what changed since
+// the previous checkpoint encode: per-layer dirty bits select the
+// records to re-serialize, tombstones carry the deletions, and the
+// bounded cross-flow layers (capture filter, copy matcher) ride along
+// whole. Steady-state checkpoint cost therefore scales with churn.
+//
+// Chain discipline: a delta extends the engine state as of the last
+// checkpoint encode (full or delta) and records that state's packet
+// count as its base. ApplyDelta refuses a record whose base does not
+// match the engine's current packet count, so deltas can only be
+// replayed in order on top of the snapshot they were cut from. A failed
+// apply may leave the engine partially mutated — callers must Discard
+// it and restart the chain from an earlier generation.
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"slices"
+
+	"zoomlens/internal/flow"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/metrics"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/tcprtt"
+	"zoomlens/internal/zoom"
+)
+
+// ErrDeltaUnavailable reports that the engine cannot produce a delta
+// record right now — no full checkpoint has armed the chain yet, the
+// eviction backlog outgrew the tombstone cap, or the engine is past
+// Finish. The caller falls back to a full checkpoint.
+var ErrDeltaUnavailable = fmt.Errorf("core: delta checkpoint unavailable (write a full checkpoint)")
+
+const (
+	analyzerDeltaV1 = 1
+	parallelDeltaV1 = 1
+
+	// maxCoreTombstones bounds the eviction backlog a delta carries;
+	// past it the next delta encode reports unavailable and the caller
+	// writes a full checkpoint (which resets the backlog).
+	maxCoreTombstones = 1 << 20
+)
+
+// Discard releases an engine whose delta apply (or restore) failed:
+// a parallel engine that has not finished still owns shard goroutines,
+// which must be torn down before the engine is dropped. Safe to call on
+// any engine, including nil results from a failed restore.
+func Discard(eng Engine) {
+	pa, ok := eng.(*ParallelAnalyzer)
+	if !ok || pa == nil || pa.seq != nil || pa.merged != nil {
+		return
+	}
+	pa.abandon()
+}
+
+func (a *Analyzer) tombstoneStreamMetric(id flow.MediaStreamID) {
+	if !a.deltaArmed || a.deltaOverflow {
+		return
+	}
+	if len(a.deadStreams) >= maxCoreTombstones {
+		a.deltaOverflow = true
+		return
+	}
+	a.deadStreams = append(a.deadStreams, id)
+}
+
+func (a *Analyzer) tombstoneTCP(client netip.AddrPort) {
+	if !a.deltaArmed {
+		return
+	}
+	delete(a.dirtyTCP, client)
+	if a.deltaOverflow {
+		return
+	}
+	if len(a.deadTCP) >= maxCoreTombstones {
+		a.deltaOverflow = true
+		return
+	}
+	a.deadTCP = append(a.deadTCP, client)
+}
+
+// markCheckpointed resets delta tracking after any checkpoint encode,
+// restore, or delta apply: the current state is now fully captured, so
+// dirty bits and tombstones clear, the baseline counters re-anchor, and
+// the chain arms.
+func (a *Analyzer) markCheckpointed() {
+	a.Flows.MarkCheckpointed()
+	a.Dedup.MarkCheckpointed()
+	for _, sm := range a.StreamMetrics {
+		sm.ClearDirty()
+	}
+	a.Copies.MarkCheckpointed()
+	if a.dirtyTCP == nil {
+		a.dirtyTCP = make(map[netip.AddrPort]struct{})
+	}
+	clear(a.dirtyTCP)
+	a.deadStreams = a.deadStreams[:0]
+	a.deadTCP = a.deadTCP[:0]
+	a.deltaOverflow = false
+	a.ckPackets = a.Packets
+	a.ckFinishedLen = len(a.Finished)
+	a.ckHeadDrops = 0
+	a.deltaArmed = true
+}
+
+// disarmDelta turns delta tracking off (rotation starts a state lineage
+// the old chain no longer describes).
+func (a *Analyzer) disarmDelta() {
+	a.deltaArmed = false
+	a.deltaOverflow = false
+	a.deadStreams = nil
+	a.deadTCP = nil
+	clear(a.dirtyTCP)
+	a.Flows.Disarm()
+	a.Dedup.Disarm()
+	a.Copies.Disarm()
+}
+
+// deltaReady reports whether a delta encode is currently possible.
+// Finish mutates every live metric engine without dirty tracking, so a
+// finished analyzer reports unavailable (the driver's shutdown
+// checkpoint is a full one anyway).
+func (a *Analyzer) deltaReady() bool {
+	return a.deltaArmed && !a.finished && !a.deltaOverflow &&
+		!a.Flows.DeltaOverflow() && !a.Copies.DeltaOverflow()
+}
+
+// stateDelta encodes the analyzer's mutations since the last checkpoint
+// encode (the payload behind the engineKindSequentialDelta header).
+// Top-level scalars are cheap and always carried whole, in the exact
+// order of State; the capture filter is small bounded cross-flow state
+// and rides along whole, while the copy matcher (up to MaxPending live
+// observations plus an ever-growing sample series) contributes its own
+// delta.
+func (a *Analyzer) stateDelta(w *statecodec.Writer) {
+	w.U8(analyzerDeltaV1)
+	w.U64(a.ckPackets)
+
+	w.U64(a.ShedPackets)
+	w.U64(a.ShedBytes)
+	w.U64(a.Packets)
+	w.U64(a.Bytes)
+	w.U64(a.ZoomUDP)
+	w.U64(a.Undecodable)
+	w.U64(a.TCPPackets)
+	w.U64(a.STUNPackets)
+	w.U64(a.DroppedByFilter)
+	w.U64(a.UDPKeptPackets)
+	w.U64(a.UDPKeptBytes)
+	w.U64(a.PanicsRecovered)
+	w.Bool(a.Truncated)
+	w.U64(a.EvictedTCP)
+	w.U64(a.RejectedTCPPackets)
+	w.U64(a.FinishedDropped)
+	w.Bool(a.finished)
+	w.Time(a.firstTS)
+	w.Time(a.lastTS)
+	w.U64(a.compactEvery)
+	w.Duration(a.compactIdle)
+
+	a.filter.State(w)
+	a.Flows.StateDelta(w)
+	a.Dedup.StateDelta(w)
+	a.Copies.StateDelta(w)
+
+	slices.SortFunc(a.deadStreams, flow.CompareStreamID)
+	w.Int(len(a.deadStreams))
+	for _, id := range a.deadStreams {
+		id.Flow.EncodeTo(w)
+		id.Key.EncodeTo(w)
+	}
+
+	dirty := make([]flow.MediaStreamID, 0, 64)
+	for id, sm := range a.StreamMetrics {
+		if sm.Dirty() {
+			dirty = append(dirty, id)
+		}
+	}
+	slices.SortFunc(dirty, flow.CompareStreamID)
+	w.Int(len(dirty))
+	for _, id := range dirty {
+		id.Flow.EncodeTo(w)
+		id.Key.EncodeTo(w)
+		a.StreamMetrics[id].State(w)
+	}
+
+	sortAddrPorts(a.deadTCP)
+	w.Int(len(a.deadTCP))
+	for _, c := range a.deadTCP {
+		w.AddrPort(c)
+	}
+
+	dirtyTCP := make([]netip.AddrPort, 0, len(a.dirtyTCP))
+	for c := range a.dirtyTCP {
+		dirtyTCP = append(dirtyTCP, c)
+	}
+	sortAddrPorts(dirtyTCP)
+	w.Int(len(dirtyTCP))
+	for _, c := range dirtyTCP {
+		w.AddrPort(c)
+		a.TCP[c].State(w)
+		w.Time(a.tcpSeen[c])
+	}
+
+	// Archive delta: the Finished list only ever drops from the head
+	// (MaxFinished) and appends at the tail, so the record carries the
+	// baseline length, how many baseline entries were head-dropped, and
+	// the appended tail in full.
+	w.Int(a.ckFinishedLen)
+	w.Int(a.ckHeadDrops)
+	tail := a.Finished[a.ckFinishedLen-a.ckHeadDrops:]
+	w.Int(len(tail))
+	for i := range tail {
+		f := &tail[i]
+		f.ID.Flow.EncodeTo(w)
+		f.ID.Key.EncodeTo(w)
+		w.Time(f.LastSeen)
+		f.Metrics.State(w)
+	}
+}
+
+// applyDeltaPayload replays one analyzer delta payload onto the
+// receiver. On error the analyzer may be partially mutated and must be
+// discarded by the caller.
+func (a *Analyzer) applyDeltaPayload(r *statecodec.Reader) error {
+	r.Version("core.Analyzer delta", analyzerDeltaV1)
+	base := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if base != a.Packets {
+		r.Failf("core.Analyzer delta base %d packets does not match engine at %d packets", base, a.Packets)
+		return r.Err()
+	}
+
+	a.ShedPackets = r.U64()
+	a.ShedBytes = r.U64()
+	a.Packets = r.U64()
+	a.Bytes = r.U64()
+	a.ZoomUDP = r.U64()
+	a.Undecodable = r.U64()
+	a.TCPPackets = r.U64()
+	a.STUNPackets = r.U64()
+	a.DroppedByFilter = r.U64()
+	a.UDPKeptPackets = r.U64()
+	a.UDPKeptBytes = r.U64()
+	a.PanicsRecovered = r.U64()
+	a.Truncated = r.Bool()
+	a.EvictedTCP = r.U64()
+	a.RejectedTCPPackets = r.U64()
+	a.FinishedDropped = r.U64()
+	a.finished = r.Bool()
+	a.firstTS = r.Time()
+	a.lastTS = r.Time()
+	a.compactEvery = r.U64()
+	a.compactIdle = r.Duration()
+
+	if err := a.filter.Restore(r); err != nil {
+		return err
+	}
+	if err := a.Flows.ApplyDelta(r); err != nil {
+		return err
+	}
+	if err := a.Dedup.ApplyDelta(r); err != nil {
+		return err
+	}
+	if err := a.Copies.ApplyDelta(r); err != nil {
+		return err
+	}
+
+	nd := r.Count(8)
+	for i := 0; i < nd; i++ {
+		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		delete(a.StreamMetrics, id)
+	}
+
+	nm := r.Count(12)
+	for i := 0; i < nm; i++ {
+		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		sm := new(metrics.StreamMetrics)
+		if err := metrics.RestoreStreamMetricsInto(r, sm); err != nil {
+			return err
+		}
+		a.StreamMetrics[id] = sm
+	}
+
+	ndt := r.Count(4)
+	for i := 0; i < ndt; i++ {
+		c := r.AddrPort()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		delete(a.TCP, c)
+		delete(a.tcpSeen, c)
+	}
+
+	nt := r.Count(4)
+	for i := 0; i < nt; i++ {
+		c := r.AddrPort()
+		tr := tcprtt.NewTracker()
+		if err := tr.Restore(r); err != nil {
+			return err
+		}
+		a.TCP[c] = tr
+		a.tcpSeen[c] = r.Time()
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+
+	baseLen := r.Int()
+	headDrops := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if baseLen != len(a.Finished) {
+		r.Failf("core.Analyzer delta archive baseline %d does not match engine archive %d", baseLen, len(a.Finished))
+		return r.Err()
+	}
+	if headDrops < 0 || headDrops > baseLen {
+		r.Failf("core.Analyzer delta archive head drops %d out of range (baseline %d)", headDrops, baseLen)
+		return r.Err()
+	}
+	if headDrops > 0 {
+		a.Finished = append(a.Finished[:0], a.Finished[headDrops:]...)
+	}
+	ntail := r.Count(14)
+	for i := 0; i < ntail; i++ {
+		id := flow.MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		last := r.Time()
+		sm := new(metrics.StreamMetrics)
+		if err := metrics.RestoreStreamMetricsInto(r, sm); err != nil {
+			return err
+		}
+		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: last, Metrics: sm})
+	}
+	return r.Err()
+}
+
+// CheckpointDelta writes a delta record covering everything since the
+// last checkpoint encode, or ErrDeltaUnavailable when no chain is armed
+// (no full checkpoint yet, tombstone overflow, or a rotation broke the
+// lineage) — the caller then writes a full checkpoint instead. A
+// successful encode re-anchors the chain at the current state.
+func (a *Analyzer) CheckpointDelta(w io.Writer) error {
+	defer a.cfg.trace("checkpoint_delta")()
+	if !a.deltaReady() {
+		return ErrDeltaUnavailable
+	}
+	var enc statecodec.Writer
+	enc.Grow(1 << 16)
+	writeCheckpointHeader(&enc, engineKindSequentialDelta)
+	a.stateDelta(&enc)
+	if err := sealCheckpoint(w, &enc); err != nil {
+		return err
+	}
+	a.markCheckpointed()
+	return nil
+}
+
+// ApplyDelta replays one delta record (a full ZLCP file of the delta
+// kind) onto the engine, which must sit exactly at the record's base —
+// the state of the checkpoint the delta was cut from. On error the
+// engine may be partially mutated: Discard it and restore from an
+// earlier generation.
+func (a *Analyzer) ApplyDelta(rd io.Reader) error {
+	data, err := readAllCheckpoint(rd)
+	if err != nil {
+		return fmt.Errorf("core: reading delta: %w", err)
+	}
+	kind, r, err := openCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if kind != engineKindSequentialDelta {
+		return fmt.Errorf("%w: engine kind %d is not a sequential delta", statecodec.ErrCorrupt, kind)
+	}
+	if err := a.applyDeltaPayload(r); err != nil {
+		return err
+	}
+	if err := requireDrained(r); err != nil {
+		return err
+	}
+	a.markCheckpointed()
+	return nil
+}
+
+// markCheckpointed re-anchors the parallel chain after any checkpoint
+// encode, restore, or delta apply (shards included).
+func (pa *ParallelAnalyzer) markCheckpointed() {
+	pa.rec.dedup.MarkCheckpointed()
+	pa.rec.copies.MarkCheckpointed()
+	for _, sh := range pa.shards {
+		sh.a.markCheckpointed()
+	}
+	pa.ckPackets = pa.packets
+	pa.deltaArmed = true
+}
+
+// CheckpointDelta quiesces the shards, advances reconciliation, and
+// writes a parallel delta record: dispatcher scalars, the capture
+// filter whole, the reconciliation Dedup and CopyMatcher as deltas, and
+// one analyzer delta per shard. After Finish (or before any full
+// checkpoint) it reports ErrDeltaUnavailable.
+func (pa *ParallelAnalyzer) CheckpointDelta(w io.Writer) error {
+	if pa.seq != nil {
+		return pa.seq.CheckpointDelta(w)
+	}
+	if pa.merged != nil {
+		return ErrDeltaUnavailable
+	}
+	if !pa.deltaArmed {
+		return ErrDeltaUnavailable
+	}
+	defer pa.cfg.trace("checkpoint_delta")()
+	pa.quiesce()
+	pa.advanceRecon()
+	if pa.rec.copies.DeltaOverflow() {
+		return ErrDeltaUnavailable
+	}
+	for _, sh := range pa.shards {
+		if !sh.a.deltaReady() {
+			return ErrDeltaUnavailable
+		}
+	}
+	var enc statecodec.Writer
+	enc.Grow(1 << 16)
+	writeCheckpointHeader(&enc, engineKindParallelDelta)
+	enc.Int(pa.workers)
+	enc.U8(parallelDeltaV1)
+	enc.U64(pa.ckPackets)
+	enc.U64(pa.shedPackets)
+	enc.U64(pa.shedBytes)
+	enc.U64(pa.nextSeq)
+	enc.U64(pa.packets)
+	enc.U64(pa.bytes)
+	enc.U64(pa.undecodable)
+	enc.U64(pa.dropped)
+	enc.U64(pa.panics)
+	enc.Bool(pa.truncated)
+	enc.Time(pa.firstTS)
+	enc.Time(pa.lastTS)
+	pa.filter.State(&enc)
+	pa.rec.dedup.StateDelta(&enc)
+	pa.rec.copies.StateDelta(&enc)
+	for _, sh := range pa.shards {
+		enc.U64(sh.ingested)
+		sh.a.stateDelta(&enc)
+	}
+	if err := sealCheckpoint(w, &enc); err != nil {
+		return err
+	}
+	pa.markCheckpointed()
+	return nil
+}
+
+// ApplyDelta replays one parallel delta record. The engine must be
+// quiescent at the record's base (the normal case: a freshly restored
+// checkpoint being rolled forward through its chain). On error the
+// engine may be partially mutated — Discard it.
+func (pa *ParallelAnalyzer) ApplyDelta(rd io.Reader) error {
+	if pa.seq != nil {
+		return pa.seq.ApplyDelta(rd)
+	}
+	if pa.merged != nil {
+		return fmt.Errorf("core: ParallelAnalyzer.ApplyDelta after Finish")
+	}
+	data, err := readAllCheckpoint(rd)
+	if err != nil {
+		return fmt.Errorf("core: reading delta: %w", err)
+	}
+	kind, r, err := openCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if kind != engineKindParallelDelta {
+		return fmt.Errorf("%w: engine kind %d is not a parallel delta", statecodec.ErrCorrupt, kind)
+	}
+	pa.quiesce()
+	workers := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if workers != pa.workers {
+		return fmt.Errorf("%w: delta for %d workers applied to %d-worker engine", statecodec.ErrCorrupt, workers, pa.workers)
+	}
+	r.Version("core.ParallelAnalyzer delta", parallelDeltaV1)
+	base := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if base != pa.packets {
+		return fmt.Errorf("%w: delta base %d packets does not match engine at %d packets", statecodec.ErrCorrupt, base, pa.packets)
+	}
+	pa.shedPackets = r.U64()
+	pa.shedBytes = r.U64()
+	pa.nextSeq = r.U64()
+	pa.packets = r.U64()
+	pa.bytes = r.U64()
+	pa.undecodable = r.U64()
+	pa.dropped = r.U64()
+	pa.panics = r.U64()
+	pa.truncated = r.Bool()
+	pa.firstTS = r.Time()
+	pa.lastTS = r.Time()
+	if err := pa.filter.Restore(r); err != nil {
+		return err
+	}
+	if err := pa.rec.dedup.ApplyDelta(r); err != nil {
+		return err
+	}
+	if err := pa.rec.copies.ApplyDelta(r); err != nil {
+		return err
+	}
+	for _, sh := range pa.shards {
+		sh.ingested = r.U64()
+		if err := sh.a.applyDeltaPayload(r); err != nil {
+			return err
+		}
+	}
+	if err := requireDrained(r); err != nil {
+		return err
+	}
+	pa.markCheckpointed()
+	return nil
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// checkpointBytes encodes a full checkpoint and fails the test on error.
+func checkpointBytes(t *testing.T, eng Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeltaCheckpointDifferential is the incremental-checkpoint
+// equivalence gate: full checkpoint at cut1, delta records at cut2 and
+// cut3, then a restore-and-replay (full + deltas) must land on state
+// whose own full-checkpoint encoding is byte-identical to the live
+// engine's — and finishing both must produce identical results — at one
+// worker and sharded.
+func TestDeltaCheckpointDifferential(t *testing.T) {
+	tr, opts := seededTrace(t, 20)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	n := len(tr.frames)
+	if n < 100 {
+		t.Fatalf("trace too short: %d packets", n)
+	}
+	cut1, cut2, cut3 := n/4, n/2, 3*n/4
+
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "sequential", 4: "parallel"}[workers], func(t *testing.T) {
+			live := newTestEngine(cfg, workers)
+
+			// Before any full checkpoint the chain is unarmed.
+			if err := live.CheckpointDelta(io_Discard{}); !errors.Is(err, ErrDeltaUnavailable) {
+				t.Fatalf("unarmed CheckpointDelta err = %v, want ErrDeltaUnavailable", err)
+			}
+
+			feed := func(eng Engine, from, to int) {
+				for i := from; i < to; i++ {
+					eng.Packet(tr.at[i], tr.frames[i])
+				}
+			}
+
+			feed(live, 0, cut1)
+			var full bytes.Buffer
+			if err := live.Checkpoint(&full); err != nil {
+				t.Fatal(err)
+			}
+			feed(live, cut1, cut2)
+			var delta1 bytes.Buffer
+			if err := live.CheckpointDelta(&delta1); err != nil {
+				t.Fatalf("delta1: %v", err)
+			}
+			feed(live, cut2, cut3)
+			var delta2 bytes.Buffer
+			if err := live.CheckpointDelta(&delta2); err != nil {
+				t.Fatalf("delta2: %v", err)
+			}
+
+			// Restore the full snapshot and roll it forward through the
+			// chain.
+			resumed, err := RestoreAnalyzer(bytes.NewReader(full.Bytes()), cfg)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if err := resumed.ApplyDelta(bytes.NewReader(delta1.Bytes())); err != nil {
+				t.Fatalf("apply delta1: %v", err)
+			}
+			if err := resumed.ApplyDelta(bytes.NewReader(delta2.Bytes())); err != nil {
+				t.Fatalf("apply delta2: %v", err)
+			}
+
+			// The rolled-forward state must encode byte-identically to the
+			// live engine's (the checkpoint encoding is deterministic and
+			// complete, so byte equality is state equality).
+			liveCk := checkpointBytes(t, live)
+			resumedCk := checkpointBytes(t, resumed)
+			if !bytes.Equal(liveCk, resumedCk) {
+				t.Fatalf("delta-replayed state encodes differently from live state (lens %d vs %d)",
+					len(resumedCk), len(liveCk))
+			}
+
+			// And both runs must finish identically on the remaining trace.
+			feed(live, cut3, n)
+			feed(resumed, cut3, n)
+			live.Finish()
+			resumed.Finish()
+			if !reflect.DeepEqual(live.Result().Summary(), resumed.Result().Summary()) {
+				t.Errorf("summaries diverge:\nlive    %+v\nresumed %+v",
+					live.Result().Summary(), resumed.Result().Summary())
+			}
+			if !reflect.DeepEqual(live.StreamIDs(), resumed.StreamIDs()) {
+				t.Error("stream identifier sets diverge")
+			}
+		})
+	}
+}
+
+// TestDeltaCheckpointWithEviction drives the tombstone path: state
+// evicted and archived between the full checkpoint and the delta must
+// be deleted/archived identically on the delta-replayed side.
+func TestDeltaCheckpointWithEviction(t *testing.T) {
+	tr, opts := seededTrace(t, 20)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+		MaxFinished:    4,
+	}
+	n := len(tr.frames)
+	cut := n / 2
+
+	live := NewAnalyzer(cfg)
+	for i := 0; i < cut; i++ {
+		live.Packet(tr.at[i], tr.frames[i])
+	}
+	var full bytes.Buffer
+	if err := live.Checkpoint(&full); err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < n; i++ {
+		live.Packet(tr.at[i], tr.frames[i])
+	}
+	// Evict everything idle at the end of the trace: archives stream
+	// metrics (tombstoning them), drops TCP trackers, folds flows into
+	// aggregates — all of which the delta must carry. MaxFinished forces
+	// head drops against the checkpoint baseline too.
+	live.EvictIdle(tr.at[n-1].Add(time.Hour))
+	var delta bytes.Buffer
+	if err := live.CheckpointDelta(&delta); err != nil {
+		t.Fatalf("delta after eviction: %v", err)
+	}
+
+	resumed, err := RestoreAnalyzer(bytes.NewReader(full.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.ApplyDelta(bytes.NewReader(delta.Bytes())); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got, want := checkpointBytes(t, resumed), checkpointBytes(t, live); !bytes.Equal(got, want) {
+		t.Fatalf("post-eviction delta replay encodes differently (lens %d vs %d)", len(got), len(want))
+	}
+}
+
+// TestDeltaChainInvariants pins the chain discipline: base mismatches
+// are refused, rotation disarms the chain, parallel engines refuse
+// deltas after Finish, and a delta record cannot bootstrap an engine.
+func TestDeltaChainInvariants(t *testing.T) {
+	tr, opts := seededTrace(t, 10)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	n := len(tr.frames)
+
+	t.Run("base_mismatch", func(t *testing.T) {
+		eng := NewAnalyzer(cfg)
+		for i := 0; i < n/2; i++ {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		var full bytes.Buffer
+		if err := eng.Checkpoint(&full); err != nil {
+			t.Fatal(err)
+		}
+		for i := n / 2; i < n; i++ {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		var delta bytes.Buffer
+		if err := eng.CheckpointDelta(&delta); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh engine sits at packet 0, not at the delta's base.
+		fresh := NewAnalyzer(cfg)
+		if err := fresh.ApplyDelta(bytes.NewReader(delta.Bytes())); err == nil {
+			t.Fatal("delta applied to an engine not at its base")
+		}
+		// Applying the same delta twice must fail too: the first apply
+		// moved the packet count past the base.
+		resumed, err := RestoreAnalyzer(bytes.NewReader(full.Bytes()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.ApplyDelta(bytes.NewReader(delta.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.ApplyDelta(bytes.NewReader(delta.Bytes())); err == nil {
+			t.Fatal("same delta applied twice")
+		}
+	})
+
+	t.Run("rotate_disarms", func(t *testing.T) {
+		for _, workers := range []int{1, 4} {
+			eng := newTestEngine(cfg, workers)
+			for i := 0; i < n/2; i++ {
+				eng.Packet(tr.at[i], tr.frames[i])
+			}
+			if err := eng.Checkpoint(&bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			eng.Rotate(tr.at[n/2])
+			if err := eng.CheckpointDelta(io_Discard{}); !errors.Is(err, ErrDeltaUnavailable) {
+				t.Fatalf("workers=%d: post-rotate CheckpointDelta err = %v, want ErrDeltaUnavailable", workers, err)
+			}
+			// A fresh full checkpoint re-arms the chain.
+			if err := eng.Checkpoint(&bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.CheckpointDelta(&bytes.Buffer{}); err != nil {
+				t.Fatalf("workers=%d: re-armed CheckpointDelta: %v", workers, err)
+			}
+			eng.Finish()
+		}
+	})
+
+	t.Run("finish_disarms", func(t *testing.T) {
+		for _, workers := range []int{1, 4} {
+			eng := newTestEngine(cfg, workers)
+			eng.Packet(tr.at[0], tr.frames[0])
+			if err := eng.Checkpoint(&bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			eng.Finish()
+			if err := eng.CheckpointDelta(io_Discard{}); !errors.Is(err, ErrDeltaUnavailable) {
+				t.Fatalf("workers=%d: post-Finish CheckpointDelta err = %v, want ErrDeltaUnavailable", workers, err)
+			}
+		}
+	})
+
+	t.Run("delta_cannot_bootstrap", func(t *testing.T) {
+		eng := NewAnalyzer(cfg)
+		eng.Packet(tr.at[0], tr.frames[0])
+		if err := eng.Checkpoint(&bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		eng.Packet(tr.at[1], tr.frames[1])
+		var delta bytes.Buffer
+		if err := eng.CheckpointDelta(&delta); err != nil {
+			t.Fatal(err)
+		}
+		if restored, err := RestoreAnalyzer(bytes.NewReader(delta.Bytes()), cfg); err == nil {
+			t.Fatalf("delta record bootstrapped an engine: %T", restored)
+		}
+	})
+}
+
+// TestCheckpointCRCTrailer pins the corruption detection added with the
+// V2 file format: any single flipped bit in a checkpoint file must be
+// rejected at restore (by the CRC trailer, before decoding begins), and
+// a truncated file must error rather than half-restore.
+func TestCheckpointCRCTrailer(t *testing.T) {
+	tr, opts := seededTrace(t, 10)
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+	for _, workers := range []int{1, 2} {
+		eng := newTestEngine(cfg, workers)
+		for i := 0; i < len(tr.frames)/2; i++ {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		data := checkpointBytes(t, eng)
+		eng.Finish()
+
+		// Pristine restores.
+		if _, err := RestoreAnalyzer(bytes.NewReader(data), cfg); err != nil {
+			t.Fatalf("workers=%d: pristine restore: %v", workers, err)
+		}
+		// Sampled bit flips across the whole file (header, payload,
+		// trailer) must all be caught.
+		step := len(data)/64 + 1
+		for off := 0; off < len(data); off += step {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 0x10
+			if eng, err := RestoreAnalyzer(bytes.NewReader(bad), cfg); err == nil {
+				Discard(eng)
+				t.Fatalf("workers=%d: flipped bit at %d/%d restored cleanly", workers, off, len(data))
+			}
+		}
+		// Truncations at sampled points must error.
+		for _, cut := range []int{1, 5, len(data) / 3, len(data) - 1} {
+			if eng, err := RestoreAnalyzer(bytes.NewReader(data[:cut]), cfg); err == nil {
+				Discard(eng)
+				t.Fatalf("workers=%d: truncation at %d/%d restored cleanly", workers, cut, len(data))
+			}
+		}
+	}
+}
+
+// TestShedAccounting exercises the overload-shedding path: a shedding
+// engine must never block on saturated shard rings, every dropped batch
+// must be accounted in the summary, and with shedding off the engine
+// must instead apply backpressure and analyze everything.
+func TestShedAccounting(t *testing.T) {
+	tr, opts := seededTrace(t, 10)
+	base := Config{
+		ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+		CampusNetworks: []netip.Prefix{opts.CampusNet},
+	}
+
+	t.Run("disabled_never_sheds", func(t *testing.T) {
+		eng := NewParallelAnalyzer(base, 4)
+		for i := range tr.frames {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		eng.Finish()
+		s := eng.Summary()
+		if s.ShedPackets != 0 || s.ShedBytes != 0 {
+			t.Errorf("shedding disabled but summary reports shed %d packets / %d bytes",
+				s.ShedPackets, s.ShedBytes)
+		}
+		if s.Packets != uint64(len(tr.frames)) {
+			t.Errorf("packets = %d, want %d", s.Packets, len(tr.frames))
+		}
+	})
+
+	t.Run("enabled_accounts_drops", func(t *testing.T) {
+		cfg := base
+		cfg.Shed = true
+		eng := NewParallelAnalyzer(cfg, 4)
+		// Tight-loop feeding outruns the small shard rings, so some
+		// batches are shed; the call must never block.
+		for i := range tr.frames {
+			eng.Packet(tr.at[i], tr.frames[i])
+		}
+		eng.Finish()
+		s := eng.Summary()
+		// The dispatcher counts every ingested packet; shed packets are a
+		// subset that never reached a shard.
+		if s.Packets != uint64(len(tr.frames)) {
+			t.Errorf("packets = %d, want %d (ingest accounting must include shed)",
+				s.Packets, len(tr.frames))
+		}
+		if s.ShedPackets > s.Packets {
+			t.Errorf("shed %d > ingested %d", s.ShedPackets, s.Packets)
+		}
+		if s.ShedPackets > 0 && s.ShedBytes == 0 {
+			t.Errorf("shed %d packets but 0 bytes", s.ShedPackets)
+		}
+	})
+}
+
+// io_Discard is a writer for calls whose output is irrelevant.
+type io_Discard struct{}
+
+func (io_Discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// newTestEngine mirrors the root package's newEngineFor helper.
+func newTestEngine(cfg Config, workers int) Engine {
+	if workers > 1 {
+		return NewParallelAnalyzer(cfg, workers)
+	}
+	return NewAnalyzer(cfg)
+}

@@ -44,6 +44,14 @@ type Engine interface {
 	// RestoreAnalyzer can resume the run with byte-identical results.
 	// Call it between Packet calls (it quiesces a parallel engine).
 	Checkpoint(w io.Writer) error
+	// CheckpointDelta serializes only the mutations since the last
+	// checkpoint encode (full or delta), or ErrDeltaUnavailable when no
+	// chain is armed — the caller then writes a full checkpoint.
+	CheckpointDelta(w io.Writer) error
+	// ApplyDelta replays one delta record onto an engine sitting exactly
+	// at the record's base state. On error the engine may be partially
+	// mutated: Discard it and restore from an earlier generation.
+	ApplyDelta(r io.Reader) error
 	// Rotate finalizes the current report window, returns it for
 	// rendering, and re-seeds the live state for the next window.
 	Rotate(now time.Time) *Analyzer

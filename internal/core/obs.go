@@ -39,6 +39,9 @@ type coreObs struct {
 	panics    *obs.Counter
 	snapshots *obs.Counter
 
+	shedPackets *obs.Counter
+	shedBytes   *obs.Counter
+
 	evicted  map[string]*obs.Counter // kind → counter (shared)
 	rejected map[string]*obs.Counter // reason → counter (shared)
 	occ      map[string]*obs.Gauge   // table → gauge (per shard)
@@ -77,6 +80,9 @@ func newCoreObs(reg *obs.Registry, shard string, cfg Config) *coreObs {
 
 		panics:    reg.Counter("zoomlens_panics_recovered_total", "Packets whose processing panicked and was quarantined."),
 		snapshots: reg.Counter("zoomlens_snapshots_total", "QoE snapshots taken."),
+
+		shedPackets: reg.Counter("zoomlens_shed_packets_total", "Packets dropped at full shard rings under overload shedding."),
+		shedBytes:   reg.Counter("zoomlens_shed_bytes_total", "Wire bytes dropped at full shard rings under overload shedding."),
 
 		evicted:  make(map[string]*obs.Counter),
 		rejected: make(map[string]*obs.Counter),
@@ -169,6 +175,14 @@ func (o *coreObs) snapshot() {
 		return
 	}
 	o.snapshots.Inc()
+}
+
+func (o *coreObs) shed(packets, bytes int) {
+	if o == nil {
+		return
+	}
+	o.shedPackets.Add(uint64(packets))
+	o.shedBytes.Add(uint64(bytes))
 }
 
 // mirror feeds a shared counter the delta between this analyzer's

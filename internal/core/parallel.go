@@ -260,6 +260,18 @@ type ParallelAnalyzer struct {
 	firstTS     time.Time
 	lastTS      time.Time
 
+	// shedPackets/shedBytes count packets dropped at full shard rings
+	// when Config.Shed is on (dispatcher-owned, like packets/bytes).
+	shedPackets uint64
+	shedBytes   uint64
+
+	// Delta-checkpoint chain state: ckPackets is the dispatcher packet
+	// count at the last checkpoint encode (the next delta's base);
+	// deltaArmed is set by full checkpoints/restores and cleared by
+	// rotation.
+	ckPackets  uint64
+	deltaArmed bool
+
 	merged *Analyzer
 }
 
@@ -431,7 +443,22 @@ func (pa *ParallelAnalyzer) enqueue(idx int, at time.Time, frame []byte) {
 	b.data = append(b.data, frame...)
 	b.items = append(b.items, pitem{seq: pa.nextSeq, at: at, off: off, end: int32(len(b.data))})
 	if len(b.items) >= shardBatchSize {
-		sh.ring.push(b)
+		if pa.cfg.Shed {
+			if !sh.ring.tryPush(b) {
+				// Overload: the shard is behind and its ring is full. Drop
+				// the whole batch with accounting instead of stalling the
+				// dispatcher (live capture would otherwise lose packets
+				// invisibly in the kernel).
+				pa.shedPackets += uint64(len(b.items))
+				pa.shedBytes += uint64(len(b.data))
+				pa.o.shed(len(b.items), len(b.data))
+				putBatch(b)
+				sh.cur = nil
+				return
+			}
+		} else {
+			sh.ring.push(b)
+		}
 		sh.cur = nil
 		// Producer-side backlog sample; the shard updates the same gauge
 		// on dequeue, so it tracks both directions.
@@ -539,6 +566,8 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 	m.DroppedByFilter = pa.dropped
 	m.PanicsRecovered = pa.panics
 	m.Truncated = pa.truncated
+	m.ShedPackets = pa.shedPackets
+	m.ShedBytes = pa.shedBytes
 	m.firstTS = pa.firstTS
 	m.lastTS = pa.lastTS
 	for _, sh := range pa.shards {

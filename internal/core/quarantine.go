@@ -20,9 +20,10 @@ import (
 type Quarantine struct {
 	mu     sync.Mutex
 	cap    int
-	frames []QuarantinedFrame // ring storage, oldest at (next % cap) once full
-	next   int
-	total  uint64
+	frames  []QuarantinedFrame // ring storage, oldest at (next % cap) once full
+	next    int
+	total   uint64
+	dropped uint64
 }
 
 // QuarantinedFrame is one captured offender.
@@ -68,6 +69,7 @@ func (q *Quarantine) Add(at time.Time, frame []byte, reason string) {
 	if old := q.frames[q.next].buf; old != nil {
 		putBatch(old)
 	}
+	q.dropped++
 	q.frames[q.next] = qf
 	q.next = (q.next + 1) % q.cap
 }
@@ -78,6 +80,15 @@ func (q *Quarantine) Total() uint64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.total
+}
+
+// Dropped returns how many quarantined frames were overwritten before
+// being flushed — the ring saturating sheds the oldest evidence with
+// accounting rather than growing or blocking the packet path.
+func (q *Quarantine) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
 }
 
 // Frames returns the retained frames, oldest first. Frame bytes are

@@ -75,6 +75,23 @@ func (r *spscRing) push(b *pbatch) {
 	}
 }
 
+// tryPush enqueues one batch without blocking, returning false when the
+// ring is full (the overload-shedding path: the caller drops the batch
+// with accounting instead of stalling). Producer-only.
+func (r *spscRing) tryPush(b *pbatch) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = b
+	r.tail.Store(t + 1)
+	select {
+	case r.notifyData <- struct{}{}:
+	default:
+	}
+	return true
+}
+
 // pop dequeues one batch, blocking while the ring is empty. It returns
 // ok=false once the ring is closed and fully drained. Consumer-only.
 func (r *spscRing) pop() (*pbatch, bool) {

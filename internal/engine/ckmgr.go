@@ -1,0 +1,391 @@
+package engine
+
+// Checkpoint lifecycle management for crash-safe continuous operation.
+//
+// Two layouts, selected by whether delta checkpoints are enabled:
+//
+//   - Legacy (full-only): every checkpoint is a complete snapshot
+//     written atomically over <path>, with the previous generations
+//     rotated to <path>.1, <path>.2, … up to the retention count, so a
+//     full file torn by a crash mid-rename still leaves an older valid
+//     generation to restore from.
+//
+//   - Chain: checkpoints are an append-only sequence of files
+//     <path>.<seq>.full.zlcp / <path>.<seq>.delta.zlcp. A delta record
+//     extends the state as of the previous file in the sequence;
+//     restore loads the newest valid full and replays every delta after
+//     it, falling back to older fulls when a file is torn or corrupt.
+//     Writing a full prunes everything older than the retention count's
+//     oldest surviving full (compaction).
+//
+// Every file is written to a temp name in the destination directory,
+// fsynced, and renamed into place, so no reader — including the restore
+// path after a kill -9 — ever sees a partially written file under a
+// real checkpoint name. Orphaned temp files from a crash mid-write are
+// swept (and counted) at startup.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"zoomlens/internal/core"
+	"zoomlens/internal/obs"
+)
+
+const (
+	chainSuffixFull  = ".full.zlcp"
+	chainSuffixDelta = ".delta.zlcp"
+)
+
+// chainFile is one parsed member of a checkpoint chain directory.
+type chainFile struct {
+	name string // full path
+	seq  uint64
+	full bool
+}
+
+// Checkpointer owns one checkpoint destination: generation rotation or
+// delta-chain layout, atomic writes, startup temp-file cleanup, and the
+// counters the status line reports. Not safe for concurrent use (the
+// driver calls it from the ingest goroutine only).
+type Checkpointer struct {
+	path    string
+	keep    int
+	chain   bool
+	metrics *obs.CheckpointMetrics
+
+	seq uint64 // next chain sequence number
+
+	// TmpCleaned is how many orphaned temp files startup removed.
+	TmpCleaned int
+	// Fulls and Deltas count records written this run.
+	Fulls  int
+	Deltas int
+}
+
+// NewCheckpointer prepares a checkpoint destination: sweeps temp-file
+// debris from a previous crash and, in chain mode, resumes sequence
+// numbering after the newest existing chain file (so a restored run
+// appends to the chain it restored from instead of overwriting it).
+func NewCheckpointer(path string, keep int, chain bool, m *obs.CheckpointMetrics) *Checkpointer {
+	if keep < 1 {
+		keep = 1
+	}
+	c := &Checkpointer{path: path, keep: keep, chain: chain, metrics: m}
+	c.TmpCleaned = cleanOrphanedTmp(path)
+	if m != nil {
+		m.TmpCleaned.Add(uint64(c.TmpCleaned))
+	}
+	if chain {
+		for _, cf := range listChain(path) {
+			if cf.seq >= c.seq {
+				c.seq = cf.seq + 1
+			}
+		}
+	}
+	return c
+}
+
+// cleanOrphanedTmp removes temp files left next to path by a crash
+// mid-checkpoint (any "<base>*.tmp-*" sibling), returning how many.
+func cleanOrphanedTmp(path string) int {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, base) || !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// listChain returns the chain files for base path, sorted by sequence.
+func listChain(path string) []chainFile {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []chainFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, base+".") {
+			continue
+		}
+		rest := name[len(base)+1:]
+		full := strings.HasSuffix(rest, chainSuffixFull[1:])
+		delta := strings.HasSuffix(rest, chainSuffixDelta[1:])
+		if !full && !delta {
+			continue
+		}
+		seqStr := rest[:strings.IndexByte(rest, '.')]
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, chainFile{name: filepath.Join(dir, name), seq: seq, full: full})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// atomicWrite encodes via write into a temp file next to name, fsyncs,
+// and renames it over name. Returns the encoded size.
+func atomicWrite(name string, write func(io.Writer) error) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(name), filepath.Base(name)+".tmp-")
+	if err != nil {
+		return 0, err
+	}
+	tmpName := tmp.Name()
+	cw := &countWriter{w: tmp}
+	err = write(cw)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, name)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// WriteFull writes a complete snapshot: rotate-and-replace in legacy
+// mode, a new .full chain file (followed by pruning) in chain mode.
+func (c *Checkpointer) WriteFull(eng core.Engine) error {
+	start := time.Now()
+	var size int64
+	var err error
+	if c.chain {
+		name := c.chainName(c.seq, true)
+		size, err = atomicWrite(name, eng.Checkpoint)
+		if err == nil {
+			c.seq++
+			c.prune()
+		}
+	} else {
+		c.rotateGenerations()
+		size, err = atomicWrite(c.path, eng.Checkpoint)
+	}
+	if err != nil {
+		if c.metrics != nil {
+			c.metrics.Failed.Inc()
+		}
+		return err
+	}
+	c.Fulls++
+	c.metrics.Record(time.Since(start), size, time.Now())
+	return nil
+}
+
+// WriteDelta writes an incremental record extending the chain. When the
+// engine cannot produce one (chain not armed, tombstone overflow, or a
+// rotation broke the lineage) — or the write itself fails, which
+// de-synchronizes the on-disk chain from the engine's in-memory anchor
+// — it falls back to a full snapshot, which re-anchors both.
+func (c *Checkpointer) WriteDelta(eng core.Engine) error {
+	if !c.chain {
+		return c.WriteFull(eng)
+	}
+	start := time.Now()
+	name := c.chainName(c.seq, false)
+	size, err := atomicWrite(name, eng.CheckpointDelta)
+	if err != nil {
+		if !errors.Is(err, core.ErrDeltaUnavailable) && c.metrics != nil {
+			c.metrics.Failed.Inc()
+		}
+		return c.WriteFull(eng)
+	}
+	c.seq++
+	c.Deltas++
+	if c.metrics != nil {
+		c.metrics.DeltaWritten.Inc()
+		c.metrics.DurationMS.Set(time.Since(start).Milliseconds())
+		c.metrics.SizeBytes.Set(size)
+		c.metrics.LastUnix.Set(time.Now().Unix())
+	}
+	return nil
+}
+
+func (c *Checkpointer) chainName(seq uint64, full bool) string {
+	suffix := chainSuffixDelta
+	if full {
+		suffix = chainSuffixFull
+	}
+	return fmt.Sprintf("%s.%08d%s", c.path, seq, suffix)
+}
+
+// rotateGenerations shifts <path> → <path>.1 → … before a legacy full
+// write, retaining keep generations total.
+func (c *Checkpointer) rotateGenerations() {
+	if c.keep < 2 {
+		return
+	}
+	os.Remove(legacyGenName(c.path, c.keep-1))
+	for i := c.keep - 1; i >= 1; i-- {
+		os.Rename(legacyGenName(c.path, i-1), legacyGenName(c.path, i))
+	}
+}
+
+func legacyGenName(path string, gen int) string {
+	if gen == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, gen)
+}
+
+// prune removes chain files older than the keep-th newest full. Deltas
+// between retained fulls stay — fallback restore may need them.
+func (c *Checkpointer) prune() {
+	files := listChain(c.path)
+	var fullSeqs []uint64
+	for _, cf := range files {
+		if cf.full {
+			fullSeqs = append(fullSeqs, cf.seq)
+		}
+	}
+	if len(fullSeqs) <= c.keep {
+		return
+	}
+	cutoff := fullSeqs[len(fullSeqs)-c.keep]
+	for _, cf := range files {
+		if cf.seq < cutoff {
+			os.Remove(cf.name)
+		}
+	}
+}
+
+// restoreFile loads one full checkpoint file.
+func restoreFile(name string, cfg core.Config) (core.Engine, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.RestoreAnalyzer(f, cfg)
+}
+
+// RestoreEngine rebuilds an engine from a checkpoint destination,
+// surviving torn or corrupt files: it walks from the newest valid state
+// backwards until one restores, counting every generation skipped.
+//
+// path may be a legacy checkpoint file (generation fallback: path,
+// path.1, …) or a chain base (newest valid full + its deltas, falling
+// back to older fulls; a delta that fails to apply truncates the chain
+// at that point). fallbacks reports how many candidate states were
+// skipped before success.
+func RestoreEngine(path string, cfg core.Config, m *obs.CheckpointMetrics) (eng core.Engine, fallbacks int, err error) {
+	defer func() {
+		if m != nil && fallbacks > 0 {
+			m.Fallbacks.Add(uint64(fallbacks))
+		}
+	}()
+	if _, serr := os.Stat(path); serr == nil {
+		// Legacy layout: the base file exists. Try it, then its rotated
+		// generations.
+		var firstErr error
+		for gen := 0; ; gen++ {
+			name := legacyGenName(path, gen)
+			if _, serr := os.Stat(name); serr != nil {
+				break
+			}
+			eng, err := restoreFile(name, cfg)
+			if err == nil {
+				return eng, fallbacks, nil
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("restoring %s: %w", name, err)
+			}
+			fallbacks++
+		}
+		return nil, fallbacks, firstErr
+	}
+	files := listChain(path)
+	if len(files) == 0 {
+		return nil, 0, fmt.Errorf("restoring %s: no checkpoint file or chain found", path)
+	}
+	var firstErr error
+	end := len(files)
+	badFull := make(map[int]bool)
+	for end > 0 {
+		// Newest still-credible full before end. A full that failed to
+		// restore is skipped, not a chain cut: a full encode does not
+		// change engine state, so the deltas recorded after it still
+		// apply on top of an older full plus the deltas before it.
+		fi := -1
+		for i := end - 1; i >= 0; i-- {
+			if files[i].full && !badFull[i] {
+				fi = i
+				break
+			}
+		}
+		if fi < 0 {
+			break
+		}
+		eng, err := restoreFile(files[fi].name, cfg)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("restoring %s: %w", files[fi].name, err)
+			}
+			fallbacks++
+			badFull[fi] = true
+			continue
+		}
+		// Replay the deltas after it. Interleaved full files are skipped
+		// as records (there is nothing to apply); whether the deltas
+		// beyond a skipped full are still reachable is arbitrated by each
+		// delta's own base check — a delta anchored to state only the
+		// damaged full captured fails cleanly and truncates the chain
+		// there.
+		ok := true
+		for j := fi + 1; j < end; j++ {
+			if files[j].full {
+				continue
+			}
+			f, err := os.Open(files[j].name)
+			if err == nil {
+				err = eng.ApplyDelta(f)
+				f.Close()
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("applying %s: %w", files[j].name, err)
+				}
+				// The engine may be half-mutated; discard it and retry the
+				// chain truncated at the failing record.
+				core.Discard(eng)
+				fallbacks++
+				end = j
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return eng, fallbacks, nil
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("restoring %s: chain has no full checkpoint", path)
+	}
+	return nil, fallbacks, firstErr
+}

@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zoomlens/internal/core"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/trace"
+)
+
+// ckWorkload returns a deterministic packet workload (timestamps +
+// frames, Data copied out of the generator's reused buffer) and the
+// matching engine config.
+func ckWorkload(t testing.TB, packets int) ([]*pcap.Record, core.Config) {
+	t.Helper()
+	cfg := trace.DefaultStreamConfig()
+	cfg.Streams = 50
+	cfg.Packets = packets
+	gen, err := trace.NewStreamGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*pcap.Record
+	var rec pcap.Record
+	for gen.Next(&rec) == nil {
+		cp := rec
+		cp.Data = append([]byte(nil), rec.Data...)
+		recs = append(recs, &cp)
+	}
+	return recs, core.Config{
+		ZoomNetworks:   []netip.Prefix{cfg.ZoomNet},
+		CampusNetworks: []netip.Prefix{cfg.CampusNet},
+	}
+}
+
+func feedRecords(eng core.Engine, recs []*pcap.Record, from, to int) {
+	for _, r := range recs[from:to] {
+		eng.Packet(r.Timestamp, r.Data)
+	}
+}
+
+// engineFingerprint is the state-equality oracle: the full checkpoint
+// encoding is deterministic and complete, so byte equality is state
+// equality.
+func engineFingerprint(t *testing.T, eng core.Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointerTmpCleanup(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "state.zlcp")
+	orphans := []string{
+		base + ".tmp-1234",
+		base + ".00000003.full.zlcp.tmp-999",
+	}
+	for _, name := range orphans {
+		if err := os.WriteFile(name, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated sibling must survive the sweep.
+	unrelated := filepath.Join(dir, "other.tmp-1")
+	if err := os.WriteFile(unrelated, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck := NewCheckpointer(base, 2, true, nil)
+	if ck.TmpCleaned != len(orphans) {
+		t.Errorf("TmpCleaned = %d, want %d", ck.TmpCleaned, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(name); err == nil {
+			t.Errorf("orphan %s survived startup sweep", filepath.Base(name))
+		}
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Errorf("unrelated sibling removed: %v", err)
+	}
+}
+
+func TestCheckpointerLegacyGenerations(t *testing.T) {
+	recs, cfg := ckWorkload(t, 600)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "state.zlcp")
+
+	eng := core.NewAnalyzer(cfg)
+	ck := NewCheckpointer(base, 3, false, nil)
+	cuts := []int{200, 400, 600}
+	prev := 0
+	for _, cut := range cuts {
+		feedRecords(eng, recs, prev, cut)
+		if err := ck.WriteFull(eng); err != nil {
+			t.Fatal(err)
+		}
+		prev = cut
+	}
+	want := engineFingerprint(t, eng)
+
+	for _, name := range []string{base, base + ".1", base + ".2"} {
+		if _, err := os.Stat(name); err != nil {
+			t.Fatalf("generation %s missing: %v", filepath.Base(name), err)
+		}
+	}
+
+	// Pristine restore lands on the newest generation.
+	restored, fallbacks, err := RestoreEngine(base, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallbacks != 0 {
+		t.Errorf("pristine restore took %d fallbacks", fallbacks)
+	}
+	if !bytes.Equal(engineFingerprint(t, restored), want) {
+		t.Error("restored state differs from live state")
+	}
+
+	// Tear the newest generation: restore must fall back to .1 (the
+	// state as of the second cut).
+	if err := os.Truncate(base, 10); err != nil {
+		t.Fatal(err)
+	}
+	restored, fallbacks, err = RestoreEngine(base, cfg, nil)
+	if err != nil {
+		t.Fatalf("restore with torn newest generation: %v", err)
+	}
+	if fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", fallbacks)
+	}
+	ref := core.NewAnalyzer(cfg)
+	feedRecords(ref, recs, 0, cuts[1])
+	if !bytes.Equal(engineFingerprint(t, restored), engineFingerprint(t, ref)) {
+		t.Error("fallback restore differs from reference state at the older cut")
+	}
+
+	// Every generation torn: restore must fail, reporting the first error.
+	for _, name := range []string{base + ".1", base + ".2"} {
+		if err := os.Truncate(name, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := RestoreEngine(base, cfg, nil); err == nil {
+		t.Fatal("restore succeeded with every generation torn")
+	}
+}
+
+func TestCheckpointerChainPrune(t *testing.T) {
+	recs, cfg := ckWorkload(t, 900)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "state.zlcp")
+
+	eng := core.NewAnalyzer(cfg)
+	ck := NewCheckpointer(base, 2, true, nil)
+	// full, delta, delta, full, delta, full — pruning after the last full
+	// must keep the two newest fulls and the deltas between them.
+	plan := []struct {
+		cut  int
+		full bool
+	}{
+		{100, true}, {200, false}, {300, false},
+		{400, true}, {500, false},
+		{600, true},
+	}
+	prev := 0
+	for _, step := range plan {
+		feedRecords(eng, recs, prev, step.cut)
+		var err error
+		if step.full {
+			err = ck.WriteFull(eng)
+		} else {
+			err = ck.WriteDelta(eng)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = step.cut
+	}
+	if ck.Fulls != 3 || ck.Deltas != 3 {
+		t.Fatalf("wrote %d fulls / %d deltas, want 3 / 3", ck.Fulls, ck.Deltas)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fulls, deltas int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), chainSuffixFull):
+			fulls++
+		case strings.HasSuffix(e.Name(), chainSuffixDelta):
+			deltas++
+		}
+	}
+	// Kept: fulls at seq 3 and 5 plus the delta at seq 4 between them;
+	// pruned: seq 0-2.
+	if fulls != 2 || deltas != 1 {
+		t.Errorf("after prune: %d fulls / %d deltas on disk, want 2 / 1", fulls, deltas)
+	}
+
+	// The pruned chain must still restore to the live state.
+	restored, fallbacks, err := RestoreEngine(base, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallbacks != 0 {
+		t.Errorf("fallbacks = %d, want 0", fallbacks)
+	}
+	if !bytes.Equal(engineFingerprint(t, restored), engineFingerprint(t, eng)) {
+		t.Error("restore from pruned chain differs from live state")
+	}
+}
+
+// TestCheckpointerDeltaFallsBackToFull pins the de-synchronization
+// guard: asking for a delta from an engine that cannot produce one must
+// transparently write a full snapshot instead.
+func TestCheckpointerDeltaFallsBackToFull(t *testing.T) {
+	recs, cfg := ckWorkload(t, 100)
+	base := filepath.Join(t.TempDir(), "state.zlcp")
+
+	eng := core.NewAnalyzer(cfg)
+	feedRecords(eng, recs, 0, len(recs))
+	ck := NewCheckpointer(base, 2, true, nil)
+	// No full checkpoint yet, so the delta chain is unarmed.
+	if err := ck.WriteDelta(eng); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Fulls != 1 || ck.Deltas != 0 {
+		t.Errorf("unarmed WriteDelta wrote %d fulls / %d deltas, want 1 / 0", ck.Fulls, ck.Deltas)
+	}
+	if _, err := os.Stat(base + ".00000000" + chainSuffixFull); err != nil {
+		t.Errorf("fallback full record missing: %v", err)
+	}
+}
+
+// TestCheckpointerSeqResume: a restarted process must append to the
+// chain it restored from, not overwrite it.
+func TestCheckpointerSeqResume(t *testing.T) {
+	recs, cfg := ckWorkload(t, 200)
+	base := filepath.Join(t.TempDir(), "state.zlcp")
+
+	eng := core.NewAnalyzer(cfg)
+	feedRecords(eng, recs, 0, 100)
+	ck := NewCheckpointer(base, 4, true, nil)
+	if err := ck.WriteFull(eng); err != nil {
+		t.Fatal(err)
+	}
+	feedRecords(eng, recs, 100, 200)
+	if err := ck.WriteDelta(eng); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh Checkpointer over the same base must continue
+	// at the next sequence number.
+	ck2 := NewCheckpointer(base, 4, true, nil)
+	if err := ck2.WriteFull(eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(base + ".00000002" + chainSuffixFull); err != nil {
+		t.Errorf("resumed checkpointer did not continue the sequence: %v", err)
+	}
+	if _, err := os.Stat(base + ".00000000" + chainSuffixFull); err != nil {
+		t.Errorf("resumed checkpointer clobbered the existing chain: %v", err)
+	}
+}
+
+// TestChainRestoreTornFiles is the kill -9 matrix at the file layer: a
+// chain damaged mid-write (truncated or bit-flipped tail records, torn
+// interleaved fulls) must restore to the newest state the intact prefix
+// proves, never error out while valid fulls remain, and never panic.
+func TestChainRestoreTornFiles(t *testing.T) {
+	recs, cfg := ckWorkload(t, 800)
+
+	// build writes the canonical chain: full@0 (cut 200), delta@1
+	// (cut 400), full@2 (cut 600), delta@3 (cut 800); returns the
+	// fingerprints at each cut.
+	cuts := []int{200, 400, 600, 800}
+	build := func(t *testing.T) (string, [][]byte) {
+		dir := t.TempDir()
+		base := filepath.Join(dir, "state.zlcp")
+		eng := core.NewAnalyzer(cfg)
+		ck := NewCheckpointer(base, 4, true, nil)
+		var prints [][]byte
+		prev := 0
+		for i, cut := range cuts {
+			feedRecords(eng, recs, prev, cut)
+			var err error
+			if i%2 == 0 {
+				err = ck.WriteFull(eng)
+			} else {
+				err = ck.WriteDelta(eng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			prints = append(prints, engineFingerprint(t, eng))
+			prev = cut
+		}
+		return base, prints
+	}
+	name := func(base string, seq int, full bool) string {
+		suffix := chainSuffixDelta
+		if full {
+			suffix = chainSuffixFull
+		}
+		return base + "." + "0000000" + string(rune('0'+seq)) + suffix
+	}
+	damage := map[string]func(t *testing.T, path string){
+		"truncate_half": func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"flip_bit": func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"empty": func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+
+	for damageName, corrupt := range damage {
+		t.Run(damageName, func(t *testing.T) {
+			t.Run("newest_delta", func(t *testing.T) {
+				base, prints := build(t)
+				corrupt(t, name(base, 3, false))
+				restored, fallbacks, err := RestoreEngine(base, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fallbacks == 0 {
+					t.Error("no fallback counted for the damaged record")
+				}
+				if !bytes.Equal(engineFingerprint(t, restored), prints[2]) {
+					t.Error("restore did not land on the state before the damaged delta")
+				}
+			})
+			t.Run("newest_full", func(t *testing.T) {
+				// Damaging full@2 loses delta@3 with it: delta@3's base is
+				// the state at full@2's encode, which includes packets only
+				// that full captured. The restore must try full@0 + delta@1 +
+				// delta@3, have the base check refuse delta@3, and settle on
+				// the state after delta@1 — never error while a valid prefix
+				// remains.
+				base, prints := build(t)
+				corrupt(t, name(base, 2, true))
+				restored, fallbacks, err := RestoreEngine(base, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Two candidates fail: the damaged full, then the orphaned
+				// delta.
+				if fallbacks < 2 {
+					t.Errorf("fallbacks = %d, want >= 2", fallbacks)
+				}
+				if !bytes.Equal(engineFingerprint(t, restored), prints[1]) {
+					t.Error("restore did not settle on the newest reachable state")
+				}
+			})
+			t.Run("everything_after_first_full", func(t *testing.T) {
+				base, prints := build(t)
+				corrupt(t, name(base, 1, false))
+				corrupt(t, name(base, 2, true))
+				corrupt(t, name(base, 3, false))
+				restored, fallbacks, err := RestoreEngine(base, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fallbacks == 0 {
+					t.Error("no fallbacks counted")
+				}
+				if !bytes.Equal(engineFingerprint(t, restored), prints[0]) {
+					t.Error("restore did not land on the oldest full")
+				}
+			})
+			t.Run("every_full", func(t *testing.T) {
+				base, _ := build(t)
+				corrupt(t, name(base, 0, true))
+				corrupt(t, name(base, 2, true))
+				if _, _, err := RestoreEngine(base, cfg, nil); err == nil {
+					t.Fatal("restore succeeded with every full damaged")
+				}
+			})
+		})
+	}
+
+	t.Run("missing_chain", func(t *testing.T) {
+		base := filepath.Join(t.TempDir(), "absent.zlcp")
+		if _, _, err := RestoreEngine(base, cfg, nil); err == nil {
+			t.Fatal("restore succeeded with no chain at all")
+		}
+	})
+}

@@ -19,7 +19,6 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
@@ -97,9 +96,15 @@ type Flags struct {
 	// offline replays behave exactly like the live tap they replay).
 	Checkpoint         string
 	CheckpointInterval time.Duration
+	CheckpointDelta    time.Duration
+	CheckpointKeep     int
 	Restore            string
 	Rotate             time.Duration
 	RotateOut          string
+
+	// Overload / memory-bound hardening.
+	Shed        bool
+	MaxFinished int
 }
 
 // Register installs the shared analysis flags on fs.
@@ -112,8 +117,12 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.FlowTTL, "flow-ttl", 0, "evict per-flow state idle longer than this, folding it into the report (0 = never)")
 	fs.StringVar(&f.QuarantinePath, "quarantine", "", "write frames whose processing panicked to this pcap for offline dissection")
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "write engine state to this path (atomic write-rename) every -checkpoint-interval of trace time and on shutdown")
-	fs.DurationVar(&f.CheckpointInterval, "checkpoint-interval", time.Minute, "trace-clock cadence between periodic checkpoints (with -checkpoint)")
-	fs.StringVar(&f.Restore, "restore", "", "resume from a checkpoint written by -checkpoint; engine kind and worker count come from the file")
+	fs.DurationVar(&f.CheckpointInterval, "checkpoint-interval", time.Minute, "trace-clock cadence between periodic full checkpoints (with -checkpoint)")
+	fs.DurationVar(&f.CheckpointDelta, "checkpoint-delta", 0, "trace-clock cadence for incremental (delta) checkpoint records between fulls; enables the chain layout <checkpoint>.NNNNNNNN.{full,delta}.zlcp (0 = full snapshots only)")
+	fs.IntVar(&f.CheckpointKeep, "checkpoint-keep", 2, "full-checkpoint generations to retain for crash fallback; restore walks back through them when the newest is torn or corrupt")
+	fs.StringVar(&f.Restore, "restore", "", "resume from a checkpoint written by -checkpoint (a legacy file or a chain base path); engine kind and worker count come from the file")
+	fs.BoolVar(&f.Shed, "shed", false, "under overload, drop packet batches with accounting when an analysis shard's queue is full instead of stalling ingest (parallel engines; shed counts surface in the report and status line)")
+	fs.IntVar(&f.MaxFinished, "max-finished", 0, "cap archived finished streams; at the cap the oldest are dropped and counted (0 = unlimited)")
 	fs.DurationVar(&f.Rotate, "rotate", 0, "close and emit the report window every this much trace time, writing <rotate-out>-NNNN.json per window (0 = one report)")
 	fs.StringVar(&f.RotateOut, "rotate-out", "zoomlens-window", "path prefix for rotated window report files")
 	f.Obs = cliobs.Register(fs)
@@ -145,10 +154,20 @@ type Run struct {
 	// on, the final report (run.Analyzer) covers only the last window;
 	// earlier windows live in the <rotate-out>-NNNN.json files.
 	Rotations int
+	// DeltaCheckpoints counts incremental checkpoint records written
+	// (Checkpoints counts fulls; together they are the chain).
+	DeltaCheckpoints int
+	// RestoreFallbacks counts torn/corrupt checkpoint generations the
+	// restore path skipped before finding a valid state.
+	RestoreFallbacks int
+	// TmpCleaned counts orphaned checkpoint temp files swept at startup
+	// (debris of a crash mid-write).
+	TmpCleaned int
 
 	quarantine *core.Quarantine
 	quarPath   string
 	ckm        *obs.CheckpointMetrics
+	ck         *Checkpointer
 }
 
 // Run builds an engine from the flags, streams the whole input through
@@ -173,10 +192,34 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 		}
 		defer file.Close()
 	}
-	// Observability comes up before the stream header is read: with a
-	// stdin input the first bytes may arrive long after startup, and the
-	// metrics endpoint must already be scrapeable (and announced on
-	// stderr) while the run waits.
+	// The stream header is read lazily, inside the first next() call:
+	// RunFrom brings observability up first, and with a stdin input the
+	// first bytes may arrive long after startup — the metrics endpoint
+	// must already be scrapeable (and announced on stderr) while the run
+	// waits.
+	var stream *pcap.Stream
+	next := func(rec *pcap.Record) error {
+		if stream == nil {
+			var err error
+			stream, err = pcap.OpenStream(file)
+			if err != nil {
+				return err
+			}
+		}
+		return stream.NextInto(rec)
+	}
+	truncated := func() bool { return stream != nil && stream.Truncated() }
+	return f.RunFrom(zoomNets, next, truncated)
+}
+
+// RunFrom is Run with the record source abstracted: next fills rec with
+// the next record (returning io.EOF at end of input; rec.Data may
+// borrow a buffer valid only until the following call) and truncated
+// reports whether the source was cut mid-record. It powers both the
+// file/stdin path (Run) and synthetic sources — the soak harness drives
+// a generated workload through the exact production pipeline, signals,
+// checkpoints, and rotation included.
+func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, truncated func() bool) (*Run, error) {
 	setup, err := f.Obs.Apply()
 	if err != nil {
 		return nil, err
@@ -185,7 +228,9 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 		ZoomNetworks: zoomNets,
 		MaxFlows:     f.MaxFlows,
 		MaxStreams:   f.MaxStreams,
+		MaxFinished:  f.MaxFinished,
 		FlowTTL:      f.FlowTTL,
+		Shed:         f.Shed,
 		Obs:          setup.Registry,
 		Tracer:       setup.Tracer,
 	}
@@ -195,6 +240,10 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 		run.quarantine = core.NewQuarantine(0)
 		cfg.Quarantine = run.quarantine
 	}
+	if f.Checkpoint != "" {
+		run.ck = NewCheckpointer(f.Checkpoint, f.CheckpointKeep, f.CheckpointDelta > 0, run.ckm)
+		run.TmpCleaned = run.ck.TmpCleaned
+	}
 	// The parallel analyzer produces byte-identical results at any worker
 	// count (workers == 1 is the plain sequential analyzer). A restored
 	// run takes its engine kind and worker count from the checkpoint —
@@ -202,17 +251,18 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 	// saved at.
 	var eng core.Engine
 	if f.Restore != "" {
-		rf, err := os.Open(f.Restore)
+		var fallbacks int
+		eng, fallbacks, err = RestoreEngine(f.Restore, cfg, run.ckm)
 		if err != nil {
+			setup.Close()
 			return nil, err
 		}
-		eng, err = core.RestoreAnalyzer(rf, cfg)
-		rf.Close()
-		if err != nil {
-			return nil, fmt.Errorf("restoring %s: %w", f.Restore, err)
-		}
 		run.Restored = true
+		run.RestoreFallbacks = fallbacks
 		run.ckm.Restored.Inc()
+		if fallbacks > 0 {
+			log.Printf("restore: skipped %d torn or corrupt checkpoint generation(s)", fallbacks)
+		}
 		if pa, ok := eng.(*core.ParallelAnalyzer); ok && f.Workers > 1 && pa.Workers() != f.Workers {
 			log.Printf("restore: checkpoint was taken at %d workers; ignoring -workers=%d", pa.Workers(), f.Workers)
 		}
@@ -223,18 +273,16 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	stream, err := pcap.OpenStream(file)
-	if err != nil {
-		return nil, err
-	}
 	// Periodic QoE snapshots fire on the capture clock, so offline
 	// replays emit exactly what a live tap would have.
 	sw := f.Obs.SnapshotWriter(setup, eng.Snapshot)
 	var lastTS time.Time
 	var rec pcap.Record
 	// Rotation and checkpoint deadlines run on the trace clock, armed by
-	// the first packet.
-	var rotateAt, winStart, ckptAt time.Time
+	// the first packet. Full checkpoints run on -checkpoint-interval;
+	// delta records on the (typically much shorter) -checkpoint-delta
+	// cadence between them.
+	var rotateAt, winStart, ckptAt, deltaAt time.Time
 	ingestDone := setup.Stage("ingest")
 readLoop:
 	for {
@@ -244,11 +292,16 @@ readLoop:
 			break readLoop
 		default:
 		}
-		err := stream.NextInto(&rec)
+		err := next(&rec)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			// Tear the run down completely: a live parallel engine holds
+			// shard goroutines that must not outlive a failed run.
+			signal.Stop(sig)
+			core.Discard(eng)
+			setup.Close()
 			return nil, err
 		}
 		// Rotate before ingesting: the packet that crosses the boundary
@@ -268,13 +321,28 @@ readLoop:
 		eng.Packet(rec.Timestamp, rec.Data)
 		lastTS = rec.Timestamp
 		sw.Tick(rec.Timestamp)
-		if f.Checkpoint != "" && f.CheckpointInterval > 0 {
+		if run.ck != nil && f.CheckpointInterval > 0 {
 			if ckptAt.IsZero() {
 				ckptAt = rec.Timestamp.Add(f.CheckpointInterval)
 			} else if !rec.Timestamp.Before(ckptAt) {
-				run.writeCheckpoint(eng, f.Checkpoint)
+				run.writeFull(eng)
 				for !rec.Timestamp.Before(ckptAt) {
 					ckptAt = ckptAt.Add(f.CheckpointInterval)
+				}
+				// A full re-anchors the chain; push the next delta a full
+				// cadence out instead of writing one immediately after.
+				if f.CheckpointDelta > 0 {
+					deltaAt = rec.Timestamp.Add(f.CheckpointDelta)
+				}
+			}
+		}
+		if run.ck != nil && f.CheckpointDelta > 0 {
+			if deltaAt.IsZero() {
+				deltaAt = rec.Timestamp.Add(f.CheckpointDelta)
+			} else if !rec.Timestamp.Before(deltaAt) {
+				run.writeDelta(eng)
+				for !rec.Timestamp.Before(deltaAt) {
+					deltaAt = deltaAt.Add(f.CheckpointDelta)
 				}
 			}
 		}
@@ -288,9 +356,10 @@ readLoop:
 	signal.Stop(sig)
 	// The shutdown checkpoint lands before Finish so a parallel run's
 	// file keeps its parallel payload (restorable at the same worker
-	// count); it covers every packet ingested, interrupt included.
-	if f.Checkpoint != "" {
-		run.writeCheckpoint(eng, f.Checkpoint)
+	// count); it covers every packet ingested, interrupt included. It is
+	// always a full snapshot — the next start restores from it alone.
+	if run.ck != nil {
+		run.writeFull(eng)
 	}
 	eng.Finish()
 	if !lastTS.IsZero() {
@@ -300,7 +369,7 @@ readLoop:
 		log.Printf("snapshots: %v", err)
 	}
 	run.Analyzer = eng.Result()
-	if stream.Truncated() {
+	if truncated() {
 		run.Analyzer.Truncated = true
 	}
 	return run, nil
@@ -319,45 +388,28 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// writeCheckpoint writes the engine's state to path atomically: encode
-// into a temp file in the destination directory, fsync, rename over
-// path. A reader never sees a torn checkpoint; a failed write leaves
-// the previous checkpoint in place. Failures are logged and counted,
-// not fatal — losing one checkpoint must not kill the tap.
-func (r *Run) writeCheckpoint(eng core.Engine, path string) {
-	start := time.Now()
-	size, err := atomicCheckpoint(eng, path)
-	if err != nil {
-		log.Printf("checkpoint %s: %v", path, err)
-		r.ckm.Failed.Inc()
+// writeFull writes a periodic/shutdown full checkpoint. Failures are
+// logged and counted, not fatal — losing one checkpoint must not kill
+// the tap.
+func (r *Run) writeFull(eng core.Engine) {
+	if err := r.ck.WriteFull(eng); err != nil {
+		log.Printf("checkpoint %s: %v", r.ck.path, err)
 		return
 	}
 	r.Checkpoints++
-	r.ckm.Record(time.Since(start), size, time.Now())
 }
 
-func atomicCheckpoint(eng core.Engine, path string) (int64, error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
-	if err != nil {
-		return 0, err
+// writeDelta writes an incremental checkpoint record (falling back to a
+// full snapshot inside the Checkpointer when the engine has no chain to
+// extend). Same never-fatal policy as writeFull.
+func (r *Run) writeDelta(eng core.Engine) {
+	before := r.ck.Fulls
+	if err := r.ck.WriteDelta(eng); err != nil {
+		log.Printf("checkpoint %s: %v", r.ck.path, err)
+		return
 	}
-	tmpName := tmp.Name()
-	cw := &countWriter{w: tmp}
-	err = eng.Checkpoint(cw)
-	if err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmpName, path)
-	}
-	if err != nil {
-		os.Remove(tmpName)
-		return 0, err
-	}
-	return cw.n, nil
+	r.Checkpoints += r.ck.Fulls - before
+	r.DeltaCheckpoints = r.ck.Deltas
 }
 
 // windowReport is the JSON written per rotated window: the window's
@@ -409,9 +461,10 @@ func (r *Run) EmitStatus() {
 	case s.Truncated:
 		reason = "truncated_capture"
 	}
-	var quarantined uint64
+	var quarantined, quarDropped uint64
 	if r.quarantine != nil {
 		quarantined = r.quarantine.Total()
+		quarDropped = r.quarantine.Dropped()
 		if quarantined > 0 {
 			qf, err := os.Create(r.quarPath)
 			if err != nil {
@@ -425,8 +478,9 @@ func (r *Run) EmitStatus() {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"truncated":%t,"checkpoints":%d,"restored":%t,"rotations":%d}`+"\n",
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"quarantine_dropped":%d,"shed_packets":%d,"truncated":%t,"checkpoints":%d,"delta_checkpoints":%d,"restore_fallbacks":%d,"tmp_cleaned":%d,"restored":%t,"rotations":%d}`+"\n",
 		r.Interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
-		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, s.Truncated,
-		r.Checkpoints, r.Restored, r.Rotations)
+		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, quarDropped,
+		s.ShedPackets, s.Truncated, r.Checkpoints, r.DeltaCheckpoints, r.RestoreFallbacks, r.TmpCleaned,
+		r.Restored, r.Rotations)
 }

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"zoomlens/internal/cliobs"
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/trace"
+)
+
+// leakCheck fails the test if the goroutine count does not return to
+// the pre-run baseline. Shard workers, the signal relay, and the obs
+// endpoint all shut down asynchronously, so it polls with a deadline
+// and allows a small runtime-internal slack.
+func leakCheck(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s", n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// soakFlags builds a RunFrom flag set over a temp dir: 4 shards,
+// rotation, and a delta checkpoint chain — every shutdown path the
+// driver has.
+func soakFlags(dir string) *Flags {
+	return &Flags{
+		Obs:                &cliobs.Flags{},
+		Workers:            4,
+		Checkpoint:         filepath.Join(dir, "state.zlcp"),
+		CheckpointInterval: 200 * time.Millisecond,
+		CheckpointDelta:    50 * time.Millisecond,
+		CheckpointKeep:     2,
+		Rotate:             300 * time.Millisecond,
+		RotateOut:          filepath.Join(dir, "window"),
+	}
+}
+
+// genSource adapts a StreamGen to RunFrom's record source.
+func genSource(t *testing.T, packets int) (func(*pcap.Record) error, []netip.Prefix) {
+	t.Helper()
+	cfg := trace.DefaultStreamConfig()
+	cfg.Streams = 50
+	cfg.Packets = packets
+	cfg.Interval = time.Millisecond
+	gen, err := trace.NewStreamGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Next, []netip.Prefix{cfg.ZoomNet}
+}
+
+// TestRunFromShutdownLeaks drives engine.RunFrom through its shutdown
+// paths — clean EOF with rotation mid-window, SIGINT mid-run during an
+// active checkpoint chain, a record-source failure with live shards,
+// and a failed restore — asserting after each that every goroutine the
+// run started is gone.
+func TestRunFromShutdownLeaks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: signal-driven shutdown test")
+	}
+
+	t.Run("clean_eof", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		next, nets := genSource(t, 2000)
+		f := soakFlags(t.TempDir())
+		run, err := f.RunFrom(nets, next, func() bool { return false })
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Close()
+		if run.Rotations == 0 {
+			t.Error("rotation never fired mid-run")
+		}
+		if run.Checkpoints == 0 || run.DeltaCheckpoints == 0 {
+			t.Errorf("checkpoint chain inactive: %d fulls / %d deltas",
+				run.Checkpoints, run.DeltaCheckpoints)
+		}
+		leakCheck(t, baseline)
+	})
+
+	t.Run("sigint_mid_run", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		next, nets := genSource(t, 1<<30) // only the signal ends this run
+		f := soakFlags(t.TempDir())
+		seen := 0
+		interrupting := func(rec *pcap.Record) error {
+			err := next(rec)
+			if err == nil {
+				seen++
+				// After ~500 packets, deliver a real SIGINT to ourselves;
+				// the driver's handler must drain shards, write the
+				// shutdown checkpoint, and finish the partial report.
+				if seen == 500 {
+					syscall.Kill(os.Getpid(), syscall.SIGINT)
+				}
+			}
+			return err
+		}
+		run, err := f.RunFrom(nets, interrupting, func() bool { return false })
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Close()
+		if !run.Interrupted {
+			t.Error("run not marked interrupted")
+		}
+		if run.Checkpoints == 0 {
+			t.Error("no shutdown checkpoint after SIGINT")
+		}
+		leakCheck(t, baseline)
+	})
+
+	t.Run("source_error_mid_run", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		next, nets := genSource(t, 1<<30)
+		f := soakFlags(t.TempDir())
+		n := 0
+		failing := func(rec *pcap.Record) error {
+			n++
+			if n > 700 {
+				return fmt.Errorf("injected capture fault")
+			}
+			return next(rec)
+		}
+		if _, err := f.RunFrom(nets, failing, func() bool { return false }); err == nil {
+			t.Fatal("run succeeded past an injected source fault")
+		}
+		leakCheck(t, baseline)
+	})
+
+	t.Run("restore_failure", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		dir := t.TempDir()
+		bad := filepath.Join(dir, "state.zlcp")
+		if err := os.WriteFile(bad, []byte("ZLCPgarbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		next, nets := genSource(t, 100)
+		f := soakFlags(dir)
+		f.Restore = bad
+		if _, err := f.RunFrom(nets, next, func() bool { return false }); err == nil {
+			t.Fatal("run restored from garbage")
+		}
+		leakCheck(t, baseline)
+	})
+}

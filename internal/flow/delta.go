@@ -1,0 +1,177 @@
+package flow
+
+import (
+	"slices"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/zoom"
+)
+
+// Delta checkpoints re-serialize only what changed since the previous
+// checkpoint encode: records whose dirty bit is set, plus deletion
+// tombstones for entries evicted in between. The table arms itself at
+// the first full encode (MarkCheckpointed), so runs that never
+// checkpoint record no tombstones and pay only a per-mutation bool
+// store.
+
+const tableDeltaV1 = 1
+
+// maxDeltaTombstones bounds the eviction backlog a delta is willing to
+// carry. Past it the table flags overflow and the next delta encode
+// reports itself unavailable, forcing the caller back to a full
+// snapshot (which resets everything).
+const maxDeltaTombstones = 1 << 20
+
+func (t *Table) tombstoneFlow(k layers.FiveTuple) {
+	if !t.armed || t.overflow {
+		return
+	}
+	if len(t.deadFlows) >= maxDeltaTombstones {
+		t.overflow = true
+		return
+	}
+	t.deadFlows = append(t.deadFlows, k)
+}
+
+func (t *Table) tombstoneStream(id MediaStreamID) {
+	if !t.armed || t.overflow {
+		return
+	}
+	if len(t.deadStreams) >= maxDeltaTombstones {
+		t.overflow = true
+		return
+	}
+	t.deadStreams = append(t.deadStreams, id)
+}
+
+// DeltaOverflow reports whether the eviction backlog outgrew what a
+// delta can carry; the owner must fall back to a full snapshot.
+func (t *Table) DeltaOverflow() bool { return t.overflow }
+
+// MarkCheckpointed resets delta tracking after a checkpoint encode (full
+// or delta) or a restore: every record is now captured, so dirty bits
+// and tombstones clear and the table arms for the next delta.
+func (t *Table) MarkCheckpointed() {
+	for _, f := range t.flows {
+		f.dirty = false
+	}
+	for _, s := range t.streams {
+		s.dirty = false
+	}
+	t.deadFlows = t.deadFlows[:0]
+	t.deadStreams = t.deadStreams[:0]
+	t.overflow = false
+	t.armed = true
+}
+
+// Disarm turns delta tracking off (window rotation starts a fresh table
+// lineage that the old checkpoint chain no longer describes).
+func (t *Table) Disarm() {
+	t.deadFlows = nil
+	t.deadStreams = nil
+	t.overflow = false
+	t.armed = false
+}
+
+// StateDelta encodes the table mutations since the last checkpoint
+// encode: scalars (cheap, always carried whole), deletion tombstones,
+// then every dirty flow/stream record in full. Callers must check
+// DeltaOverflow first and must call MarkCheckpointed after a successful
+// encode.
+func (t *Table) StateDelta(w *statecodec.Writer) {
+	w.U8(tableDeltaV1)
+	t.encodeScalars(w)
+
+	slices.SortFunc(t.deadFlows, layers.FiveTuple.Compare)
+	w.Int(len(t.deadFlows))
+	for _, k := range t.deadFlows {
+		k.EncodeTo(w)
+	}
+	slices.SortFunc(t.deadStreams, CompareStreamID)
+	w.Int(len(t.deadStreams))
+	for _, id := range t.deadStreams {
+		id.Flow.EncodeTo(w)
+		id.Key.EncodeTo(w)
+	}
+
+	dirtyFlows := make([]layers.FiveTuple, 0, 64)
+	for k, f := range t.flows {
+		if f.dirty {
+			dirtyFlows = append(dirtyFlows, k)
+		}
+	}
+	slices.SortFunc(dirtyFlows, layers.FiveTuple.Compare)
+	w.Int(len(dirtyFlows))
+	for _, k := range dirtyFlows {
+		encodeFlowStats(w, t.flows[k])
+	}
+
+	dirtyStreams := make([]MediaStreamID, 0, 64)
+	for id, s := range t.streams {
+		if s.dirty {
+			dirtyStreams = append(dirtyStreams, id)
+		}
+	}
+	slices.SortFunc(dirtyStreams, CompareStreamID)
+	w.Int(len(dirtyStreams))
+	for _, id := range dirtyStreams {
+		encodeStreamStats(w, t.streams[id])
+	}
+
+	t.encodeShareAggs(w)
+}
+
+// ApplyDelta replays a StateDelta record onto the table: deletions
+// first, then dirty records upserted whole. The caller owns chain
+// integrity (the record must follow the checkpoint this table was
+// restored from); on error the table may hold partially applied state
+// and must be discarded.
+func (t *Table) ApplyDelta(r *statecodec.Reader) error {
+	r.Version("flow.Table delta", tableDeltaV1)
+	t.decodeScalars(r)
+
+	ndf := r.Count(13)
+	for i := 0; i < ndf; i++ {
+		k := layers.DecodeFiveTuple(r)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		delete(t.flows, k)
+	}
+	nds := r.Count(17)
+	for i := 0; i < nds; i++ {
+		id := MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		delete(t.streams, id)
+	}
+
+	nf := r.Count(8)
+	for i := 0; i < nf; i++ {
+		f := &FlowStats{}
+		k := decodeFlowStatsInto(r, f)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.flows[k] = f
+	}
+	ns := r.Count(12)
+	var subSlab []SubstreamStats
+	for i := 0; i < ns; i++ {
+		s := &StreamStats{}
+		id := decodeStreamStatsInto(r, s, &subSlab)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.streams[id] = s
+	}
+
+	t.decodeShareAggs(r)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	t.MarkCheckpointed()
+	return nil
+}

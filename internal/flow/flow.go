@@ -64,6 +64,10 @@ type StreamStats struct {
 	LastSeq           uint16
 	Substreams        map[uint8]*SubstreamStats
 	RTCPPackets       uint64
+
+	// dirty marks the record as mutated since the last checkpoint encode
+	// (delta checkpoints re-serialize only dirty records).
+	dirty bool
 }
 
 // FlowStats is the per-5-tuple accounting record.
@@ -78,6 +82,9 @@ type FlowStats struct {
 	// ByEncapType counts packets per media encapsulation type value
 	// (Table 2).
 	ByEncapType map[zoom.MediaType]uint64
+
+	// dirty marks the record as mutated since the last checkpoint encode.
+	dirty bool
 }
 
 // Limits bounds the table's hot maps for long-lived deployments: a
@@ -136,6 +143,14 @@ type Table struct {
 	// evicted entries so the final report counts them.
 	evictedEncap map[zoom.MediaType]*shareAgg
 	evictedPT    map[ptKey]*shareAgg
+
+	// Delta-checkpoint tracking (see delta.go). armed turns on deletion
+	// tombstones; it is set by the first checkpoint encode, so runs that
+	// never checkpoint pay nothing.
+	armed       bool
+	overflow    bool
+	deadFlows   []layers.FiveTuple
+	deadStreams []MediaStreamID
 }
 
 // NewTable returns an empty table.
@@ -171,6 +186,7 @@ func (t *Table) Observe(r *Record) *StreamStats {
 		t.flows[r.Flow] = f
 	}
 	f.LastSeen = r.Time
+	f.dirty = true
 	f.Packets++
 	f.WireBytes += uint64(r.WireLen)
 	f.ByEncapType[r.Z.Media.Type]++
@@ -193,6 +209,7 @@ func (t *Table) Observe(r *Record) *StreamStats {
 		if s := t.findStreamBySSRC(r.Flow, ssrc); s != nil {
 			s.RTCPPackets++
 			s.LastSeen = r.Time
+			s.dirty = true
 			return s
 		}
 		return nil
@@ -217,6 +234,7 @@ func (t *Table) Observe(r *Record) *StreamStats {
 		t.streams[id] = s
 	}
 	s.LastSeen = r.Time
+	s.dirty = true
 	s.Packets++
 	s.WireBytes += uint64(r.WireLen)
 	s.MediaBytes += uint64(len(r.Z.RTP.Payload))
@@ -249,6 +267,7 @@ func (t *Table) EvictIdle(cutoff time.Time) (flows, streams int) {
 		}
 		t.foldStream(s)
 		delete(t.streams, id)
+		t.tombstoneStream(id)
 		t.ev.EvictedStreams++
 		streams++
 	}
@@ -258,6 +277,7 @@ func (t *Table) EvictIdle(cutoff time.Time) (flows, streams int) {
 		}
 		t.foldFlow(f)
 		delete(t.flows, k)
+		t.tombstoneFlow(k)
 		t.ev.EvictedFlows++
 		flows++
 	}

@@ -15,81 +15,110 @@ import (
 
 const tableStateV1 = 1
 
-// State encodes the table for a checkpoint. Maps are written in sorted
-// key order so identical state yields identical bytes.
-func (t *Table) State(w *statecodec.Writer) {
-	w.U8(tableStateV1)
-	w.U64(t.totalPackets)
-	w.U64(t.totalBytes)
-	w.U64(t.ev.EvictedFlows)
-	w.U64(t.ev.EvictedStreams)
-	w.U64(t.ev.RejectedFlowPackets)
-	w.U64(t.ev.RejectedStreamPackets)
-	w.U64(t.ev.RejectedSubstreamPackets)
+// encodeFlowStats writes one flow record (key included).
+func encodeFlowStats(w *statecodec.Writer, f *FlowStats) {
+	f.Flow.EncodeTo(w)
+	w.Time(f.FirstSeen)
+	w.Time(f.LastSeen)
+	w.U64(f.Packets)
+	w.U64(f.WireBytes)
+	w.U64(f.ServerBased)
+	w.U64(f.P2P)
+	var encapScratch [8]zoom.MediaType
+	encapKeys := encapScratch[:0]
+	for mt := range f.ByEncapType {
+		encapKeys = append(encapKeys, mt)
+	}
+	slices.Sort(encapKeys)
+	w.Int(len(encapKeys))
+	for _, mt := range encapKeys {
+		w.U8(uint8(mt))
+		w.U64(f.ByEncapType[mt])
+	}
+}
 
-	flowKeys := make([]layers.FiveTuple, 0, len(t.flows))
-	for k := range t.flows {
-		flowKeys = append(flowKeys, k)
+// decodeFlowStatsInto fills f from the codec, returning its key.
+func decodeFlowStatsInto(r *statecodec.Reader, f *FlowStats) layers.FiveTuple {
+	k := layers.DecodeFiveTuple(r)
+	f.Flow = k
+	f.FirstSeen = r.Time()
+	f.LastSeen = r.Time()
+	f.Packets = r.U64()
+	f.WireBytes = r.U64()
+	f.ServerBased = r.U64()
+	f.P2P = r.U64()
+	ne := r.Count(2)
+	f.ByEncapType = make(map[zoom.MediaType]uint64, ne)
+	for j := 0; j < ne; j++ {
+		mt := zoom.MediaType(r.U8())
+		f.ByEncapType[mt] = r.U64()
 	}
-	slices.SortFunc(flowKeys, layers.FiveTuple.Compare)
-	w.Int(len(flowKeys))
-	for _, k := range flowKeys {
-		f := t.flows[k]
-		k.EncodeTo(w)
-		w.Time(f.FirstSeen)
-		w.Time(f.LastSeen)
-		w.U64(f.Packets)
-		w.U64(f.WireBytes)
-		w.U64(f.ServerBased)
-		w.U64(f.P2P)
-		var encapScratch [8]zoom.MediaType
-		encapKeys := encapScratch[:0]
-		for mt := range f.ByEncapType {
-			encapKeys = append(encapKeys, mt)
-		}
-		slices.Sort(encapKeys)
-		w.Int(len(encapKeys))
-		for _, mt := range encapKeys {
-			w.U8(uint8(mt))
-			w.U64(f.ByEncapType[mt])
-		}
-	}
+	return k
+}
 
-	streamKeys := make([]MediaStreamID, 0, len(t.streams))
-	for k := range t.streams {
-		streamKeys = append(streamKeys, k)
+// encodeStreamStats writes one stream record (key included).
+func encodeStreamStats(w *statecodec.Writer, s *StreamStats) {
+	s.ID.Flow.EncodeTo(w)
+	s.ID.Key.EncodeTo(w)
+	w.Time(s.FirstSeen)
+	w.Time(s.LastSeen)
+	w.U64(s.Packets)
+	w.U64(s.WireBytes)
+	w.U64(s.MediaBytes)
+	w.U32(s.FirstRTPTimestamp)
+	w.U32(s.LastRTPTimestamp)
+	w.U16(s.FirstSeq)
+	w.U16(s.LastSeq)
+	w.U64(s.RTCPPackets)
+	var ptScratch [16]uint8
+	pts := ptScratch[:0]
+	for pt := range s.Substreams {
+		pts = append(pts, pt)
 	}
-	slices.SortFunc(streamKeys, CompareStreamID)
-	w.Int(len(streamKeys))
-	for _, k := range streamKeys {
-		s := t.streams[k]
-		k.Flow.EncodeTo(w)
-		k.Key.EncodeTo(w)
-		w.Time(s.FirstSeen)
-		w.Time(s.LastSeen)
-		w.U64(s.Packets)
-		w.U64(s.WireBytes)
-		w.U64(s.MediaBytes)
-		w.U32(s.FirstRTPTimestamp)
-		w.U32(s.LastRTPTimestamp)
-		w.U16(s.FirstSeq)
-		w.U16(s.LastSeq)
-		w.U64(s.RTCPPackets)
-		var ptScratch [16]uint8
-		pts := ptScratch[:0]
-		for pt := range s.Substreams {
-			pts = append(pts, pt)
-		}
-		slices.Sort(pts)
-		w.Int(len(pts))
-		for _, pt := range pts {
-			sub := s.Substreams[pt]
-			w.U8(pt)
-			w.U64(sub.Packets)
-			w.U64(sub.Bytes)
-		}
+	slices.Sort(pts)
+	w.Int(len(pts))
+	for _, pt := range pts {
+		sub := s.Substreams[pt]
+		w.U8(pt)
+		w.U64(sub.Packets)
+		w.U64(sub.Bytes)
 	}
+}
 
+// decodeStreamStatsInto fills s from the codec, drawing substream records
+// from *subSlab (refilled in chunks), and returns the stream's key.
+func decodeStreamStatsInto(r *statecodec.Reader, s *StreamStats, subSlab *[]SubstreamStats) MediaStreamID {
+	id := MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
+	s.ID = id
+	s.FirstSeen = r.Time()
+	s.LastSeen = r.Time()
+	s.Packets = r.U64()
+	s.WireBytes = r.U64()
+	s.MediaBytes = r.U64()
+	s.FirstRTPTimestamp = r.U32()
+	s.LastRTPTimestamp = r.U32()
+	s.FirstSeq = r.U16()
+	s.LastSeq = r.U16()
+	s.RTCPPackets = r.U64()
+	np := r.Count(3)
+	s.Substreams = make(map[uint8]*SubstreamStats, np)
+	for j := 0; j < np; j++ {
+		if len(*subSlab) == 0 {
+			*subSlab = make([]SubstreamStats, 256)
+		}
+		sub := &(*subSlab)[0]
+		*subSlab = (*subSlab)[1:]
+		pt := r.U8()
+		*sub = SubstreamStats{PayloadType: pt, Packets: r.U64(), Bytes: r.U64()}
+		s.Substreams[pt] = sub
+	}
+	return id
+}
+
+// encodeShareAggs writes the evicted-entry share aggregates; both the
+// full and delta codecs carry them whole (they are bounded by the small
+// media-type / payload-type domains, not by stream count).
+func (t *Table) encodeShareAggs(w *statecodec.Writer) {
 	encapKeys := make([]zoom.MediaType, 0, len(t.evictedEncap))
 	for mt := range t.evictedEncap {
 		encapKeys = append(encapKeys, mt)
@@ -123,100 +152,7 @@ func (t *Table) State(w *statecodec.Writer) {
 	}
 }
 
-// CompareStreamID orders stream identifiers by (flow, key); checkpoint
-// writers use it to serialize stream maps deterministically.
-func CompareStreamID(a, b MediaStreamID) int {
-	if c := a.Flow.Compare(b.Flow); c != 0 {
-		return c
-	}
-	return a.Key.Compare(b.Key)
-}
-
-// Restore rebuilds the table from a checkpoint, replacing every live map
-// but preserving the limits installed on the receiver.
-func (t *Table) Restore(r *statecodec.Reader) error {
-	r.Version("flow.Table", tableStateV1)
-	t.totalPackets = r.U64()
-	t.totalBytes = r.U64()
-	t.ev.EvictedFlows = r.U64()
-	t.ev.EvictedStreams = r.U64()
-	t.ev.RejectedFlowPackets = r.U64()
-	t.ev.RejectedStreamPackets = r.U64()
-	t.ev.RejectedSubstreamPackets = r.U64()
-
-	// Flow and stream records decode into chunk-allocated slabs — one
-	// allocation per few thousand entries instead of one each, which is
-	// where a large table's restore time went. Chunking keeps a hostile
-	// count from forcing a huge allocation before decoding fails.
-	nf := r.Count(8)
-	flowSlab := []FlowStats{}
-	t.flows = make(map[layers.FiveTuple]*FlowStats, nf)
-	for i := 0; i < nf; i++ {
-		if len(flowSlab) == 0 {
-			flowSlab = make([]FlowStats, min(nf-i, 4096))
-		}
-		f := &flowSlab[0]
-		flowSlab = flowSlab[1:]
-		k := layers.DecodeFiveTuple(r)
-		f.Flow = k
-		f.FirstSeen = r.Time()
-		f.LastSeen = r.Time()
-		f.Packets = r.U64()
-		f.WireBytes = r.U64()
-		f.ServerBased = r.U64()
-		f.P2P = r.U64()
-		ne := r.Count(2)
-		f.ByEncapType = make(map[zoom.MediaType]uint64, ne)
-		for j := 0; j < ne; j++ {
-			mt := zoom.MediaType(r.U8())
-			f.ByEncapType[mt] = r.U64()
-		}
-		if r.Err() != nil {
-			return r.Err()
-		}
-		t.flows[k] = f
-	}
-
-	ns := r.Count(12)
-	streamSlab := []StreamStats{}
-	var subSlab []SubstreamStats
-	t.streams = make(map[MediaStreamID]*StreamStats, ns)
-	for i := 0; i < ns; i++ {
-		if len(streamSlab) == 0 {
-			streamSlab = make([]StreamStats, min(ns-i, 4096))
-		}
-		s := &streamSlab[0]
-		streamSlab = streamSlab[1:]
-		id := MediaStreamID{Flow: layers.DecodeFiveTuple(r), Key: zoom.DecodeStreamKey(r)}
-		s.ID = id
-		s.FirstSeen = r.Time()
-		s.LastSeen = r.Time()
-		s.Packets = r.U64()
-		s.WireBytes = r.U64()
-		s.MediaBytes = r.U64()
-		s.FirstRTPTimestamp = r.U32()
-		s.LastRTPTimestamp = r.U32()
-		s.FirstSeq = r.U16()
-		s.LastSeq = r.U16()
-		s.RTCPPackets = r.U64()
-		np := r.Count(3)
-		s.Substreams = make(map[uint8]*SubstreamStats, np)
-		for j := 0; j < np; j++ {
-			if len(subSlab) == 0 {
-				subSlab = make([]SubstreamStats, 256)
-			}
-			sub := &subSlab[0]
-			subSlab = subSlab[1:]
-			pt := r.U8()
-			*sub = SubstreamStats{PayloadType: pt, Packets: r.U64(), Bytes: r.U64()}
-			s.Substreams[pt] = sub
-		}
-		if r.Err() != nil {
-			return r.Err()
-		}
-		t.streams[id] = s
-	}
-
+func (t *Table) decodeShareAggs(r *statecodec.Reader) {
 	nee := r.Count(3)
 	t.evictedEncap = nil
 	if nee > 0 {
@@ -236,5 +172,109 @@ func (t *Table) Restore(r *statecodec.Reader) error {
 		k := ptKey{mt: zoom.MediaType(r.U8()), pt: r.U8()}
 		t.evictedPT[k] = &shareAgg{pkts: r.U64(), bytes: r.U64()}
 	}
+}
+
+func (t *Table) encodeScalars(w *statecodec.Writer) {
+	w.U64(t.totalPackets)
+	w.U64(t.totalBytes)
+	w.U64(t.ev.EvictedFlows)
+	w.U64(t.ev.EvictedStreams)
+	w.U64(t.ev.RejectedFlowPackets)
+	w.U64(t.ev.RejectedStreamPackets)
+	w.U64(t.ev.RejectedSubstreamPackets)
+}
+
+func (t *Table) decodeScalars(r *statecodec.Reader) {
+	t.totalPackets = r.U64()
+	t.totalBytes = r.U64()
+	t.ev.EvictedFlows = r.U64()
+	t.ev.EvictedStreams = r.U64()
+	t.ev.RejectedFlowPackets = r.U64()
+	t.ev.RejectedStreamPackets = r.U64()
+	t.ev.RejectedSubstreamPackets = r.U64()
+}
+
+// State encodes the table for a checkpoint. Maps are written in sorted
+// key order so identical state yields identical bytes.
+func (t *Table) State(w *statecodec.Writer) {
+	w.U8(tableStateV1)
+	t.encodeScalars(w)
+
+	flowKeys := make([]layers.FiveTuple, 0, len(t.flows))
+	for k := range t.flows {
+		flowKeys = append(flowKeys, k)
+	}
+	slices.SortFunc(flowKeys, layers.FiveTuple.Compare)
+	w.Int(len(flowKeys))
+	for _, k := range flowKeys {
+		encodeFlowStats(w, t.flows[k])
+	}
+
+	streamKeys := make([]MediaStreamID, 0, len(t.streams))
+	for k := range t.streams {
+		streamKeys = append(streamKeys, k)
+	}
+	slices.SortFunc(streamKeys, CompareStreamID)
+	w.Int(len(streamKeys))
+	for _, k := range streamKeys {
+		encodeStreamStats(w, t.streams[k])
+	}
+
+	t.encodeShareAggs(w)
+}
+
+// CompareStreamID orders stream identifiers by (flow, key); checkpoint
+// writers use it to serialize stream maps deterministically.
+func CompareStreamID(a, b MediaStreamID) int {
+	if c := a.Flow.Compare(b.Flow); c != 0 {
+		return c
+	}
+	return a.Key.Compare(b.Key)
+}
+
+// Restore rebuilds the table from a checkpoint, replacing every live map
+// but preserving the limits installed on the receiver.
+func (t *Table) Restore(r *statecodec.Reader) error {
+	r.Version("flow.Table", tableStateV1)
+	t.decodeScalars(r)
+
+	// Flow and stream records decode into chunk-allocated slabs — one
+	// allocation per few thousand entries instead of one each, which is
+	// where a large table's restore time went. Chunking keeps a hostile
+	// count from forcing a huge allocation before decoding fails.
+	nf := r.Count(8)
+	flowSlab := []FlowStats{}
+	t.flows = make(map[layers.FiveTuple]*FlowStats, nf)
+	for i := 0; i < nf; i++ {
+		if len(flowSlab) == 0 {
+			flowSlab = make([]FlowStats, min(nf-i, 4096))
+		}
+		f := &flowSlab[0]
+		flowSlab = flowSlab[1:]
+		k := decodeFlowStatsInto(r, f)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.flows[k] = f
+	}
+
+	ns := r.Count(12)
+	streamSlab := []StreamStats{}
+	var subSlab []SubstreamStats
+	t.streams = make(map[MediaStreamID]*StreamStats, ns)
+	for i := 0; i < ns; i++ {
+		if len(streamSlab) == 0 {
+			streamSlab = make([]StreamStats, min(ns-i, 4096))
+		}
+		s := &streamSlab[0]
+		streamSlab = streamSlab[1:]
+		id := decodeStreamStatsInto(r, s, &subSlab)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.streams[id] = s
+	}
+
+	t.decodeShareAggs(r)
 	return r.Err()
 }

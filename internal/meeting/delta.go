@@ -1,0 +1,181 @@
+package meeting
+
+import (
+	"slices"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/zoom"
+)
+
+// Delta checkpoints for the duplicate detector re-serialize only stream
+// records whose dirty bit is set, plus the full (order-sensitive) bySSRC
+// lists of SSRC keys whose membership changed. Stream records are never
+// deleted from d.streams — Evict only unlinks them from the index — so
+// there are no tombstones: a delta is scalars + upserts + list rewrites.
+
+const dedupDeltaV1 = 1
+
+func (d *Dedup) markSSRCDirty(k zoom.StreamKey) {
+	if !d.armed {
+		return
+	}
+	if d.dirtySSRC == nil {
+		d.dirtySSRC = make(map[zoom.StreamKey]struct{})
+	}
+	d.dirtySSRC[k] = struct{}{}
+}
+
+// MarkCheckpointed resets delta tracking after a checkpoint encode (full
+// or delta) or a restore, arming the detector for the next delta.
+func (d *Dedup) MarkCheckpointed() {
+	for _, s := range d.streams {
+		s.dirty = false
+	}
+	clear(d.dirtySSRC)
+	d.armed = true
+}
+
+// Disarm turns delta tracking off.
+func (d *Dedup) Disarm() {
+	d.dirtySSRC = nil
+	d.armed = false
+}
+
+func (d *Dedup) encodeScalars(w *statecodec.Writer) {
+	w.I64(d.TSWindow)
+	w.Duration(d.TimeWindow)
+	w.Int(d.MaxStreams)
+	w.U64(d.Dropped)
+	w.I64(int64(d.nextID))
+}
+
+func (d *Dedup) decodeScalars(r *statecodec.Reader) {
+	d.TSWindow = r.I64()
+	d.TimeWindow = r.Duration()
+	d.MaxStreams = r.Int()
+	d.Dropped = r.U64()
+	d.nextID = UnifiedID(r.I64())
+}
+
+func sortedFlowKeys(keys []flowKey) {
+	slices.SortFunc(keys, func(a, b flowKey) int {
+		if c := a.flow.Compare(b.flow); c != 0 {
+			return c
+		}
+		return a.key.Compare(b.key)
+	})
+}
+
+// StateDelta encodes the detector mutations since the last checkpoint
+// encode. Dirty stream records are written whole, keyed by (flow, key);
+// each dirty SSRC's index list is rewritten as an ordered sequence of
+// (flow, key) references so insertion order — which matchExisting's
+// tie-break depends on — survives the round trip. Callers must call
+// MarkCheckpointed after a successful encode.
+func (d *Dedup) StateDelta(w *statecodec.Writer) {
+	w.U8(dedupDeltaV1)
+	d.encodeScalars(w)
+
+	dirty := make([]flowKey, 0, 64)
+	for k, s := range d.streams {
+		if s.dirty {
+			dirty = append(dirty, k)
+		}
+	}
+	sortedFlowKeys(dirty)
+	w.Int(len(dirty))
+	for _, k := range dirty {
+		s := d.streams[k]
+		s.flow.EncodeTo(w)
+		s.key.EncodeTo(w)
+		w.I64(int64(s.unified))
+		w.Time(s.firstSeen)
+		w.Time(s.lastSeen)
+		w.U32(s.firstTS)
+		w.U32(s.lastTS)
+		w.Bool(s.evicted)
+	}
+
+	ssrcKeys := make([]zoom.StreamKey, 0, len(d.dirtySSRC))
+	for k := range d.dirtySSRC {
+		ssrcKeys = append(ssrcKeys, k)
+	}
+	slices.SortFunc(ssrcKeys, zoom.StreamKey.Compare)
+	w.Int(len(ssrcKeys))
+	for _, k := range ssrcKeys {
+		k.EncodeTo(w)
+		list := d.bySSRC[k] // nil (deleted key) encodes as an empty list
+		w.Int(len(list))
+		for _, s := range list {
+			s.flow.EncodeTo(w)
+			s.key.EncodeTo(w)
+		}
+	}
+}
+
+// ApplyDelta replays a StateDelta record: dirty streams upserted whole,
+// then each rewritten SSRC list rebuilt by resolving its (flow, key)
+// references against the stream table (an empty list deletes the key).
+// On error the detector may hold partially applied state and must be
+// discarded.
+func (d *Dedup) ApplyDelta(r *statecodec.Reader) error {
+	r.Version("meeting.Dedup delta", dedupDeltaV1)
+	d.decodeScalars(r)
+
+	n := r.Count(12)
+	for i := 0; i < n; i++ {
+		flow := layers.DecodeFiveTuple(r)
+		key := zoom.DecodeStreamKey(r)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		k := flowKey{flow, key}
+		s := d.streams[k]
+		if s == nil {
+			s = &streamState{flow: flow, key: key}
+			d.streams[k] = s
+		}
+		s.unified = UnifiedID(r.I64())
+		s.firstSeen = r.Time()
+		s.lastSeen = r.Time()
+		s.firstTS = r.U32()
+		s.lastTS = r.U32()
+		s.evicted = r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+	}
+
+	nk := r.Count(4)
+	for i := 0; i < nk; i++ {
+		k := zoom.DecodeStreamKey(r)
+		nl := r.Count(1)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if nl == 0 {
+			delete(d.bySSRC, k)
+			continue
+		}
+		list := make([]*streamState, 0, nl)
+		for j := 0; j < nl; j++ {
+			ref := flowKey{layers.DecodeFiveTuple(r), zoom.DecodeStreamKey(r)}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			s := d.streams[ref]
+			if s == nil {
+				r.Failf("meeting.Dedup delta dangling stream ref %v", ref.flow)
+				return r.Err()
+			}
+			list = append(list, s)
+		}
+		d.bySSRC[k] = list
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	d.MarkCheckpointed()
+	return nil
+}

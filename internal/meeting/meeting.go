@@ -54,6 +54,9 @@ type streamState struct {
 	key       zoom.StreamKey
 	// evicted marks states removed from the copy-linkage index by Evict.
 	evicted bool
+	// dirty marks the record as mutated since the last checkpoint encode
+	// (delta checkpoints re-serialize only dirty records).
+	dirty bool
 }
 
 // Dedup performs step 1. It is deliberately streaming: each observation
@@ -80,6 +83,12 @@ type Dedup struct {
 	// bySSRC indexes live streams for copy lookup.
 	bySSRC map[zoom.StreamKey][]*streamState
 	nextID UnifiedID
+
+	// Delta-checkpoint tracking (see delta.go). armed turns on
+	// dirty-SSRC-list recording; it is set by the first checkpoint
+	// encode, so runs that never checkpoint pay nothing.
+	armed     bool
+	dirtySSRC map[zoom.StreamKey]struct{}
 }
 
 type flowKey struct {
@@ -104,6 +113,7 @@ func (d *Dedup) Observe(o StreamObs) UnifiedID {
 	if s, ok := d.streams[k]; ok {
 		s.lastSeen = o.Time
 		s.lastTS = o.TS
+		s.dirty = true
 		return s.unified
 	}
 	s := &streamState{
@@ -125,8 +135,10 @@ func (d *Dedup) Observe(o StreamObs) UnifiedID {
 		d.Dropped++
 		return s.unified
 	}
+	s.dirty = true
 	d.streams[k] = s
 	d.bySSRC[o.Key] = append(d.bySSRC[o.Key], s)
+	d.markSSRCDirty(o.Key)
 	return s.unified
 }
 
@@ -186,6 +198,8 @@ func (d *Dedup) Evict(cutoff time.Time) {
 			delete(d.bySSRC, s.key)
 		}
 		s.evicted = true
+		s.dirty = true
+		d.markSSRCDirty(s.key)
 	}
 }
 

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"cmp"
+	"slices"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/meeting"
+	"zoomlens/internal/statecodec"
+)
+
+// Delta checkpoints for the copy matcher. The matcher's state is a
+// pending map (bounded by MaxPending, but at the cap that is still tens
+// of thousands of entries to sort and re-serialize) plus an append-only
+// Samples slice; encoding both whole inside every delta record made the
+// matcher the dominant cost of an otherwise churn-proportional delta.
+// Instead the matcher tracks, while armed, which pending keys were
+// upserted (dirty) or deleted (dead) since the last checkpoint encode,
+// and remembers the Samples length at that encode — Samples only ever
+// grows, so the delta carries just the tail.
+
+const copyMatcherDeltaV1 = 1
+
+// maxCopyDelta bounds the mutation backlog a delta is willing to carry;
+// past it the matcher flags overflow and the owner falls back to a full
+// snapshot (which resets everything).
+const maxCopyDelta = 1 << 20
+
+// touch records an upsert of k while armed. A key can flip between the
+// dirty and dead sets (matched then re-observed before the next
+// checkpoint); the sets stay disjoint so apply order cannot matter.
+func (cm *CopyMatcher) touch(k copyKey) {
+	if !cm.armed || cm.overflow {
+		return
+	}
+	delete(cm.dead, k)
+	if len(cm.dirty) >= maxCopyDelta {
+		cm.overflow = true
+		return
+	}
+	if cm.dirty == nil {
+		cm.dirty = make(map[copyKey]struct{})
+	}
+	cm.dirty[k] = struct{}{}
+}
+
+// bury records a deletion of k while armed.
+func (cm *CopyMatcher) bury(k copyKey) {
+	if !cm.armed || cm.overflow {
+		return
+	}
+	delete(cm.dirty, k)
+	if len(cm.dead) >= maxCopyDelta {
+		cm.overflow = true
+		return
+	}
+	if cm.dead == nil {
+		cm.dead = make(map[copyKey]struct{})
+	}
+	cm.dead[k] = struct{}{}
+}
+
+// DeltaOverflow reports whether the mutation backlog outgrew what a
+// delta can carry; the owner must fall back to a full snapshot.
+func (cm *CopyMatcher) DeltaOverflow() bool { return cm.overflow }
+
+// MarkCheckpointed resets delta tracking after a checkpoint encode
+// (full or delta), restore, or delta apply: the current state is fully
+// captured, so the mutation sets clear, the Samples baseline re-anchors,
+// and the matcher arms for the next delta.
+func (cm *CopyMatcher) MarkCheckpointed() {
+	clear(cm.dirty)
+	clear(cm.dead)
+	cm.ckSamples = len(cm.Samples)
+	cm.overflow = false
+	cm.armed = true
+}
+
+// Disarm turns delta tracking off.
+func (cm *CopyMatcher) Disarm() {
+	cm.dirty = nil
+	cm.dead = nil
+	cm.overflow = false
+	cm.armed = false
+}
+
+func compareCopyKey(a, b copyKey) int {
+	if c := cmp.Compare(a.unified, b.unified); c != 0 {
+		return c
+	}
+	if a.pt != b.pt {
+		return int(a.pt) - int(b.pt)
+	}
+	if a.seq != b.seq {
+		return int(a.seq) - int(b.seq)
+	}
+	return int(a.ts) - int(b.ts)
+}
+
+func sortedCopyKeys(m map[copyKey]struct{}) []copyKey {
+	keys := make([]copyKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compareCopyKey)
+	return keys
+}
+
+// StateDelta encodes the matcher mutations since the last checkpoint
+// encode: the appended Samples tail, deletion tombstones, and upserted
+// pending entries (written whole, same wire shape as State). The record
+// carries the baseline Samples length so an apply against the wrong
+// base state fails loudly. Callers must check DeltaOverflow first and
+// call MarkCheckpointed after a successful encode.
+func (cm *CopyMatcher) StateDelta(w *statecodec.Writer) {
+	w.U8(copyMatcherDeltaV1)
+	w.Duration(cm.MaxAge)
+	w.Int(cm.MaxPending)
+
+	w.Int(cm.ckSamples)
+	tail := cm.Samples[cm.ckSamples:]
+	w.Int(len(tail))
+	for _, s := range tail {
+		w.Time(s.Time)
+		w.Duration(s.RTT)
+		w.I64(int64(s.Unified))
+	}
+
+	dead := sortedCopyKeys(cm.dead)
+	w.Int(len(dead))
+	for _, k := range dead {
+		w.I64(int64(k.unified))
+		w.U8(k.pt)
+		w.U16(k.seq)
+		w.U32(k.ts)
+	}
+
+	dirty := sortedCopyKeys(cm.dirty)
+	w.Int(len(dirty))
+	for _, k := range dirty {
+		o := cm.pending[k]
+		w.I64(int64(k.unified))
+		w.U8(k.pt)
+		w.U16(k.seq)
+		w.U32(k.ts)
+		w.Time(o.at)
+		o.flow.EncodeTo(w)
+	}
+}
+
+// ApplyDelta replays one matcher delta onto the receiver, which must
+// hold exactly the state the delta was cut from (checked against the
+// Samples baseline). On error the matcher may be partially mutated and
+// the owner must discard the engine.
+func (cm *CopyMatcher) ApplyDelta(r *statecodec.Reader) error {
+	r.Version("metrics.CopyMatcher delta", copyMatcherDeltaV1)
+	cm.MaxAge = r.Duration()
+	cm.MaxPending = r.Int()
+
+	base := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if base != len(cm.Samples) {
+		r.Failf("metrics.CopyMatcher delta baseline %d samples does not match matcher at %d samples", base, len(cm.Samples))
+		return r.Err()
+	}
+	nt := r.Count(3)
+	for i := 0; i < nt; i++ {
+		cm.Samples = append(cm.Samples, RTTSample{Time: r.Time(), RTT: r.Duration(), Unified: meeting.UnifiedID(r.I64())})
+	}
+
+	nd := r.Count(8)
+	for i := 0; i < nd; i++ {
+		k := copyKey{unified: meeting.UnifiedID(r.I64()), pt: r.U8(), seq: r.U16(), ts: r.U32()}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		delete(cm.pending, k)
+	}
+
+	nu := r.Count(12)
+	if cm.pending == nil {
+		cm.pending = make(map[copyKey]obs, nu)
+	}
+	for i := 0; i < nu; i++ {
+		k := copyKey{unified: meeting.UnifiedID(r.I64()), pt: r.U8(), seq: r.U16(), ts: r.U32()}
+		o := obs{at: r.Time(), flow: layers.DecodeFiveTuple(r)}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		cm.pending[k] = o
+	}
+	return r.Err()
+}

@@ -37,6 +37,15 @@ type CopyMatcher struct {
 	Samples []RTTSample
 
 	pending map[copyKey]obs
+
+	// Delta-checkpoint tracking (see delta.go): armed by
+	// MarkCheckpointed, nil/false on matchers that never checkpoint so
+	// the hot path pays only a branch.
+	dirty     map[copyKey]struct{}
+	dead      map[copyKey]struct{}
+	ckSamples int
+	armed     bool
+	overflow  bool
 }
 
 // DefaultMaxPending is the pending-entry GC threshold when MaxPending is
@@ -72,6 +81,7 @@ func (cm *CopyMatcher) Observe(unified meeting.UnifiedID, flow layers.FiveTuple,
 				s := RTTSample{Time: at, RTT: age, Unified: unified}
 				cm.Samples = append(cm.Samples, s)
 				delete(cm.pending, k)
+				cm.bury(k)
 				return s, true
 			}
 		}
@@ -82,9 +92,11 @@ func (cm *CopyMatcher) Observe(unified meeting.UnifiedID, flow layers.FiveTuple,
 		// and keeping the old flow with the new timestamp would let a
 		// later same-flow packet pair against it as a bogus RTT sample.
 		cm.pending[k] = obs{at: at, flow: flow}
+		cm.touch(k)
 		return RTTSample{}, false
 	}
 	cm.pending[k] = obs{at: at, flow: flow}
+	cm.touch(k)
 	if len(cm.pending) > cm.maxPending() {
 		cm.gc(at)
 	}
@@ -112,6 +124,7 @@ func (cm *CopyMatcher) gc(now time.Time) {
 		for k, o := range cm.pending {
 			if now.Sub(o.at) > age {
 				delete(cm.pending, k)
+				cm.bury(k)
 			}
 		}
 		if len(cm.pending) <= cm.maxPending() || age < time.Millisecond {

@@ -1,7 +1,6 @@
 package metrics
 
 import (
-	"cmp"
 	"slices"
 	"time"
 
@@ -423,18 +422,7 @@ func (cm *CopyMatcher) State(w *statecodec.Writer) {
 	for k := range cm.pending {
 		keys = append(keys, k)
 	}
-	slices.SortFunc(keys, func(a, b copyKey) int {
-		if c := cmp.Compare(a.unified, b.unified); c != 0 {
-			return c
-		}
-		if a.pt != b.pt {
-			return int(a.pt) - int(b.pt)
-		}
-		if a.seq != b.seq {
-			return int(a.seq) - int(b.seq)
-		}
-		return int(a.ts) - int(b.ts)
-	})
+	slices.SortFunc(keys, compareCopyKey)
 	w.Int(len(keys))
 	for _, k := range keys {
 		o := cm.pending[k]

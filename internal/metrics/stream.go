@@ -165,7 +165,22 @@ type StreamMetrics struct {
 	// the cap. The semantics mirror Compact's idle archiving: a stream
 	// idle that long is effectively over until it speaks again.
 	MaxIdleGap time.Duration
+
+	// dirty marks the accumulator as mutated since the last checkpoint
+	// encode; delta checkpoints re-serialize only dirty streams.
+	dirty bool
 }
+
+// MarkDirty flags the stream as mutated since the last checkpoint encode.
+func (sm *StreamMetrics) MarkDirty() { sm.dirty = true }
+
+// Dirty reports whether the stream mutated since the last checkpoint
+// encode.
+func (sm *StreamMetrics) Dirty() bool { return sm.dirty }
+
+// ClearDirty resets the mutation flag (called when a checkpoint encode
+// captures the stream).
+func (sm *StreamMetrics) ClearDirty() { sm.dirty = false }
 
 // DefaultMaxIdleGap is the default rate-series gap-fill cap.
 const DefaultMaxIdleGap = 60 * time.Second

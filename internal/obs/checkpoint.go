@@ -16,6 +16,16 @@ type CheckpointMetrics struct {
 	DurationMS *Gauge
 	SizeBytes  *Gauge
 	LastUnix   *Gauge
+
+	// DeltaWritten counts incremental (delta) checkpoint records;
+	// Written counts fulls only, so the two partition the chain.
+	DeltaWritten *Counter
+	// Fallbacks counts corrupt or torn checkpoint generations skipped
+	// during restore before a valid one loaded.
+	Fallbacks *Counter
+	// TmpCleaned counts orphaned checkpoint temp files removed at
+	// startup (debris of a crash mid-write).
+	TmpCleaned *Counter
 }
 
 // NewCheckpointMetrics registers the checkpoint series on r (nil r
@@ -29,6 +39,10 @@ func NewCheckpointMetrics(r *Registry) *CheckpointMetrics {
 		DurationMS: r.Gauge("zoomlens_checkpoint_duration_ms", "Wall-clock duration of the last checkpoint write."),
 		SizeBytes:  r.Gauge("zoomlens_checkpoint_size_bytes", "Encoded size of the last checkpoint."),
 		LastUnix:   r.Gauge("zoomlens_checkpoint_last_unix", "Unix time of the last successful checkpoint."),
+
+		DeltaWritten: r.Counter("zoomlens_checkpoint_deltas_total", "Incremental (delta) checkpoint records written."),
+		Fallbacks:    r.Counter("zoomlens_checkpoint_restore_fallbacks_total", "Corrupt checkpoint generations skipped during restore."),
+		TmpCleaned:   r.Counter("zoomlens_checkpoint_tmp_cleaned_total", "Orphaned checkpoint temp files removed at startup."),
 	}
 }
 
