@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke clean
+.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke cluster-smoke clean
 
 all: build test
 
@@ -58,7 +58,17 @@ ci:
 	$(MAKE) fuzz-smoke FUZZTIME=10s
 	$(MAKE) bench-smoke
 	$(MAKE) alloc-check
+	$(MAKE) cluster-smoke
 	$(MAKE) soak-smoke
+
+# The cluster scale-out invariant, end to end: the in-process
+# differential (splitter → pre-filtered workers → observation-log merge,
+# byte-identical to a single engine at 1/2/4 workers, pcap and pcapng,
+# with and without a mid-trace migration) plus the real-binary pipeline
+# (zoomsplit → zoomqoe -cluster-part fleet → zoomagg, including -exec
+# fan-out and a checkpoint-drain migration).
+cluster-smoke:
+	$(GO) test -count=1 -run 'TestClusterDifferential|TestClusterObsLogRoundTrip|TestClusterCLI' -v .
 
 # The full-shape continuous-operation soak: 100k+ concurrent streams
 # with churn through the production driver on a compressed trace clock,

@@ -257,6 +257,8 @@ func TestCLIShedAndRecoveryCountersExposed(t *testing.T) {
 		"zoomlens_checkpoint_deltas_total",
 		"zoomlens_checkpoint_restore_fallbacks_total",
 		"zoomlens_checkpoint_tmp_cleaned_total",
+		"zoomlens_report_rotations_total",
+		"zoomlens_report_rotation_failures_total",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("mid-capture exposition missing %s", series)
@@ -273,8 +275,9 @@ func TestCLIShedAndRecoveryCountersExposed(t *testing.T) {
 	<-drained
 	status := lastJSONLine(t, tail.String())
 	for _, key := range []string{
-		"shed_packets", "checkpoints", "delta_checkpoints",
+		"shed_packets", "shed_bytes", "checkpoints", "delta_checkpoints",
 		"restore_fallbacks", "tmp_cleaned", "quarantine_dropped",
+		"rotations", "rotate_failures",
 	} {
 		if _, ok := status[key]; !ok {
 			t.Errorf("status JSON missing %q:\n%v", key, status)

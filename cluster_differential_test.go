@@ -1,0 +1,266 @@
+package zoomlens
+
+// Differential test for cluster-mode scale-out: splitting a capture
+// across N worker processes (modeled in-process: splitter → pcapng
+// streams → sequential pre-filtered engines → observation logs →
+// checkpointed state) and aggregating the parts must render a report
+// byte-identical to one engine having read the whole capture — at every
+// fan-out width, from classic pcap and pcapng inputs alike, and across
+// a mid-trace checkpoint-drain worker migration.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"zoomlens/internal/cluster"
+	"zoomlens/internal/core"
+	"zoomlens/internal/pcap"
+)
+
+// feedWorkerStream replays one splitter output stream into a worker
+// engine, carrying the splitter's global sequence numbers.
+func feedWorkerStream(t *testing.T, a *Analyzer, stream []byte) {
+	t.Helper()
+	if len(stream) == 0 {
+		return
+	}
+	s, err := pcap.OpenStream(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec pcap.Record
+	for {
+		err := s.NextInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.HasPacketID {
+			t.Fatal("splitter stream record lacks epb_packetid")
+		}
+		a.PacketSeq(rec.Timestamp, rec.Data, rec.PacketID)
+	}
+}
+
+// clusterRun models one full cluster run over recs at the given fan-out
+// width and returns the merged report. migrateAt >= 0 drains and
+// migrates every worker at that input-packet index: the splitter
+// rotates all streams, each worker checkpoints, is discarded, and a
+// restored successor consumes the post-cut stream, appending to the
+// same observation log.
+func clusterRun(t *testing.T, cfg Config, recs []pcap.Record, workers, migrateAt int) string {
+	t.Helper()
+
+	// Splitter tier.
+	sp := cluster.NewSplitter(cfg, workers)
+	first := make([]*bytes.Buffer, workers)
+	second := make([]*bytes.Buffer, workers)
+	for i := range first {
+		first[i] = &bytes.Buffer{}
+		if err := sp.Attach(i, first[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pi, rec := range recs {
+		if pi == migrateAt {
+			for i := range second {
+				second[i] = &bytes.Buffer{}
+				if err := sp.Attach(i, second[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := sp.Packet(rec.Timestamp, rec.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := sp.Head(false)
+
+	// Worker tier: sequential pre-filtered engines, observations
+	// diverted to per-worker logs, state exported pre-Finish.
+	workerCfg := cfg
+	workerCfg.PreFiltered = true
+	parts := make([]*core.Analyzer, workers)
+	obsLogs := make([]*bytes.Buffer, workers)
+	for i := 0; i < workers; i++ {
+		obsLogs[i] = &bytes.Buffer{}
+		a := NewAnalyzer(workerCfg)
+		ow := cluster.NewObsWriter(obsLogs[i])
+		if err := a.SetClusterSink(ow.Add); err != nil {
+			t.Fatal(err)
+		}
+		feedWorkerStream(t, a, first[i].Bytes())
+		if migrateAt >= 0 {
+			// Drain: flush the log, checkpoint the worker, discard it,
+			// restore the successor, and resume on the rotated stream
+			// with a fresh log segment appended to the same file.
+			if err := ow.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			var ck bytes.Buffer
+			if err := a.Checkpoint(&ck); err != nil {
+				t.Fatal(err)
+			}
+			eng, err := RestoreAnalyzer(bytes.NewReader(ck.Bytes()), workerCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a = eng.(*Analyzer)
+			ow = cluster.NewObsWriter(obsLogs[i])
+			if err := a.SetClusterSink(ow.Add); err != nil {
+				t.Fatal(err)
+			}
+			feedWorkerStream(t, a, second[i].Bytes())
+		}
+		if err := ow.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var state bytes.Buffer
+		if err := a.Checkpoint(&state); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := RestoreAnalyzer(bytes.NewReader(state.Bytes()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, ok := eng.(*Analyzer)
+		if !ok {
+			t.Fatalf("worker %d state restored as %T, want *Analyzer", i, eng)
+		}
+		parts[i] = part
+	}
+
+	// Aggregator tier.
+	readers := make([]*cluster.ObsReader, workers)
+	for i := range readers {
+		r, err := cluster.NewObsReader(obsLogs[i].Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers[i] = r
+	}
+	next, errf := cluster.MergeObs(readers)
+	merged := core.MergeCluster(cfg, parts, head, next)
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	merged.Finish()
+	return renderReport(merged)
+}
+
+func TestClusterDifferential(t *testing.T) {
+	raw, ngRaw := ingestTrace(t)
+	_, _, cfg := benchTrace(t)
+
+	for _, input := range []struct {
+		name string
+		data []byte
+	}{{"pcap", raw}, {"pcapng", ngRaw}} {
+		recs, truncated := tracePackets(t, input.data)
+		if truncated {
+			t.Fatalf("%s trace unexpectedly truncated", input.name)
+		}
+		if len(recs) < 100 {
+			t.Fatalf("%s trace too short: %d packets", input.name, len(recs))
+		}
+
+		// Single-engine reference.
+		ref := NewAnalyzer(cfg)
+		for _, rec := range recs {
+			ref.Packet(rec.Timestamp, rec.Data)
+		}
+		ref.Finish()
+		want := renderReport(ref)
+		if !strings.Contains(want, "stream ") {
+			t.Fatalf("reference report is streamless:\n%.400s", want)
+		}
+
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", input.name, workers), func(t *testing.T) {
+				if got := clusterRun(t, cfg, recs, workers, -1); got != want {
+					t.Errorf("cluster report diverges from single engine (lens %d vs %d)\nfirst diff: %s",
+						len(got), len(want), firstDiffLine(want, got))
+				}
+			})
+			t.Run(fmt.Sprintf("%s/workers=%d/migrate", input.name, workers), func(t *testing.T) {
+				if got := clusterRun(t, cfg, recs, workers, len(recs)/2); got != want {
+					t.Errorf("post-migration cluster report diverges (lens %d vs %d)\nfirst diff: %s",
+						len(got), len(want), firstDiffLine(want, got))
+				}
+			})
+		}
+	}
+}
+
+// TestClusterObsLogRoundTrip pins the observation-log format: records
+// survive a write → append-second-segment → read cycle in order, and
+// the k-way merge interleaves logs by sequence number.
+func TestClusterObsLogRoundTrip(t *testing.T) {
+	mk := func(seqs ...uint64) core.ClusterObs {
+		return core.ClusterObs{Seq: seqs[0], PT: uint8(seqs[0] % 128), RTPSeq: uint16(seqs[0]), RTPTS: uint32(seqs[0] * 90)}
+	}
+	var buf bytes.Buffer
+	w := cluster.NewObsWriter(&buf)
+	w.Add(mk(1))
+	w.Add(mk(4))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A migrated worker's second life: new segment, same buffer.
+	w2 := cluster.NewObsWriter(&buf)
+	w2.Add(mk(7))
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := cluster.NewObsReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for {
+		o, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, o.Seq)
+	}
+	if fmt.Sprint(got) != "[1 4 7]" {
+		t.Fatalf("round-trip seqs = %v, want [1 4 7]", got)
+	}
+
+	// K-way merge across two logs.
+	var b2 bytes.Buffer
+	w3 := cluster.NewObsWriter(&b2)
+	w3.Add(mk(2))
+	w3.Add(mk(3))
+	w3.Add(mk(9))
+	if err := w3.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := cluster.NewObsReader(buf.Bytes())
+	rb, _ := cluster.NewObsReader(b2.Bytes())
+	next, errf := cluster.MergeObs([]*cluster.ObsReader{ra, rb})
+	got = got[:0]
+	for {
+		o, ok := next()
+		if !ok {
+			break
+		}
+		got = append(got, o.Seq)
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3 4 7 9]" {
+		t.Fatalf("merged seqs = %v, want [1 2 3 4 7 9]", got)
+	}
+}

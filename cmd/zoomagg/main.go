@@ -1,0 +1,153 @@
+// Command zoomagg is the cluster aggregator: it folds a zoomsplit →
+// worker-fleet run back into one meeting-level view.
+//
+// The primary mode merges worker engine states and observation logs
+// into a single sequential-equivalent analyzer — byte-identical to one
+// engine having read the whole capture:
+//
+//	zoomagg -cluster-merge sp-000,sp-001 -manifest sp.manifest.json \
+//	        -checkpoint-out merged.zlcp -summary
+//
+// Each -cluster-merge prefix names a worker's <prefix>.state.zlcp
+// shutdown checkpoint and <prefix>.obs observation log; -obs adds extra
+// logs (a migrated worker's first life). -checkpoint-out writes the
+// merged pre-Finish state as an ordinary checkpoint, so any reporting
+// tool can render the merged report: zoomqoe -restore merged.zlcp …
+//
+// Operational roll-ups (independent of the byte-identical path):
+//
+//	zoomagg -status  sp-000.status.json,sp-001.status.json
+//	zoomagg -metrics m0.prom,m1.prom
+//	zoomagg -windows w0,w1 -windows-out merged-window
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"zoomlens"
+	"zoomlens/internal/cluster"
+	"zoomlens/internal/cluster/agg"
+	"zoomlens/internal/core"
+	"zoomlens/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zoomagg: ")
+	var (
+		merge      = flag.String("cluster-merge", "", "comma-separated worker prefixes; each names <prefix>.state.zlcp and <prefix>.obs")
+		extraObs   = flag.String("obs", "", "comma-separated extra observation logs (e.g. a migrated worker's first life)")
+		manifest   = flag.String("manifest", "", "splitter manifest path (required with -cluster-merge)")
+		ckOut      = flag.String("checkpoint-out", "", "write the merged pre-Finish engine state to this checkpoint path")
+		summary    = flag.Bool("summary", false, "finish the merged engine and print its summary JSON on stdout")
+		status     = flag.String("status", "", "comma-separated worker status JSON files to merge onto stdout")
+		metricsIn  = flag.String("metrics", "", "comma-separated Prometheus text dumps to merge onto stdout")
+		windows    = flag.String("windows", "", "comma-separated worker -rotate-out prefixes whose window files to merge")
+		windowsOut = flag.String("windows-out", "zoomagg-window", "output prefix for merged window files (with -windows)")
+	)
+	flag.Parse()
+
+	did := false
+	if *merge != "" {
+		did = true
+		if *manifest == "" {
+			log.Fatal("-cluster-merge requires -manifest")
+		}
+		if *ckOut == "" && !*summary {
+			log.Fatal("-cluster-merge needs at least one output: -checkpoint-out and/or -summary")
+		}
+		man, err := cluster.ReadManifest(*manifest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prefixes := splitList(*merge)
+		states := make([]string, 0, len(prefixes))
+		obsPaths := make([]string, 0, len(prefixes))
+		for _, p := range prefixes {
+			states = append(states, p+".state.zlcp")
+			obsPaths = append(obsPaths, p+".obs")
+		}
+		obsPaths = append(obsPaths, splitList(*extraObs)...)
+		cfg := core.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()}
+		merged, err := agg.Aggregate(cfg, man, states, obsPaths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The checkpoint must capture the pre-Finish state — that is what
+		// keeps it restorable as a live engine (and what -restore expects).
+		if *ckOut != "" {
+			ck := engine.NewCheckpointer(*ckOut, 1, false, nil)
+			if err := ck.WriteFull(merged); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *summary {
+			merged.Finish()
+			data, err := json.MarshalIndent(merged.Summary(), "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(string(data))
+		}
+	}
+	if *status != "" {
+		did = true
+		files := splitList(*status)
+		lines := make([][]byte, 0, len(files))
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lines = append(lines, data)
+		}
+		out, err := agg.MergeStatus(lines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	}
+	if *metricsIn != "" {
+		did = true
+		files := splitList(*metricsIn)
+		dumps := make([]string, 0, len(files))
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dumps = append(dumps, string(data))
+		}
+		fmt.Print(agg.MergeProm(dumps))
+	}
+	if *windows != "" {
+		did = true
+		n, err := agg.MergeWindowFiles(splitList(*windows), *windowsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged %d window(s) under %s", n, *windowsOut)
+	}
+	if !did {
+		log.Fatal("nothing to do: give -cluster-merge, -status, -metrics, or -windows")
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

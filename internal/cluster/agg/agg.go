@@ -1,0 +1,288 @@
+// Package agg is the cluster aggregator tier: it merges per-worker
+// engine states and observation logs into one sequential-equivalent
+// analyzer (byte-identical to a single-engine run over the same
+// capture), and merges the operational outputs — status JSON lines,
+// Prometheus text expositions, rotated window reports — into one
+// meeting-level view. It sits above internal/cluster because restoring
+// worker state rides the engine driver's chain-aware checkpoint
+// restore (internal/engine), which the cluster package must not import.
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"zoomlens/internal/cluster"
+	"zoomlens/internal/core"
+	"zoomlens/internal/engine"
+)
+
+// LoadPart restores one worker's engine state (a legacy .zlcp file or a
+// chain base path, exactly as -restore accepts). Cluster workers run
+// sequentially, so a parallel-engine checkpoint is rejected — its
+// shard-partitioned state belongs to an in-process pipeline, not a
+// cluster part.
+func LoadPart(path string, cfg core.Config) (*core.Analyzer, error) {
+	eng, _, err := engine.RestoreEngine(path, cfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("agg: part %s: %w", path, err)
+	}
+	switch e := eng.(type) {
+	case *core.Analyzer:
+		return e, nil
+	default:
+		core.Discard(eng)
+		return nil, fmt.Errorf("agg: part %s holds a parallel engine state; cluster workers run with -workers 1", path)
+	}
+}
+
+// Aggregate merges a cluster run: the manifest's head counters, each
+// worker's pre-Finish engine state, and the k-way merged observation
+// logs. The returned analyzer has not been finished — Checkpoint it to
+// keep the merged state portable, or Finish it to read the report.
+// obsPaths may exceed statePaths when a migrated worker left logs from
+// more than one life; order does not matter (the merge is by sequence
+// number).
+func Aggregate(cfg core.Config, man cluster.Manifest, statePaths, obsPaths []string) (*core.Analyzer, error) {
+	// Workers ran pre-filtered (the splitter already classified), but
+	// the merged analyzer stands in for a single engine over the raw
+	// capture; it must not inherit the workers' PreFiltered view.
+	parts := make([]*core.Analyzer, 0, len(statePaths))
+	for _, p := range statePaths {
+		a, err := LoadPart(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, a)
+	}
+	readers := make([]*cluster.ObsReader, 0, len(obsPaths))
+	for _, p := range obsPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("agg: obs log: %w", err)
+		}
+		or, err := cluster.NewObsReader(data)
+		if err != nil {
+			return nil, fmt.Errorf("agg: obs log %s: %w", p, err)
+		}
+		readers = append(readers, or)
+	}
+	next, errf := cluster.MergeObs(readers)
+	merged := core.MergeCluster(cfg, parts, man.Head(), next)
+	if err := errf(); err != nil {
+		return nil, fmt.Errorf("agg: observation replay: %w", err)
+	}
+	return merged, nil
+}
+
+// MergeStatus merges per-worker status JSON lines into one object:
+// numeric fields sum, booleans OR, strings keep the first non-empty
+// value. It is an operational roll-up (counts of what the fleet did),
+// not part of the byte-identical report path.
+func MergeStatus(lines [][]byte) ([]byte, error) {
+	var merged map[string]any
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal(ln, &m); err != nil {
+			return nil, fmt.Errorf("agg: status line %d: %w", i, err)
+		}
+		if merged == nil {
+			merged = m
+			continue
+		}
+		for k, v := range m {
+			merged[k] = mergeStatusValue(k, merged[k], v)
+		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("agg: no status lines")
+	}
+	return json.Marshal(merged)
+}
+
+func mergeStatusValue(key string, a, b any) any {
+	switch av := a.(type) {
+	case nil:
+		return b
+	case float64:
+		if bv, ok := b.(float64); ok {
+			return av + bv
+		}
+	case bool:
+		if bv, ok := b.(bool); ok {
+			return av || bv
+		}
+	case string:
+		if av == "" {
+			if bv, ok := b.(string); ok {
+				return bv
+			}
+		}
+		return av
+	case map[string]any:
+		if bv, ok := b.(map[string]any); ok {
+			for k, v := range bv {
+				av[k] = mergeStatusValue(k, av[k], v)
+			}
+			return av
+		}
+	}
+	return a
+}
+
+// MergeProm merges Prometheus text expositions: samples with the same
+// series (name plus label set) sum; HELP/TYPE headers and series order
+// follow the first exposition they appear in. Counters sum exactly;
+// gauges sum too, which is the meaningful cluster roll-up for the
+// occupancy and backlog gauges the engine exports.
+func MergeProm(dumps []string) string {
+	type series struct {
+		key   string
+		value float64
+	}
+	var order []string // series keys + comment lines, first-seen order
+	seen := map[string]int{}
+	var vals []series
+	for _, dump := range dumps {
+		for _, ln := range strings.Split(dump, "\n") {
+			if ln == "" {
+				continue
+			}
+			if strings.HasPrefix(ln, "#") {
+				if _, ok := seen[ln]; !ok {
+					seen[ln] = -1
+					order = append(order, ln)
+				}
+				continue
+			}
+			sp := strings.LastIndexByte(ln, ' ')
+			if sp < 0 {
+				continue
+			}
+			key := ln[:sp]
+			v, err := strconv.ParseFloat(ln[sp+1:], 64)
+			if err != nil {
+				continue
+			}
+			if idx, ok := seen[key]; ok && idx >= 0 {
+				vals[idx].value += v
+				continue
+			}
+			seen[key] = len(vals)
+			vals = append(vals, series{key: key, value: v})
+			order = append(order, key)
+		}
+	}
+	var b strings.Builder
+	for _, ln := range order {
+		if idx, ok := seen[ln]; ok && idx >= 0 {
+			fmt.Fprintf(&b, "%s %s\n", vals[idx].key,
+				strconv.FormatFloat(vals[idx].value, 'g', -1, 64))
+			continue
+		}
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MergeWindowFiles merges per-worker rotated window reports: for every
+// window index present under any prefix, the workers' files merge into
+// <outPrefix>-NNNN.json (numeric summary fields sum, Duration and End
+// take the max, Start the min). Worker windows rotate on each worker's
+// own trace clock, so this is an approximate operational view — the
+// byte-identical path is the state + observation-log merge.
+func MergeWindowFiles(prefixes []string, outPrefix string) (int, error) {
+	byIndex := map[int][]map[string]any{}
+	for _, p := range prefixes {
+		for idx := 0; ; idx++ {
+			data, err := os.ReadFile(fmt.Sprintf("%s-%04d.json", p, idx))
+			if err != nil {
+				break
+			}
+			var m map[string]any
+			if err := json.Unmarshal(data, &m); err != nil {
+				return 0, fmt.Errorf("agg: window %s-%04d.json: %w", p, idx, err)
+			}
+			byIndex[idx] = append(byIndex[idx], m)
+		}
+	}
+	indexes := make([]int, 0, len(byIndex))
+	for idx := range byIndex {
+		indexes = append(indexes, idx)
+	}
+	sort.Ints(indexes)
+	for _, idx := range indexes {
+		ms := byIndex[idx]
+		merged := ms[0]
+		for _, m := range ms[1:] {
+			for k, v := range m {
+				merged[k] = mergeWindowValue(k, merged[k], v)
+			}
+		}
+		data, err := json.Marshal(merged)
+		if err != nil {
+			return 0, err
+		}
+		path := fmt.Sprintf("%s-%04d.json", outPrefix, idx)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return len(indexes), nil
+}
+
+func mergeWindowValue(key string, a, b any) any {
+	switch av := a.(type) {
+	case nil:
+		return b
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			return a
+		}
+		switch key {
+		case "window":
+			return av // same index by construction
+		case "Duration":
+			if bv > av {
+				return bv
+			}
+			return av
+		default:
+			return av + bv
+		}
+	case bool:
+		if bv, ok := b.(bool); ok {
+			return av || bv
+		}
+	case string:
+		// RFC3339 timestamps order lexicographically: window bounds take
+		// the union, everything else keeps the first value.
+		if bv, ok := b.(string); ok {
+			switch key {
+			case "start":
+				if bv < av {
+					return bv
+				}
+			case "end":
+				if bv > av {
+					return bv
+				}
+			}
+		}
+		return av
+	case map[string]any:
+		if bv, ok := b.(map[string]any); ok {
+			for k, v := range bv {
+				av[k] = mergeWindowValue(k, av[k], v)
+			}
+			return av
+		}
+	}
+	return a
+}

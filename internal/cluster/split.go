@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"zoomlens/internal/core"
+	"zoomlens/internal/pcap"
+)
+
+// Splitter fans one capture out to N worker streams: each frame is
+// classified by the shared dispatch path (core.Router — rawScan, the
+// stateful capture filter, the FNV-1a flow hash) and the kept ones are
+// written whole to the owning worker's pcapng stream, stamped with the
+// global capture sequence number as an epb_packetid option. A worker
+// process is just the ordinary engine driver reading that stream.
+type Splitter struct {
+	router *core.Router
+	outs   []*pcap.NGWriter
+	// kept counts frames forwarded per worker (the manifest's sanity
+	// cross-check against each worker's own packet count).
+	kept []uint64
+}
+
+// NewSplitter builds a splitter over n worker streams; attach each
+// stream with Attach before feeding packets.
+func NewSplitter(cfg core.Config, n int) *Splitter {
+	if n < 1 {
+		n = 1
+	}
+	return &Splitter{
+		router: core.NewRouter(cfg, n),
+		outs:   make([]*pcap.NGWriter, n),
+		kept:   make([]uint64, n),
+	}
+}
+
+// Workers returns the fan-out width.
+func (s *Splitter) Workers() int { return len(s.outs) }
+
+// Attach binds worker i's output stream, writing the pcapng section
+// and interface headers. Re-attaching mid-split rotates that worker's
+// stream to a new file — the drain point of a checkpoint-based worker
+// migration — without disturbing the router's filter state or the
+// global sequence numbering.
+func (s *Splitter) Attach(i int, w io.Writer) error {
+	ng, err := pcap.NewNGWriter(w, uint16(pcap.LinkTypeEthernet))
+	if err != nil {
+		return err
+	}
+	s.outs[i] = ng
+	return nil
+}
+
+// Packet routes one frame, forwarding it to its worker when the
+// dispatch path keeps it.
+func (s *Splitter) Packet(at time.Time, frame []byte) error {
+	shard, keep := s.router.Route(at, frame)
+	if !keep {
+		return nil
+	}
+	if s.outs[shard] == nil {
+		return fmt.Errorf("cluster: worker %d has no attached output", shard)
+	}
+	s.kept[shard]++
+	return s.outs[shard].WriteRecordID(at, frame, s.router.Packets)
+}
+
+// Head returns the splitter-side merged-accounting counters.
+func (s *Splitter) Head(truncated bool) core.ClusterHead { return s.router.Head(truncated) }
+
+// Manifest builds the split manifest for the aggregator.
+func (s *Splitter) Manifest(truncated bool) Manifest {
+	h := s.router.Head(truncated)
+	kept := make([]uint64, len(s.kept))
+	copy(kept, s.kept)
+	return Manifest{
+		Version:         1,
+		Workers:         len(s.outs),
+		Packets:         h.Packets,
+		Bytes:           h.Bytes,
+		Undecodable:     h.Undecodable,
+		DroppedByFilter: h.DroppedByFilter,
+		PanicsRecovered: h.PanicsRecovered,
+		Truncated:       h.Truncated,
+		FirstTS:         h.FirstTS,
+		LastTS:          h.LastTS,
+		KeptPerWorker:   kept,
+	}
+}
+
+// Manifest is the JSON file the splitter leaves beside its output
+// streams: the head counters the aggregator folds into the merged
+// report, plus the fan-out shape for sanity checks.
+type Manifest struct {
+	Version         int       `json:"version"`
+	Workers         int       `json:"workers"`
+	Packets         uint64    `json:"packets"`
+	Bytes           uint64    `json:"bytes"`
+	Undecodable     uint64    `json:"undecodable"`
+	DroppedByFilter uint64    `json:"dropped_by_filter"`
+	PanicsRecovered uint64    `json:"panics_recovered"`
+	Truncated       bool      `json:"truncated"`
+	FirstTS         time.Time `json:"first_ts"`
+	LastTS          time.Time `json:"last_ts"`
+	KeptPerWorker   []uint64  `json:"kept_per_worker"`
+}
+
+// Head converts the manifest back to the merge-time head counters.
+func (m Manifest) Head() core.ClusterHead {
+	return core.ClusterHead{
+		Packets:         m.Packets,
+		Bytes:           m.Bytes,
+		Undecodable:     m.Undecodable,
+		DroppedByFilter: m.DroppedByFilter,
+		PanicsRecovered: m.PanicsRecovered,
+		Truncated:       m.Truncated,
+		FirstTS:         m.FirstTS,
+		LastTS:          m.LastTS,
+	}
+}
+
+// MarshalManifest renders m as indented JSON with a trailing newline.
+func MarshalManifest(m Manifest) ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteManifest writes m as JSON to path.
+func WriteManifest(path string, m Manifest) error {
+	data, err := MarshalManifest(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteManifest.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("cluster: manifest %s: %w", path, err)
+	}
+	if m.Version != 1 {
+		return Manifest{}, fmt.Errorf("cluster: manifest %s: version %d not supported", path, m.Version)
+	}
+	return m, nil
+}

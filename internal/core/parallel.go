@@ -484,28 +484,12 @@ func (pa *ParallelAnalyzer) shardIndex(pkt *layers.Packet) int {
 // five-tuple: every packet of a flow — and hence of any media stream on
 // it — lands on one shard, preserving per-flow order. TCP hashes the
 // client endpoint the sequential path keys its RTT trackers by, so both
-// directions (and every connection) of one tracker share a shard.
+// directions (and every connection) of one tracker share a shard. The
+// hash itself (shardFor, in cluster.go) is shared with the cluster
+// splitter's Router so a worker process receives exactly the flows the
+// corresponding in-process shard would have.
 func (pa *ParallelAnalyzer) shardIndexFor(isTCP bool, src, dst netip.Addr, srcPort, dstPort uint16) int {
-	var h uint64 = 14695981039346656037 // FNV-1a offset basis
-	if isTCP {
-		client, cport := dst, dstPort
-		if pa.cfg.isZoomAddr(dst) && !pa.cfg.isZoomAddr(src) {
-			client, cport = src, srcPort
-		}
-		a16 := client.As16()
-		h = fnv1a(h, a16[:])
-		tail := [3]byte{byte(cport >> 8), byte(cport), layers.ProtoTCP}
-		h = fnv1a(h, tail[:])
-		return int(h % uint64(len(pa.shards)))
-	}
-	s16, d16 := src.As16(), dst.As16()
-	h = fnv1a(h, s16[:])
-	sp := [2]byte{byte(srcPort >> 8), byte(srcPort)}
-	h = fnv1a(h, sp[:])
-	h = fnv1a(h, d16[:])
-	tail := [3]byte{byte(dstPort >> 8), byte(dstPort), layers.ProtoUDP}
-	h = fnv1a(h, tail[:])
-	return int(h % uint64(len(pa.shards)))
+	return shardFor(&pa.cfg, len(pa.shards), isTCP, src, dst, srcPort, dstPort)
 }
 
 func fnv1a(h uint64, b []byte) uint64 {
@@ -553,25 +537,50 @@ func (pa *ParallelAnalyzer) Finish() {
 func (pa *ParallelAnalyzer) merge() *Analyzer {
 	defer pa.cfg.trace("merge")()
 	pa.advanceRecon()
-	m := NewAnalyzer(pa.cfg)
+	parts := make([]*Analyzer, len(pa.shards))
+	for i, sh := range pa.shards {
+		parts[i] = sh.a
+	}
+	m := mergeParts(pa.cfg, parts, ClusterHead{
+		Packets:         pa.packets,
+		Bytes:           pa.bytes,
+		Undecodable:     pa.undecodable,
+		DroppedByFilter: pa.dropped,
+		PanicsRecovered: pa.panics,
+		ShedPackets:     pa.shedPackets,
+		ShedBytes:       pa.shedBytes,
+		Truncated:       pa.truncated,
+		FirstTS:         pa.firstTS,
+		LastTS:          pa.lastTS,
+	}, pa.rec)
+	m.Finish()
+	return m
+}
+
+// mergeParts unions per-shard (or per-worker-process) analyzer state
+// under the head counters of the dispatcher (or cluster splitter), and
+// adopts the reconciled cross-flow state. Shared by the in-process
+// merge and cluster-mode MergeCluster; the result has not been
+// finished.
+func mergeParts(cfg Config, parts []*Analyzer, head ClusterHead, rec reconState) *Analyzer {
+	m := NewAnalyzer(cfg)
 	// The shards and the dispatcher already fed the shared counters and
 	// mirrored their cumulative eviction stats; the merged analyzer
 	// absorbs those same cumulative counts, so letting it mirror too
 	// would double-count. Its gauges are redundant with the per-shard
 	// series as well.
 	m.o = nil
-	m.Packets = pa.packets
-	m.Bytes = pa.bytes
-	m.Undecodable = pa.undecodable
-	m.DroppedByFilter = pa.dropped
-	m.PanicsRecovered = pa.panics
-	m.Truncated = pa.truncated
-	m.ShedPackets = pa.shedPackets
-	m.ShedBytes = pa.shedBytes
-	m.firstTS = pa.firstTS
-	m.lastTS = pa.lastTS
-	for _, sh := range pa.shards {
-		sa := sh.a
+	m.Packets = head.Packets
+	m.Bytes = head.Bytes
+	m.Undecodable = head.Undecodable
+	m.DroppedByFilter = head.DroppedByFilter
+	m.PanicsRecovered = head.PanicsRecovered
+	m.Truncated = head.Truncated
+	m.ShedPackets = head.ShedPackets
+	m.ShedBytes = head.ShedBytes
+	m.firstTS = head.FirstTS
+	m.lastTS = head.LastTS
+	for _, sa := range parts {
 		m.ZoomUDP += sa.ZoomUDP
 		m.Undecodable += sa.Undecodable
 		m.TCPPackets += sa.TCPPackets
@@ -610,9 +619,8 @@ func (pa *ParallelAnalyzer) merge() *Analyzer {
 		}
 		return fi.ID.Flow.String() < fj.ID.Flow.String()
 	})
-	m.Dedup = pa.rec.dedup
-	m.Copies = pa.rec.copies
-	m.Finish()
+	m.Dedup = rec.dedup
+	m.Copies = rec.copies
 	return m
 }
 

@@ -50,8 +50,17 @@ func newSPSCRing(capacity int) *spscRing {
 }
 
 // len reports the current batch backlog (racy but monotonic enough for
-// a gauge).
-func (r *spscRing) len() int { return int(r.tail.Load() - r.head.Load()) }
+// a gauge). The two loads are not atomic together: when the consumer
+// advances head between them, head can be observed past tail and the
+// uint64 difference wraps to an enormous value — clamp that to an empty
+// ring instead of poisoning the gauge.
+func (r *spscRing) len() int {
+	t, h := r.tail.Load(), r.head.Load()
+	if h >= t {
+		return 0
+	}
+	return int(t - h)
+}
 
 // push enqueues one batch, blocking while the ring is full
 // (backpressure on the dispatcher). Producer-only.

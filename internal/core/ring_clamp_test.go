@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// TestRingLenClamp pins the backlog-gauge fix: len()'s two loads are
+// not atomic together, so the consumer can advance head past the tail
+// value already read — the uint64 difference must clamp to 0 instead of
+// wrapping to ~2^64 and poisoning the occupancy gauge.
+func TestRingLenClamp(t *testing.T) {
+	r := newSPSCRing(4)
+	// Model the torn read: head observed ahead of tail.
+	r.tail.Store(3)
+	r.head.Store(5)
+	if got := r.len(); got != 0 {
+		t.Fatalf("len() = %d with head past tail, want 0 (wrap clamped)", got)
+	}
+	r.tail.Store(7)
+	if got := r.len(); got != 2 {
+		t.Fatalf("len() = %d, want 2", got)
+	}
+	r.head.Store(7)
+	if got := r.len(); got != 0 {
+		t.Fatalf("len() = %d when drained, want 0", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"zoomlens/internal/cliobs"
+	"zoomlens/internal/cluster"
 	"zoomlens/internal/core"
 	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
@@ -105,6 +106,23 @@ type Flags struct {
 	// Overload / memory-bound hardening.
 	Shed        bool
 	MaxFinished int
+
+	// ClusterPart runs this process as one cluster worker: the input is
+	// a splitter stream (pcapng frames stamped with global sequence
+	// numbers), media observations are exported to <part>.obs, the
+	// shutdown checkpoint defaults to <part>.state.zlcp, and the status
+	// JSON is mirrored to <part>.status.json for the aggregator.
+	ClusterPart string
+
+	// fs remembers the FlagSet Register installed on, so the driver can
+	// distinguish an explicitly set flag from its default. Nil when the
+	// Flags struct was built directly (tests, embedders).
+	fs *flag.FlagSet
+
+	// engineHook, when set, observes the engine right after creation or
+	// restore. Tests use it to install panic hooks; production never
+	// sets it.
+	engineHook func(core.Engine)
 }
 
 // Register installs the shared analysis flags on fs.
@@ -125,8 +143,26 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.MaxFinished, "max-finished", 0, "cap archived finished streams; at the cap the oldest are dropped and counted (0 = unlimited)")
 	fs.DurationVar(&f.Rotate, "rotate", 0, "close and emit the report window every this much trace time, writing <rotate-out>-NNNN.json per window (0 = one report)")
 	fs.StringVar(&f.RotateOut, "rotate-out", "zoomlens-window", "path prefix for rotated window report files")
+	fs.StringVar(&f.ClusterPart, "cluster-part", "", "run as one cluster worker under this path prefix: export media observations to <prefix>.obs, default the shutdown checkpoint to <prefix>.state.zlcp, and mirror the status JSON to <prefix>.status.json (input should be a zoomsplit stream; requires -workers 1)")
 	f.Obs = cliobs.Register(fs)
+	f.fs = fs
 	return f
+}
+
+// workersExplicit reports whether -workers was set on the command line
+// (as opposed to left at its default). Without a FlagSet to consult, a
+// non-default value is treated as explicit.
+func (f *Flags) workersExplicit() bool {
+	if f.fs != nil {
+		set := false
+		f.fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "workers" {
+				set = true
+			}
+		})
+		return set
+	}
+	return f.Workers != 1
 }
 
 // Run is one completed analysis run: the engine has ingested the whole
@@ -152,8 +188,13 @@ type Run struct {
 	Checkpoints int
 	// Rotations counts report windows closed by -rotate. With rotation
 	// on, the final report (run.Analyzer) covers only the last window;
-	// earlier windows live in the <rotate-out>-NNNN.json files.
+	// earlier windows live in the <rotate-out>-NNNN.json files. Only
+	// windows whose report file actually landed are counted; failed
+	// writes count under RotateFailures instead.
 	Rotations int
+	// RotateFailures counts report windows whose file write failed (the
+	// window's state is still folded forward into the run).
+	RotateFailures int
 	// DeltaCheckpoints counts incremental checkpoint records written
 	// (Checkpoints counts fulls; together they are the chain).
 	DeltaCheckpoints int
@@ -164,10 +205,20 @@ type Run struct {
 	// (debris of a crash mid-write).
 	TmpCleaned int
 
-	quarantine *core.Quarantine
-	quarPath   string
-	ckm        *obs.CheckpointMetrics
-	ck         *Checkpointer
+	quarantine  *core.Quarantine
+	quarPath    string
+	quarFlushed bool
+	statusPath  string
+	ckm         *obs.CheckpointMetrics
+	ck          *Checkpointer
+}
+
+// clusterEngine is the engine-side surface a cluster worker needs: an
+// observation sink for the aggregator's reconciliation replay, and
+// sequence-stamped ingest carrying the splitter's global packet ids.
+type clusterEngine interface {
+	SetClusterSink(func(core.ClusterObs)) error
+	PacketSeq(at time.Time, frame []byte, seq uint64)
 }
 
 // Run builds an engine from the flags, streams the whole input through
@@ -179,6 +230,12 @@ type Run struct {
 // package free of policy).
 func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 	if f.Input == "" {
+		if f.Restore != "" {
+			// Render-only: restore the checkpoint and finish without
+			// ingesting anything — how a report is read back out of an
+			// aggregated cluster state (or any saved checkpoint).
+			return f.RunFrom(zoomNets, func(*pcap.Record) error { return io.EOF }, func() bool { return false })
+		}
 		return nil, errors.New("missing -i input pcap")
 	}
 	var file *os.File
@@ -234,15 +291,30 @@ func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, 
 		Obs:          setup.Registry,
 		Tracer:       setup.Tracer,
 	}
+	if f.ClusterPart != "" {
+		// A cluster worker's stream was already classified by the
+		// splitter; keeping every delivered frame preserves the exact
+		// accounting split a single engine's dispatch path would produce.
+		cfg.PreFiltered = true
+	}
 	run := &Run{Setup: setup, quarPath: f.QuarantinePath}
 	run.ckm = obs.NewCheckpointMetrics(setup.Registry)
 	if f.QuarantinePath != "" {
 		run.quarantine = core.NewQuarantine(0)
 		cfg.Quarantine = run.quarantine
 	}
-	if f.Checkpoint != "" {
-		run.ck = NewCheckpointer(f.Checkpoint, f.CheckpointKeep, f.CheckpointDelta > 0, run.ckm)
+	// In cluster-part mode the shutdown checkpoint is the worker's
+	// contribution to the merged report, so it defaults on.
+	ckPath := f.Checkpoint
+	if ckPath == "" && f.ClusterPart != "" {
+		ckPath = f.ClusterPart + ".state.zlcp"
+	}
+	if ckPath != "" {
+		run.ck = NewCheckpointer(ckPath, f.CheckpointKeep, f.CheckpointDelta > 0, run.ckm)
 		run.TmpCleaned = run.ck.TmpCleaned
+	}
+	if f.ClusterPart != "" {
+		run.statusPath = f.ClusterPart + ".status.json"
 	}
 	// The parallel analyzer produces byte-identical results at any worker
 	// count (workers == 1 is the plain sequential analyzer). A restored
@@ -263,13 +335,80 @@ func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, 
 		if fallbacks > 0 {
 			log.Printf("restore: skipped %d torn or corrupt checkpoint generation(s)", fallbacks)
 		}
-		if pa, ok := eng.(*core.ParallelAnalyzer); ok && f.Workers > 1 && pa.Workers() != f.Workers {
-			log.Printf("restore: checkpoint was taken at %d workers; ignoring -workers=%d", pa.Workers(), f.Workers)
+		// The checkpoint's worker count always wins over -workers; warn
+		// whenever the flag was explicitly set to something else. A
+		// restored sequential engine counts as 1 worker — an explicit
+		// -workers 4 against it is just as ignored as 4 against a
+		// 2-worker parallel checkpoint.
+		if f.workersExplicit() {
+			ckWorkers := 1
+			if pa, ok := eng.(*core.ParallelAnalyzer); ok {
+				ckWorkers = pa.Workers()
+			}
+			if ckWorkers != f.Workers {
+				log.Printf("restore: checkpoint was taken at %d worker(s); ignoring -workers=%d", ckWorkers, f.Workers)
+			}
 		}
 	} else {
 		eng = core.NewParallelAnalyzer(cfg, f.Workers)
 	}
 	run.Engine = eng
+	if f.engineHook != nil {
+		f.engineHook(eng)
+	}
+
+	// Cluster-part wiring: divert media observations to <prefix>.obs
+	// (append mode, so a migrated worker's second life extends the same
+	// log) and stamp ingest with the splitter's global sequence numbers.
+	var clusterIngest func(*pcap.Record)
+	var obsLog *cluster.ObsWriter
+	var obsFile *os.File
+	closeObsLog := func() {
+		if obsLog == nil {
+			return
+		}
+		if err := obsLog.Flush(); err != nil {
+			log.Printf("cluster obs log: %v", err)
+		}
+		if err := obsFile.Close(); err != nil {
+			log.Printf("cluster obs log: %v", err)
+		}
+		obsLog, obsFile = nil, nil
+	}
+	if f.ClusterPart != "" {
+		ce, ok := eng.(clusterEngine)
+		var cerr error
+		if !ok {
+			cerr = errors.New("engine: this engine cannot run as a cluster part")
+		} else {
+			obsFile, cerr = os.OpenFile(f.ClusterPart+".obs", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if cerr == nil {
+				obsLog = cluster.NewObsWriter(obsFile)
+				cerr = ce.SetClusterSink(obsLog.Add)
+			}
+		}
+		if cerr != nil {
+			core.Discard(eng)
+			if obsFile != nil {
+				obsFile.Close()
+			}
+			setup.Close()
+			return nil, cerr
+		}
+		var localSeq uint64
+		clusterIngest = func(rec *pcap.Record) {
+			seq := rec.PacketID
+			if !rec.HasPacketID {
+				// Not a splitter stream (plain pcap, or pcapng without
+				// epb_packetid): a local 1-based counter preserves this
+				// worker's own order. Cross-worker order needs the
+				// splitter's ids.
+				localSeq++
+				seq = localSeq
+			}
+			ce.PacketSeq(rec.Timestamp, rec.Data, seq)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -298,9 +437,14 @@ readLoop:
 		}
 		if err != nil {
 			// Tear the run down completely: a live parallel engine holds
-			// shard goroutines that must not outlive a failed run.
+			// shard goroutines that must not outlive a failed run. The
+			// panic quarantine still flushes — the frames that poisoned
+			// the run up to this point are exactly the ones worth
+			// dissecting offline.
 			signal.Stop(sig)
 			core.Discard(eng)
+			run.flushQuarantine()
+			closeObsLog()
 			setup.Close()
 			return nil, err
 		}
@@ -318,7 +462,11 @@ readLoop:
 				}
 			}
 		}
-		eng.Packet(rec.Timestamp, rec.Data)
+		if clusterIngest != nil {
+			clusterIngest(&rec)
+		} else {
+			eng.Packet(rec.Timestamp, rec.Data)
+		}
 		lastTS = rec.Timestamp
 		sw.Tick(rec.Timestamp)
 		if run.ck != nil && f.CheckpointInterval > 0 {
@@ -362,6 +510,9 @@ readLoop:
 		run.writeFull(eng)
 	}
 	eng.Finish()
+	// Finishing emits no observations, so the log is complete here; it
+	// must be on disk before the aggregator can be pointed at it.
+	closeObsLog()
 	if !lastTS.IsZero() {
 		sw.Flush(lastTS)
 	}
@@ -422,21 +573,27 @@ type windowReport struct {
 }
 
 // rotateWindow closes the current report window and writes its roll-up
-// to <prefix>-NNNN.json. Report-file failures are logged, never fatal.
+// to <prefix>-NNNN.json. Report-file failures are logged and counted,
+// never fatal — and they do not consume a window index or count as a
+// rotation, so the Rotations counter (and the NNNN numbering) tracks
+// reports that actually landed on disk.
 func (r *Run) rotateWindow(eng core.Engine, start, end time.Time, prefix string) {
 	win := eng.Rotate(end)
 	path := fmt.Sprintf("%s-%04d.json", prefix, r.Rotations)
-	r.Rotations++
-	r.ckm.Rotations.Inc()
 	data, err := json.Marshal(windowReport{
-		Window: r.Rotations - 1, Start: start, End: end, Summary: win.Summary(),
+		Window: r.Rotations, Start: start, End: end, Summary: win.Summary(),
 	})
 	if err == nil {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)
 	}
 	if err != nil {
 		log.Printf("rotate %s: %v", path, err)
+		r.RotateFailures++
+		r.ckm.RotateFailures.Inc()
+		return
 	}
+	r.Rotations++
+	r.ckm.Rotations.Inc()
 }
 
 // Stage times one CLI stage under the run's tracer (no-op when tracing
@@ -461,26 +618,43 @@ func (r *Run) EmitStatus() {
 	case s.Truncated:
 		reason = "truncated_capture"
 	}
-	var quarantined, quarDropped uint64
-	if r.quarantine != nil {
-		quarantined = r.quarantine.Total()
-		quarDropped = r.quarantine.Dropped()
-		if quarantined > 0 {
-			qf, err := os.Create(r.quarPath)
-			if err != nil {
-				log.Print(err)
-			} else {
-				if err := r.quarantine.WritePCAP(qf); err != nil {
-					log.Print(err)
-				}
-				qf.Close()
-			}
-		}
-	}
-	fmt.Fprintf(os.Stderr,
-		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"quarantine_dropped":%d,"shed_packets":%d,"truncated":%t,"checkpoints":%d,"delta_checkpoints":%d,"restore_fallbacks":%d,"tmp_cleaned":%d,"restored":%t,"rotations":%d}`+"\n",
+	quarantined, quarDropped := r.flushQuarantine()
+	line := fmt.Sprintf(
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"quarantine_dropped":%d,"shed_packets":%d,"shed_bytes":%d,"truncated":%t,"checkpoints":%d,"delta_checkpoints":%d,"restore_fallbacks":%d,"tmp_cleaned":%d,"restored":%t,"rotations":%d,"rotate_failures":%d}`,
 		r.Interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
 		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, quarDropped,
-		s.ShedPackets, s.Truncated, r.Checkpoints, r.DeltaCheckpoints, r.RestoreFallbacks, r.TmpCleaned,
-		r.Restored, r.Rotations)
+		s.ShedPackets, s.ShedBytes, s.Truncated, r.Checkpoints, r.DeltaCheckpoints, r.RestoreFallbacks, r.TmpCleaned,
+		r.Restored, r.Rotations, r.RotateFailures)
+	fmt.Fprintln(os.Stderr, line)
+	if r.statusPath != "" {
+		if err := os.WriteFile(r.statusPath, []byte(line+"\n"), 0o644); err != nil {
+			log.Printf("status file: %v", err)
+		}
+	}
+}
+
+// flushQuarantine writes the quarantined frames to the -quarantine pcap
+// (once per run — a mid-run teardown may have flushed already) and
+// returns the quarantine counters. It runs both from EmitStatus and
+// from the read-error teardown path, so frames captured before a
+// source failure are never silently discarded with the engine.
+func (r *Run) flushQuarantine() (quarantined, dropped uint64) {
+	if r.quarantine == nil {
+		return 0, 0
+	}
+	quarantined, dropped = r.quarantine.Total(), r.quarantine.Dropped()
+	if quarantined == 0 || r.quarFlushed {
+		return quarantined, dropped
+	}
+	r.quarFlushed = true
+	qf, err := os.Create(r.quarPath)
+	if err != nil {
+		log.Print(err)
+		return quarantined, dropped
+	}
+	if err := r.quarantine.WritePCAP(qf); err != nil {
+		log.Print(err)
+	}
+	qf.Close()
+	return quarantined, dropped
 }

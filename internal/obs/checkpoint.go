@@ -9,13 +9,16 @@ import "time"
 // Every method is safe on a nil receiver and on handles from a nil
 // Registry, matching the rest of the package.
 type CheckpointMetrics struct {
-	Written    *Counter
-	Failed     *Counter
-	Restored   *Counter
-	Rotations  *Counter
-	DurationMS *Gauge
-	SizeBytes  *Gauge
-	LastUnix   *Gauge
+	Written   *Counter
+	Failed    *Counter
+	Restored  *Counter
+	Rotations *Counter
+	// RotateFailures counts windows whose report file could not be
+	// written; Rotations counts only successful window emissions.
+	RotateFailures *Counter
+	DurationMS     *Gauge
+	SizeBytes      *Gauge
+	LastUnix       *Gauge
 
 	// DeltaWritten counts incremental (delta) checkpoint records;
 	// Written counts fulls only, so the two partition the chain.
@@ -32,13 +35,14 @@ type CheckpointMetrics struct {
 // yields inert handles).
 func NewCheckpointMetrics(r *Registry) *CheckpointMetrics {
 	return &CheckpointMetrics{
-		Written:    r.Counter("zoomlens_checkpoints_written_total", "Checkpoints written successfully."),
-		Failed:     r.Counter("zoomlens_checkpoint_failures_total", "Checkpoint writes that failed."),
-		Restored:   r.Counter("zoomlens_checkpoint_restores_total", "Runs resumed from a checkpoint."),
-		Rotations:  r.Counter("zoomlens_report_rotations_total", "Report windows rotated out."),
-		DurationMS: r.Gauge("zoomlens_checkpoint_duration_ms", "Wall-clock duration of the last checkpoint write."),
-		SizeBytes:  r.Gauge("zoomlens_checkpoint_size_bytes", "Encoded size of the last checkpoint."),
-		LastUnix:   r.Gauge("zoomlens_checkpoint_last_unix", "Unix time of the last successful checkpoint."),
+		Written:        r.Counter("zoomlens_checkpoints_written_total", "Checkpoints written successfully."),
+		Failed:         r.Counter("zoomlens_checkpoint_failures_total", "Checkpoint writes that failed."),
+		Restored:       r.Counter("zoomlens_checkpoint_restores_total", "Runs resumed from a checkpoint."),
+		Rotations:      r.Counter("zoomlens_report_rotations_total", "Report windows rotated out."),
+		RotateFailures: r.Counter("zoomlens_report_rotation_failures_total", "Report windows whose file write failed."),
+		DurationMS:     r.Gauge("zoomlens_checkpoint_duration_ms", "Wall-clock duration of the last checkpoint write."),
+		SizeBytes:      r.Gauge("zoomlens_checkpoint_size_bytes", "Encoded size of the last checkpoint."),
+		LastUnix:       r.Gauge("zoomlens_checkpoint_last_unix", "Unix time of the last successful checkpoint."),
 
 		DeltaWritten: r.Counter("zoomlens_checkpoint_deltas_total", "Incremental (delta) checkpoint records written."),
 		Fallbacks:    r.Counter("zoomlens_checkpoint_restore_fallbacks_total", "Corrupt checkpoint generations skipped during restore."),

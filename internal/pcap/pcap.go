@@ -66,6 +66,13 @@ type Record struct {
 	OriginalLen int
 	// Data is the captured bytes, starting at the file's link type.
 	Data []byte
+	// PacketID is the 64-bit epb_packetid option of a pcapng enhanced
+	// packet block, valid only when HasPacketID is set. The cluster
+	// splitter uses it to carry the global capture sequence number to
+	// worker processes; classic pcap has no per-record options, so
+	// records read from it never carry one.
+	PacketID    uint64
+	HasPacketID bool
 }
 
 // Reader reads records from a pcap stream.
@@ -168,6 +175,8 @@ func (r *Reader) NextInto(rec *Record) error {
 	rec.Timestamp = time.Unix(int64(sec), nsec).UTC()
 	rec.OriginalLen = int(origLen)
 	rec.Data = data
+	rec.PacketID = 0
+	rec.HasPacketID = false
 	return nil
 }
 

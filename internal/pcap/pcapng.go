@@ -266,6 +266,28 @@ func (ng *NGReader) parseEPB(body []byte, rec *Record) error {
 	rec.Timestamp = time.Unix(int64(sec), int64(nsec)).UTC()
 	rec.OriginalLen = int(origLen)
 	rec.Data = body[20 : 20+capLen]
+	rec.PacketID = 0
+	rec.HasPacketID = false
+	// Options follow the padded packet data: scan for epb_packetid
+	// (code 5, a 64-bit per-packet identifier — the cluster splitter's
+	// global capture sequence number).
+	opts := body[20+((int(capLen)+3)&^3):]
+	for len(opts) >= 4 {
+		code := ng.order.Uint16(opts[0:2])
+		olen := int(ng.order.Uint16(opts[2:4]))
+		padded := (olen + 3) &^ 3
+		if len(opts) < 4+padded {
+			break
+		}
+		if code == 5 && olen == 8 {
+			rec.PacketID = ng.order.Uint64(opts[4:12])
+			rec.HasPacketID = true
+		}
+		if code == 0 {
+			break
+		}
+		opts = opts[4+padded:]
+	}
 	return nil
 }
 
@@ -281,6 +303,8 @@ func (ng *NGReader) parseSPB(body []byte, rec *Record) error {
 	rec.Timestamp = time.Time{}
 	rec.OriginalLen = int(origLen)
 	rec.Data = body[4 : 4+capLen]
+	rec.PacketID = 0
+	rec.HasPacketID = false
 	return nil
 }
 
@@ -402,6 +426,30 @@ func (ng *NGWriter) WriteRecord(ts time.Time, data []byte) error {
 	binary.LittleEndian.PutUint32(body[12:16], uint32(len(data)))
 	binary.LittleEndian.PutUint32(body[16:20], uint32(len(data)))
 	body = append(body, data...)
+	return ng.writeBlock(blockEPB, body)
+}
+
+// WriteRecordID appends one enhanced packet block carrying an
+// epb_packetid option (code 5). The cluster splitter stamps each
+// forwarded frame with its global capture sequence number this way, so
+// worker processes can reconstruct the exact cross-worker capture order
+// the byte-identical merge invariant depends on.
+func (ng *NGWriter) WriteRecordID(ts time.Time, data []byte, id uint64) error {
+	raw := uint64(ts.UnixNano())
+	pad := (4 - len(data)%4) % 4
+	body := make([]byte, 20, 20+len(data)+pad+16)
+	binary.LittleEndian.PutUint32(body[0:4], 0) // interface 0
+	binary.LittleEndian.PutUint32(body[4:8], uint32(raw>>32))
+	binary.LittleEndian.PutUint32(body[8:12], uint32(raw))
+	binary.LittleEndian.PutUint32(body[12:16], uint32(len(data)))
+	binary.LittleEndian.PutUint32(body[16:20], uint32(len(data)))
+	body = append(body, data...)
+	for i := 0; i < pad; i++ {
+		body = append(body, 0) // options start 32-bit aligned
+	}
+	body = append(body, 5, 0, 8, 0) // epb_packetid, length 8
+	body = binary.LittleEndian.AppendUint64(body, id)
+	body = append(body, 0, 0, 0, 0) // opt_endofopt
 	return ng.writeBlock(blockEPB, body)
 }
 

@@ -47,6 +47,10 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of bytes encoded so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset discards the encoded state, keeping the buffer for reuse, so
+// one Writer can encode a stream of records without reallocating.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Grow reserves capacity for at least n more bytes, so encoders with a
 // size estimate avoid repeated buffer doublings (a full checkpoint is
 // megabytes; growing from zero copies the prefix a couple dozen times).
