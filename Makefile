@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke cluster-smoke clean
+.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke cluster-smoke proto-smoke clean
 
 all: build test
 
@@ -59,6 +59,7 @@ ci:
 	$(MAKE) bench-smoke
 	$(MAKE) alloc-check
 	$(MAKE) cluster-smoke
+	$(MAKE) proto-smoke
 	$(MAKE) soak-smoke
 
 # The cluster scale-out invariant, end to end: the in-process
@@ -69,6 +70,17 @@ ci:
 # fan-out and a checkpoint-drain migration).
 cluster-smoke:
 	$(GO) test -count=1 -run 'TestClusterDifferential|TestClusterObsLogRoundTrip|TestClusterCLI' -v .
+
+# The protocol-plugin invariants, end to end: the mixed-app campus
+# differential (Zoom + standards-RTC side by side, byte-identical across
+# sequential, parallel, and 2-way cluster engines, pcap and pcapng), the
+# zoom-only backward-compatibility golden (-proto zoom == default set on
+# a pure Zoom trace), the plugin/capture unit suites, and the CLI-level
+# per-app counter exposure.
+proto-smoke:
+	$(GO) test -count=1 -run 'TestProtoDifferentialMixedApps|TestProtoZoomOnlyUnchanged|TestCLIProtoCountersExposed' -v .
+	$(GO) test -count=1 ./internal/rtcproto/ ./internal/webrtc/
+	$(GO) test -count=1 -run 'TestSTUNPortRequiresFraming|TestWebRTCEndToEnd|TestProtoPinnedToZoom|TestCheckpointOldVersionRejected' -v ./internal/core/
 
 # The full-shape continuous-operation soak: 100k+ concurrent streams
 # with churn through the production driver on a compressed trace clock,
@@ -88,6 +100,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRTPParse -fuzztime=$(FUZZTIME) ./internal/rtp/
 	$(GO) test -fuzz=FuzzSTUNParse -fuzztime=$(FUZZTIME) ./internal/stun/
 	$(GO) test -fuzz=FuzzLayersParse -fuzztime=$(FUZZTIME) ./internal/layers/
+	$(GO) test -fuzz=FuzzWebRTCParse -fuzztime=$(FUZZTIME) ./internal/webrtc/
 	$(GO) test -fuzz=FuzzCheckpointRestore -fuzztime=$(FUZZTIME) -fuzzminimizetime=5s ./internal/core/
 
 examples:

@@ -288,6 +288,111 @@ func TestCLIShedAndRecoveryCountersExposed(t *testing.T) {
 	}
 }
 
+// TestCLIProtoCountersExposed pins the per-plugin decode counters to
+// both CLI surfaces: the Prometheus exposition must carry the labeled
+// zoomlens_proto_decoded_total series while a tool is mid-capture, and
+// the final status JSON must report per-app decode totals matching the
+// application actually on the wire.
+func TestCLIProtoCountersExposed(t *testing.T) {
+	bin := buildCLI(t)
+	work := t.TempDir()
+	pcapPath := filepath.Join(work, "webrtc.pcap")
+	runTool(t, bin, "zoomsim", "-o", pcapPath, "-mode", "meeting", "-app", "webrtc", "-duration", "20s")
+	data, err := os.ReadFile(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(filepath.Join(bin, "zoomqoe"),
+		"-i", "-", "-what", "series", "-metrics-addr", "127.0.0.1:0")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Wait()
+	defer stdin.Close()
+
+	sc := bufio.NewScanner(stderrPipe)
+	addr := ""
+	var tail strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			addr = strings.TrimSuffix(line[i+len("listening on http://"):], "/metrics")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening address on stderr (scan error: %v)", sc.Err())
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			tail.WriteString(sc.Text())
+			tail.WriteByte('\n')
+		}
+	}()
+
+	if _, err := stdin.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	// Poll until the webrtc plugin's counter is visibly positive.
+	var mid float64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := scrape(t, "http://"+addr+"/metrics")
+		fmt.Sscanf(findLine(body, `zoomlens_proto_decoded_total{proto="webrtc"} `),
+			`zoomlens_proto_decoded_total{proto="webrtc"} %g`, &mid)
+		if !strings.Contains(body, `zoomlens_proto_decoded_total{proto="zoom"}`) ||
+			!strings.Contains(body, "zoomlens_proto_undecodable_total") {
+			t.Fatalf("exposition missing per-plugin series:\n%.2000s", body)
+		}
+		if mid > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if mid <= 0 {
+		t.Errorf(`mid-capture zoomlens_proto_decoded_total{proto="webrtc"} never went positive`)
+	}
+
+	if _, err := stdin.Write(data[len(data)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	stdin.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("zoomqoe: %v\n%s", err, tail.String())
+	}
+	<-drained
+
+	status := lastJSONLine(t, tail.String())
+	if n, _ := status["proto_decoded_webrtc"].(float64); n <= 0 {
+		t.Errorf("status proto_decoded_webrtc = %v, want > 0:\n%v", status["proto_decoded_webrtc"], status)
+	}
+	if n, ok := status["proto_decoded_zoom"].(float64); !ok || n != 0 {
+		t.Errorf("status proto_decoded_zoom = %v, want 0 on a webrtc-only trace", status["proto_decoded_zoom"])
+	}
+	for _, key := range []string{"proto_undecodable", "stun_port_nonstun"} {
+		if _, ok := status[key]; !ok {
+			t.Errorf("status JSON missing %q:\n%v", key, status)
+		}
+	}
+	// The per-stream series the tool printed must be proto-tagged.
+	if !strings.Contains(stdout.String(), "webrtc") {
+		t.Errorf("series output lacks the webrtc proto tag:\n%.800s", stdout.String())
+	}
+}
+
 // scrape GETs a metrics URL, retrying briefly (the first counters may
 // land an instant after the listener).
 func scrape(t *testing.T, url string) string {

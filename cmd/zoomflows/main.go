@@ -24,6 +24,7 @@ import (
 
 	"zoomlens"
 	"zoomlens/internal/engine"
+	"zoomlens/internal/rtcproto"
 )
 
 func main() {
@@ -46,13 +47,14 @@ func main() {
 	defer w.Flush()
 	switch *what {
 	case "streams":
-		w.Write([]string{"ssrc", "type", "flow", "first_seen", "last_seen", "packets", "media_bytes", "frames", "lost", "dups"})
+		w.Write([]string{"ssrc", "proto", "type", "flow", "first_seen", "last_seen", "packets", "media_bytes", "frames", "lost", "dups"})
 		for _, id := range a.StreamIDs() {
 			sm, _ := a.MetricsFor(id)
 			st, _ := a.Flows.Stream(id)
 			loss := sm.LossStats()
 			w.Write([]string{
 				strconv.FormatUint(uint64(id.Key.SSRC), 10),
+				rtcproto.NameOf(id.Key.Proto),
 				id.Key.Type.String(),
 				id.Flow.String(),
 				st.FirstSeen.Format("15:04:05.000"),
@@ -78,7 +80,7 @@ func main() {
 			})
 		}
 	case "meetings":
-		w.Write([]string{"meeting", "start", "end", "participants", "streams", "clients"})
+		w.Write([]string{"meeting", "app", "start", "end", "participants", "streams", "clients"})
 		for _, m := range a.Meetings() {
 			clients := ""
 			for i, c := range m.Clients {
@@ -89,6 +91,7 @@ func main() {
 			}
 			w.Write([]string{
 				strconv.Itoa(m.ID),
+				rtcproto.NameOf(m.Proto),
 				m.Start.Format("15:04:05"),
 				m.End.Format("15:04:05"),
 				strconv.Itoa(m.Participants()),
@@ -97,11 +100,12 @@ func main() {
 			})
 		}
 	case "reports":
-		w.Write([]string{"meeting", "client", "streams", "video_fps", "jitter_p50_ms", "loss_rate", "retx_rate", "degraded", "meeting_wide", "mean_rtt_ms"})
+		w.Write([]string{"meeting", "app", "client", "streams", "video_fps", "jitter_p50_ms", "loss_rate", "retx_rate", "degraded", "meeting_wide", "mean_rtt_ms"})
 		for _, rep := range a.MeetingReports() {
 			for _, p := range rep.Participants {
 				w.Write([]string{
 					strconv.Itoa(rep.Meeting.ID),
+					rep.App,
 					p.Client.String(),
 					strconv.Itoa(p.Streams),
 					fmt.Sprintf("%.1f", p.VideoFPSMean),
@@ -116,8 +120,12 @@ func main() {
 		}
 	case "summary":
 		s := a.Summary()
-		fmt.Printf("duration=%s packets=%d bytes=%d zoom_udp=%d tcp=%d stun=%d undecodable=%d flows=%d streams=%d meetings=%d evicted_flows=%d evicted_streams=%d rejected=%d panics=%d truncated=%t\n",
-			s.Duration, s.Packets, s.Bytes, s.ZoomUDP, s.TCPPackets, s.STUNPackets, s.Undecodable, s.Flows, s.Streams, s.Meetings,
+		protos := ""
+		for i, v := range s.ProtoDecoded {
+			protos += fmt.Sprintf(" proto_decoded_%s=%d", rtcproto.NameOf(uint8(i)), v)
+		}
+		fmt.Printf("duration=%s packets=%d bytes=%d zoom_udp=%d tcp=%d stun=%d stun_port_nonstun=%d undecodable=%d%s flows=%d streams=%d meetings=%d evicted_flows=%d evicted_streams=%d rejected=%d panics=%d truncated=%t\n",
+			s.Duration, s.Packets, s.Bytes, s.ZoomUDP, s.TCPPackets, s.STUNPackets, s.STUNPortNonSTUN, s.Undecodable, protos, s.Flows, s.Streams, s.Meetings,
 			s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, s.Truncated)
 	default:
 		log.Fatalf("unknown -what %q", *what)

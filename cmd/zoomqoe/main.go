@@ -26,6 +26,7 @@ import (
 	"zoomlens"
 	"zoomlens/internal/engine"
 	"zoomlens/internal/metrics"
+	"zoomlens/internal/rtcproto"
 )
 
 func main() {
@@ -51,7 +52,7 @@ func main() {
 	defer w.Flush()
 	switch *what {
 	case "series":
-		w.Write([]string{"ssrc", "type", "flow", "second", "media_kbps", "fps_delivered", "fps_encoder", "mean_frame_bytes", "jitter_ms"})
+		w.Write([]string{"ssrc", "proto", "type", "flow", "second", "media_kbps", "fps_delivered", "fps_encoder", "mean_frame_bytes", "jitter_ms"})
 		for _, id := range a.StreamIDs() {
 			if *ssrc != 0 && uint64(id.Key.SSRC) != *ssrc {
 				continue
@@ -74,6 +75,7 @@ func main() {
 				sec := s.Time.Unix()
 				w.Write([]string{
 					strconv.FormatUint(uint64(id.Key.SSRC), 10),
+					rtcproto.NameOf(id.Key.Proto),
 					id.Key.Type.String(),
 					id.Flow.String(),
 					s.Time.Format("15:04:05"),
@@ -106,13 +108,14 @@ func main() {
 			}
 			rtt = sum / time.Duration(n)
 		}
-		w.Write([]string{"ssrc", "type", "flow", "received", "expected_span", "lost", "duplicates", "reordered", "suspected_retx_frames", "strong_retx_frames"})
+		w.Write([]string{"ssrc", "proto", "type", "flow", "received", "expected_span", "lost", "duplicates", "reordered", "suspected_retx_frames", "strong_retx_frames"})
 		for _, id := range a.StreamIDs() {
 			sm, _ := a.MetricsFor(id)
 			ls := sm.LossStats()
 			est := sm.EstimateRetransmissions(rtt)
 			w.Write([]string{
 				strconv.FormatUint(uint64(id.Key.SSRC), 10),
+				rtcproto.NameOf(id.Key.Proto),
 				id.Key.Type.String(),
 				id.Flow.String(),
 				strconv.FormatUint(ls.Received, 10),

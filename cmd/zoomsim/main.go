@@ -33,11 +33,13 @@ func main() {
 		mode     = flag.String("mode", "meeting", "workload: meeting | campus")
 		duration = flag.Duration("duration", 2*time.Minute, "simulated duration")
 		seed     = flag.Int64("seed", 1, "random seed")
+		app      = flag.String("app", "zoom", "meeting mode: application to simulate: zoom | webrtc")
 		p2p      = flag.Bool("p2p", false, "meeting mode: enable the P2P switch (second peer off campus)")
 		congest  = flag.Bool("congest", false, "meeting mode: inject two cross-traffic episodes")
 		screen   = flag.Bool("screen", false, "meeting mode: first participant shares a screen")
 		rate     = flag.Float64("rate", 12, "campus mode: peak meetings per hour")
 		bgPPS    = flag.Float64("bg", 400, "campus mode: background packet rate")
+		webrtcFr = flag.Float64("webrtc-frac", 0, "campus mode: fraction of meetings run over the standards WebRTC app instead of Zoom (0 keeps the trace byte-identical to earlier versions)")
 		format   = flag.String("format", "pcap", "output format: pcap | pcapng")
 	)
 	obsFlags := cliobs.RegisterMetrics(flag.CommandLine)
@@ -95,8 +97,19 @@ func main() {
 		opts.Seed = *seed
 		world := sim.NewWorld(opts)
 		world.Monitor = monitor
-		m := world.NewMeeting()
+		var m *sim.Meeting
+		switch *app {
+		case "zoom":
+			m = world.NewMeeting()
+		case "webrtc":
+			m = world.NewWebRTCMeeting()
+		default:
+			log.Fatalf("unknown -app %q", *app)
+		}
 		if *p2p {
+			if *app == "webrtc" {
+				log.Fatal("-p2p models Zoom's direct-connection switch; not available with -app webrtc")
+			}
 			m.EnableP2P(10 * time.Second)
 		}
 		set := sim.DefaultMediaSet()
@@ -121,6 +134,7 @@ func main() {
 		cfg.Duration = *duration
 		cfg.MeetingsPerHourPeak = *rate
 		cfg.BackgroundPPS = *bgPPS
+		cfg.WebRTCFraction = *webrtcFr
 		opts := sim.DefaultOptions()
 		opts.Seed = *seed
 		opts.Start = cfg.Start

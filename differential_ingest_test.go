@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"zoomlens/internal/pcap"
+	"zoomlens/internal/rtcproto"
 )
 
 // renderReport flattens everything the CLIs print into one string:
@@ -26,8 +27,8 @@ func renderReport(a *Analyzer) string {
 	for _, id := range a.StreamIDs() {
 		sm, _ := a.MetricsFor(id)
 		ls := sm.LossStats()
-		fmt.Fprintf(&b, "stream %d %s %s pkts=%d media=%d frames=%d loss=%+v\n",
-			id.Key.SSRC, id.Key.Type, id.Flow, sm.Packets, sm.MediaBytes, sm.FramesTotal, ls)
+		fmt.Fprintf(&b, "stream %d %s %s %s pkts=%d media=%d frames=%d loss=%+v\n",
+			id.Key.SSRC, rtcproto.NameOf(id.Key.Proto), id.Key.Type, id.Flow, sm.Packets, sm.MediaBytes, sm.FramesTotal, ls)
 		for _, smp := range sm.MediaRate.Samples {
 			fmt.Fprintf(&b, "  rate %s %.6f\n", smp.Time.Format("15:04:05.000000000"), smp.Value)
 		}
@@ -40,8 +41,8 @@ func renderReport(a *Analyzer) string {
 			fl.Flow, fl.Packets, fl.WireBytes, fl.ServerBased, fl.P2P)
 	}
 	for _, m := range a.Meetings() {
-		fmt.Fprintf(&b, "meeting %d %s..%s participants=%d streams=%d\n",
-			m.ID, m.Start.Format("15:04:05"), m.End.Format("15:04:05"), m.Participants(), len(m.Streams))
+		fmt.Fprintf(&b, "meeting %d %s %s..%s participants=%d streams=%d\n",
+			m.ID, rtcproto.NameOf(m.Proto), m.Start.Format("15:04:05"), m.End.Format("15:04:05"), m.Participants(), len(m.Streams))
 	}
 	for _, rep := range a.MeetingReports() {
 		for _, p := range rep.Participants {

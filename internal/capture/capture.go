@@ -15,6 +15,7 @@ import (
 
 	"zoomlens/internal/layers"
 	"zoomlens/internal/stun"
+	"zoomlens/internal/webrtc"
 	"zoomlens/internal/zoom"
 )
 
@@ -70,6 +71,15 @@ type Config struct {
 	// filtered out by inspecting the packet format"). The Tofino cannot
 	// do this at line rate; the software pipeline can.
 	ValidateP2PPayload bool
+	// GenericRTC widens the filter beyond Zoom-specific heuristics: a
+	// STUN exchange on the well-known port arms the endpoint table even
+	// when neither side is in a Zoom server network (a standards RTC
+	// service's media servers are not in Zoom's published prefixes, so
+	// the STUN handshake is the only stateless hint that the endpoint
+	// is about to carry media), and P2P payload validation accepts
+	// standards RTP in addition to the Zoom media format. The analyzer
+	// enables it when a non-Zoom protocol plugin is configured.
+	GenericRTC bool
 }
 
 // DefaultP2PTimeout matches the tens-of-seconds window in which Zoom
@@ -162,12 +172,21 @@ func (f *Filter) ClassifyFlow(src, dst netip.Addr, hasUDP bool, srcPort, dstPort
 		return KeepServer
 	}
 
+	// Generic RTC mode: STUN exchanges with any server on the
+	// well-known port arm the endpoint table (stage 2 without the
+	// server-prefix precondition).
+	if f.cfg.GenericRTC && hasUDP && (srcPort == stun.Port || dstPort == stun.Port) && stun.Is(payload) {
+		f.registerSTUN(src, dst, srcPort, dstPort, ts)
+		f.stats.ZoomSTUN++
+		return KeepSTUN
+	}
+
 	// Stage 3: stateful P2P lookup — non-server UDP whose campus-side
 	// endpoint was recently seen in a STUN exchange.
 	if hasUDP {
 		if f.lookupP2P(netip.AddrPortFrom(src, srcPort), ts) ||
 			f.lookupP2P(netip.AddrPortFrom(dst, dstPort), ts) {
-			if f.cfg.ValidateP2PPayload && !ValidateP2P(payload) {
+			if f.cfg.ValidateP2PPayload && !f.validP2PPayload(payload) {
 				f.stats.P2PFormatRejected++
 				f.stats.Dropped++
 				return Drop
@@ -178,6 +197,16 @@ func (f *Filter) ClassifyFlow(src, dst netip.Addr, hasUDP bool, srcPort, dstPort
 	}
 	f.stats.Dropped++
 	return Drop
+}
+
+// validP2PPayload applies format validation to a P2P table hit: the
+// Zoom media grammar always counts; under GenericRTC a standards RTP
+// header does too.
+func (f *Filter) validP2PPayload(payload []byte) bool {
+	if ValidateP2P(payload) {
+		return true
+	}
+	return f.cfg.GenericRTC && webrtc.Probe(payload)
 }
 
 func (f *Filter) registerSTUN(src, dst netip.Addr, srcPort, dstPort uint16, ts time.Time) {

@@ -24,8 +24,10 @@ import (
 // appends a new segment to the same file — sequence numbers only ever
 // grow, so readers see one ordered stream.
 const (
-	obsMagic   = "ZLOB"
-	obsVersion = 1
+	obsMagic = "ZLOB"
+	// obsVersion 2 added the protocol byte inside every encoded
+	// zoom.StreamKey; version-1 logs are rejected.
+	obsVersion = 2
 	// obsTagRecord precedes every record; the 'Z' of a segment header
 	// is the only other byte legal at a record boundary.
 	obsTagRecord = 0x01

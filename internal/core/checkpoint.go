@@ -35,6 +35,7 @@ import (
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/metrics"
+	"zoomlens/internal/rtcproto"
 	"zoomlens/internal/statecodec"
 	"zoomlens/internal/tcprtt"
 	"zoomlens/internal/zoom"
@@ -61,6 +62,12 @@ const (
 	// analyzerStateV2 added the overload-shedding counters
 	// (ShedPackets/ShedBytes). V1 payloads restore with them zero.
 	analyzerStateV2 = 2
+	// analyzerStateV3 added the protocol byte inside every encoded
+	// zoom.StreamKey (the rtcproto plugin refactor) plus the per-protocol
+	// decode counters and the STUN port-mismatch counter. V1/V2 payloads
+	// interleave keys without the protocol byte and cannot be decoded;
+	// they are rejected by version.
+	analyzerStateV3 = 3
 	// parallelStateV2 dropped the per-shard observation logs (the
 	// checkpoint reconciles them before encoding) and added the
 	// reconciliation Dedup/CopyMatcher state. V1 files are rejected by
@@ -69,6 +76,9 @@ const (
 	// parallelStateV3 added the dispatcher shedding counters. V2
 	// payloads restore with them zero.
 	parallelStateV3 = 3
+	// parallelStateV4 carries analyzerStateV3 shard payloads (StreamKey
+	// protocol byte); V2/V3 files are rejected by version.
+	parallelStateV4 = 4
 
 	// maxCheckpointWorkers bounds the shard count a hostile checkpoint
 	// can demand (each shard costs a goroutine and an analyzer).
@@ -147,7 +157,7 @@ func readAllCheckpoint(rd io.Reader) ([]byte, error) {
 // State encodes the analyzer's complete mutable state. Maps are written
 // in sorted key order so identical state yields identical bytes.
 func (a *Analyzer) State(w *statecodec.Writer) {
-	w.U8(analyzerStateV2)
+	w.U8(analyzerStateV3)
 	w.U64(a.ShedPackets)
 	w.U64(a.ShedBytes)
 	w.U64(a.Packets)
@@ -156,6 +166,11 @@ func (a *Analyzer) State(w *statecodec.Writer) {
 	w.U64(a.Undecodable)
 	w.U64(a.TCPPackets)
 	w.U64(a.STUNPackets)
+	w.U64(a.STUNPortNonSTUN)
+	w.Int(len(a.ProtoDecoded))
+	for _, v := range a.ProtoDecoded {
+		w.U64(v)
+	}
 	w.U64(a.DroppedByFilter)
 	w.U64(a.UDPKeptPackets)
 	w.U64(a.UDPKeptBytes)
@@ -233,13 +248,13 @@ func sortAddrPorts(aps []netip.AddrPort) {
 // obsSink, parser). The receiver must come from NewAnalyzer.
 func (a *Analyzer) restoreState(r *statecodec.Reader) error {
 	switch v := r.U8(); v {
-	case analyzerStateV1:
-		a.ShedPackets, a.ShedBytes = 0, 0
-	case analyzerStateV2:
+	case analyzerStateV3:
 		a.ShedPackets = r.U64()
 		a.ShedBytes = r.U64()
 	default:
-		r.Failf("core.Analyzer state version %d (supported: %d, %d)", v, analyzerStateV1, analyzerStateV2)
+		// V1/V2 payloads predate the StreamKey protocol byte and cannot
+		// be decoded under the current key layout.
+		r.Failf("core.Analyzer state version %d (supported: %d)", v, analyzerStateV3)
 		return r.Err()
 	}
 	a.Packets = r.U64()
@@ -248,6 +263,14 @@ func (a *Analyzer) restoreState(r *statecodec.Reader) error {
 	a.Undecodable = r.U64()
 	a.TCPPackets = r.U64()
 	a.STUNPackets = r.U64()
+	a.STUNPortNonSTUN = r.U64()
+	if np := r.Count(8); np != len(a.ProtoDecoded) {
+		r.Failf("core.Analyzer proto counter count %d (want %d)", np, len(a.ProtoDecoded))
+		return r.Err()
+	}
+	for i := range a.ProtoDecoded {
+		a.ProtoDecoded[i] = r.U64()
+	}
 	a.DroppedByFilter = r.U64()
 	a.UDPKeptPackets = r.U64()
 	a.UDPKeptBytes = r.U64()
@@ -391,7 +414,7 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	enc.Grow(hint)
 	writeCheckpointHeader(&enc, engineKindParallel)
 	enc.Int(pa.workers)
-	enc.U8(parallelStateV3)
+	enc.U8(parallelStateV4)
 	enc.U64(pa.shedPackets)
 	enc.U64(pa.shedBytes)
 	enc.U64(pa.nextSeq)
@@ -423,13 +446,12 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 // safely writable from this goroutine).
 func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
 	switch v := r.U8(); v {
-	case parallelStateV2:
-		pa.shedPackets, pa.shedBytes = 0, 0
-	case parallelStateV3:
+	case parallelStateV4:
 		pa.shedPackets = r.U64()
 		pa.shedBytes = r.U64()
 	default:
-		r.Failf("core.ParallelAnalyzer state version %d (supported: %d, %d)", v, parallelStateV2, parallelStateV3)
+		// V2/V3 shard payloads predate the StreamKey protocol byte.
+		r.Failf("core.ParallelAnalyzer state version %d (supported: %d)", v, parallelStateV4)
 		return r.Err()
 	}
 	pa.nextSeq = r.U64()
@@ -568,6 +590,8 @@ func (a *Analyzer) Rotate(now time.Time) *Analyzer {
 		Undecodable:        a.Undecodable,
 		TCPPackets:         a.TCPPackets,
 		STUNPackets:        a.STUNPackets,
+		STUNPortNonSTUN:    a.STUNPortNonSTUN,
+		ProtoDecoded:       a.ProtoDecoded,
 		DroppedByFilter:    a.DroppedByFilter,
 		UDPKeptPackets:     a.UDPKeptPackets,
 		UDPKeptBytes:       a.UDPKeptBytes,
@@ -599,6 +623,8 @@ func (a *Analyzer) Rotate(now time.Time) *Analyzer {
 	a.tcpSeen = make(map[netip.AddrPort]time.Time)
 	a.Packets, a.Bytes, a.ZoomUDP, a.Undecodable = 0, 0, 0, 0
 	a.TCPPackets, a.STUNPackets, a.DroppedByFilter = 0, 0, 0
+	a.STUNPortNonSTUN = 0
+	a.ProtoDecoded = [rtcproto.NumIDs]uint64{}
 	a.UDPKeptPackets, a.UDPKeptBytes, a.PanicsRecovered = 0, 0, 0
 	a.EvictedTCP, a.RejectedTCPPackets, a.FinishedDropped = 0, 0, 0
 	a.ShedPackets, a.ShedBytes = 0, 0

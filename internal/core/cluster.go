@@ -38,6 +38,7 @@ import (
 	"zoomlens/internal/capture"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
+	"zoomlens/internal/rtcproto"
 	"zoomlens/internal/zoom"
 )
 
@@ -168,12 +169,17 @@ func NewRouter(cfg Config, n int) *Router {
 	if n < 1 {
 		n = 1
 	}
+	protos := cfg.Protos
+	if protos == nil {
+		protos = rtcproto.DefaultSet()
+	}
 	return &Router{
 		cfg: cfg,
 		n:   n,
 		filter: capture.NewFilter(capture.Config{
 			ZoomNetworks:   cfg.ZoomNetworks,
 			CampusNetworks: cfg.CampusNetworks,
+			GenericRTC:     rtcproto.HasNonZoom(protos),
 		}),
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"zoomlens/internal/metrics"
 	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
+	"zoomlens/internal/rtcproto"
 	"zoomlens/internal/stun"
 	"zoomlens/internal/tcprtt"
 	"zoomlens/internal/zoom"
@@ -39,6 +40,13 @@ type Config struct {
 	// the output of cmd/zoomcap); the filter still runs for P2P
 	// bookkeeping but non-matching packets are analyzed anyway.
 	PreFiltered bool
+
+	// Protos is the ordered set of protocol plugins the UDP media path
+	// tries; the first whose Probe accepts a payload claims it. Nil
+	// means rtcproto.DefaultSet() (every registered plugin in canonical
+	// probe order). A single-element set pins the analyzer to one
+	// application's decoder.
+	Protos []rtcproto.Plugin
 
 	// Bounded-state hardening for continuous deployments (§6's 12-hour
 	// tap, and beyond). All zero values mean unlimited/disabled — the
@@ -104,6 +112,9 @@ type Analyzer struct {
 	cfg    Config
 	filter *capture.Filter
 	parser layers.Parser
+	// protos is the resolved plugin probe chain (Config.Protos, or the
+	// canonical default set).
+	protos []rtcproto.Plugin
 
 	Flows *flow.Table
 	Dedup *meeting.Dedup
@@ -124,6 +135,14 @@ type Analyzer struct {
 	Undecodable     uint64
 	TCPPackets      uint64
 	STUNPackets     uint64
+	// STUNPortNonSTUN counts packets on the well-known STUN port whose
+	// payload lacks STUN framing. They are NOT counted in STUNPackets;
+	// they fall through to the protocol decoders like any other UDP
+	// payload.
+	STUNPortNonSTUN uint64
+	// ProtoDecoded counts successfully decoded media packets per
+	// protocol plugin, indexed by rtcproto.ID.
+	ProtoDecoded    [rtcproto.NumIDs]uint64
 	DroppedByFilter uint64
 	// UDPKeptPackets/UDPKeptBytes cover kept (Zoom) UDP traffic whether
 	// or not it decoded — the Table 2/3 denominators.
@@ -214,11 +233,17 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	if cfg.FlowTTL > 0 && cfg.MaintainEvery == 0 {
 		cfg.MaintainEvery = 4096
 	}
+	protos := cfg.Protos
+	if protos == nil {
+		protos = rtcproto.DefaultSet()
+	}
 	a := &Analyzer{
-		cfg: cfg,
+		cfg:    cfg,
+		protos: protos,
 		filter: capture.NewFilter(capture.Config{
 			ZoomNetworks:   cfg.ZoomNetworks,
 			CampusNetworks: cfg.CampusNetworks,
+			GenericRTC:     rtcproto.HasNonZoom(protos),
 		}),
 		Flows:         flow.NewTable(),
 		Dedup:         meeting.NewDedup(),
@@ -347,25 +372,52 @@ func (a *Analyzer) observeTCP(at time.Time, pkt *layers.Packet) {
 }
 
 func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
-	// Classify STUN by the well-known port AND by the magic cookie: Zoom
-	// P2P sends STUN on the media ports too, and letting those packets
-	// fall through to zoom.ParsePacket inflates Undecodable and the
-	// UDPKeptPackets denominators.
-	if pkt.UDP.SrcPort == stun.Port || pkt.UDP.DstPort == stun.Port || stun.Is(pkt.Payload) {
+	// Classify STUN by payload framing (magic cookie + length), not by
+	// port alone: Zoom P2P sends STUN on the media ports too, and a
+	// non-STUN payload that merely lands on port 3478 must not be
+	// silently absorbed into STUNPackets.
+	if stun.Is(pkt.Payload) {
 		a.STUNPackets++
 		a.o.stun()
 		return
 	}
+	if pkt.UDP.SrcPort == stun.Port || pkt.UDP.DstPort == stun.Port {
+		// Port-only match: count the mismatch separately and let the
+		// packet fall through to the protocol decoders.
+		a.STUNPortNonSTUN++
+	}
 	a.UDPKeptPackets++
 	a.UDPKeptBytes += uint64(wireLen)
-	zp, err := zoom.ParsePacket(pkt.Payload, zoom.ModeAuto)
-	if err != nil {
+	// Protocol plugin chain: the first plugin whose Probe accepts the
+	// payload claims it — whether or not its Decode then succeeds — so
+	// packet ownership is deterministic and independent of decode
+	// strictness. Probes are mutually exclusive by construction (Zoom
+	// first bytes < 0x80, RTP version bits require 0x80..0xBF).
+	var mo rtcproto.MediaObs
+	decoded := false
+	for _, p := range a.protos {
+		if !p.Probe(pkt.Payload) {
+			continue
+		}
+		var err error
+		mo, err = p.Decode(pkt.Payload)
+		decoded = err == nil
+		break
+	}
+	if !decoded {
 		a.Undecodable++
 		a.o.undecodable()
+		a.o.protoUndecoded()
 		return
 	}
-	a.ZoomUDP++
-	a.o.zoomUDP()
+	proto := mo.Proto
+	zp := mo.Pkt
+	a.ProtoDecoded[proto]++
+	a.o.protoDecoded(proto)
+	if proto == rtcproto.IDZoom {
+		a.ZoomUDP++
+		a.o.zoomUDP()
+	}
 	ft, ok := pkt.FiveTuple()
 	if !ok {
 		return
@@ -375,6 +427,7 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 		Flow:          ft,
 		WireLen:       wireLen,
 		UDPPayloadLen: len(pkt.Payload),
+		Proto:         uint8(proto),
 		Z:             zp,
 	}
 	st := a.Flows.Observe(&a.recScratch)
@@ -389,7 +442,7 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 		// whole pipeline, not just the table.
 		return
 	}
-	key := zoom.StreamKey{SSRC: zp.RTP.SSRC, Type: zp.Media.Type}
+	key := zoom.StreamKey{SSRC: zp.RTP.SSRC, Type: zp.Media.Type, Proto: uint8(proto)}
 	if a.obsSink != nil {
 		a.obsSink(mediaObs{
 			seq: a.obsSeq, at: at, flow: ft, key: key,
@@ -422,6 +475,22 @@ func (cfg Config) isZoomAddr(addr netip.Addr) bool {
 		}
 	}
 	return false
+}
+
+func (cfg Config) isCampusAddr(addr netip.Addr) bool {
+	for _, p := range cfg.CampusNetworks {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// clientOf is the protocol-aware client derivation every grouping
+// consumer (Meetings, MeetingReports, snapshots) uses: Zoom streams keep
+// the Zoom-server convention, other protocols use campus membership.
+func (cfg Config) clientOf() func(layers.FiveTuple, zoom.StreamKey) netip.AddrPort {
+	return meeting.ClientOfProto(cfg.isZoomAddr, cfg.isCampusAddr)
 }
 
 // Finish flushes all per-stream state. It is idempotent: repeated calls
@@ -468,8 +537,7 @@ func (a *Analyzer) ReadPCAP(r io.Reader) error {
 
 // Meetings runs the §4.3 grouping over everything observed.
 func (a *Analyzer) Meetings() []meeting.Meeting {
-	clientOf := meeting.ClientOf(a.isZoomAddr)
-	return meeting.Group(a.Dedup.Records(clientOf))
+	return meeting.Group(a.Dedup.RecordsBy(a.cfg.clientOf()))
 }
 
 // Summary is the Table 6 style capture roll-up, extended with the
@@ -484,8 +552,14 @@ type Summary struct {
 	ZoomUDP     uint64
 	TCPPackets  uint64
 	STUNPackets uint64
-	Undecodable uint64
-	Flows       int
+	// STUNPortNonSTUN counts packets on the STUN port that lacked STUN
+	// framing (they went to the decoders, not into STUNPackets).
+	STUNPortNonSTUN uint64
+	// ProtoDecoded counts decoded media packets per protocol plugin,
+	// indexed by rtcproto.ID (0 = zoom, 1 = webrtc).
+	ProtoDecoded [rtcproto.NumIDs]uint64
+	Undecodable  uint64
+	Flows        int
 	Streams     int
 	Meetings    int
 	// EvictedFlows/EvictedStreams count idle-TTL evictions; the evicted
@@ -518,6 +592,8 @@ func (a *Analyzer) Summary() Summary {
 		ZoomUDP:         a.ZoomUDP,
 		TCPPackets:      a.TCPPackets,
 		STUNPackets:     a.STUNPackets,
+		STUNPortNonSTUN: a.STUNPortNonSTUN,
+		ProtoDecoded:    a.ProtoDecoded,
 		Undecodable:     a.Undecodable,
 		Flows:           tot.Flows,
 		Streams:         tot.Streams,

@@ -38,8 +38,13 @@ import (
 var ErrDeltaUnavailable = fmt.Errorf("core: delta checkpoint unavailable (write a full checkpoint)")
 
 const (
+	// V2 deltas carry the StreamKey protocol byte, the per-protocol
+	// decode counters, and the STUN port-mismatch counter; V1 records
+	// are rejected by version.
 	analyzerDeltaV1 = 1
+	analyzerDeltaV2 = 2
 	parallelDeltaV1 = 1
+	parallelDeltaV2 = 2
 
 	// maxCoreTombstones bounds the eviction backlog a delta carries;
 	// past it the next delta encode reports unavailable and the caller
@@ -139,7 +144,7 @@ func (a *Analyzer) deltaReady() bool {
 // observations plus an ever-growing sample series) contributes its own
 // delta.
 func (a *Analyzer) stateDelta(w *statecodec.Writer) {
-	w.U8(analyzerDeltaV1)
+	w.U8(analyzerDeltaV2)
 	w.U64(a.ckPackets)
 
 	w.U64(a.ShedPackets)
@@ -150,6 +155,11 @@ func (a *Analyzer) stateDelta(w *statecodec.Writer) {
 	w.U64(a.Undecodable)
 	w.U64(a.TCPPackets)
 	w.U64(a.STUNPackets)
+	w.U64(a.STUNPortNonSTUN)
+	w.Int(len(a.ProtoDecoded))
+	for _, v := range a.ProtoDecoded {
+		w.U64(v)
+	}
 	w.U64(a.DroppedByFilter)
 	w.U64(a.UDPKeptPackets)
 	w.U64(a.UDPKeptBytes)
@@ -229,7 +239,7 @@ func (a *Analyzer) stateDelta(w *statecodec.Writer) {
 // receiver. On error the analyzer may be partially mutated and must be
 // discarded by the caller.
 func (a *Analyzer) applyDeltaPayload(r *statecodec.Reader) error {
-	r.Version("core.Analyzer delta", analyzerDeltaV1)
+	r.Version("core.Analyzer delta", analyzerDeltaV2)
 	base := r.U64()
 	if err := r.Err(); err != nil {
 		return err
@@ -247,6 +257,14 @@ func (a *Analyzer) applyDeltaPayload(r *statecodec.Reader) error {
 	a.Undecodable = r.U64()
 	a.TCPPackets = r.U64()
 	a.STUNPackets = r.U64()
+	a.STUNPortNonSTUN = r.U64()
+	if np := r.Count(8); np != len(a.ProtoDecoded) {
+		r.Failf("core.Analyzer delta proto counter count %d (want %d)", np, len(a.ProtoDecoded))
+		return r.Err()
+	}
+	for i := range a.ProtoDecoded {
+		a.ProtoDecoded[i] = r.U64()
+	}
 	a.DroppedByFilter = r.U64()
 	a.UDPKeptPackets = r.U64()
 	a.UDPKeptBytes = r.U64()
@@ -436,7 +454,7 @@ func (pa *ParallelAnalyzer) CheckpointDelta(w io.Writer) error {
 	enc.Grow(1 << 16)
 	writeCheckpointHeader(&enc, engineKindParallelDelta)
 	enc.Int(pa.workers)
-	enc.U8(parallelDeltaV1)
+	enc.U8(parallelDeltaV2)
 	enc.U64(pa.ckPackets)
 	enc.U64(pa.shedPackets)
 	enc.U64(pa.shedBytes)
@@ -493,7 +511,7 @@ func (pa *ParallelAnalyzer) ApplyDelta(rd io.Reader) error {
 	if workers != pa.workers {
 		return fmt.Errorf("%w: delta for %d workers applied to %d-worker engine", statecodec.ErrCorrupt, workers, pa.workers)
 	}
-	r.Version("core.ParallelAnalyzer delta", parallelDeltaV1)
+	r.Version("core.ParallelAnalyzer delta", parallelDeltaV2)
 	base := r.U64()
 	if err := r.Err(); err != nil {
 		return err

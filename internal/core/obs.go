@@ -3,6 +3,7 @@ package core
 import (
 	"zoomlens/internal/metrics"
 	"zoomlens/internal/obs"
+	"zoomlens/internal/rtcproto"
 )
 
 // This file binds the analyzer to the live observability layer
@@ -35,6 +36,12 @@ type coreObs struct {
 	stageTCP         *obs.Counter
 	stageZoomUDP     *obs.Counter
 	stageMedia       *obs.Counter
+
+	// protoDecoded counts decoded media packets per protocol plugin
+	// (indexed by rtcproto.ID); protoUndecodable counts kept UDP
+	// payloads no plugin decoded.
+	protoDecodedC    [rtcproto.NumIDs]*obs.Counter
+	protoUndecodable *obs.Counter
 
 	panics    *obs.Counter
 	snapshots *obs.Counter
@@ -78,6 +85,8 @@ func newCoreObs(reg *obs.Registry, shard string, cfg Config) *coreObs {
 		stageZoomUDP:     reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "zoom_udp")),
 		stageMedia:       reg.Counter("zoomlens_decode_stage_packets_total", "Packets per decode stage.", obs.L("stage", "media")),
 
+		protoUndecodable: reg.Counter("zoomlens_proto_undecodable_total", "Kept UDP payloads no protocol plugin decoded."),
+
 		panics:    reg.Counter("zoomlens_panics_recovered_total", "Packets whose processing panicked and was quarantined."),
 		snapshots: reg.Counter("zoomlens_snapshots_total", "QoE snapshots taken."),
 
@@ -89,6 +98,9 @@ func newCoreObs(reg *obs.Registry, shard string, cfg Config) *coreObs {
 		occ:      make(map[string]*obs.Gauge),
 		caps:     make(map[string]*obs.Gauge),
 		prev:     make(map[*obs.Counter]uint64),
+	}
+	for id := rtcproto.ID(0); id < rtcproto.NumIDs; id++ {
+		o.protoDecodedC[id] = reg.Counter("zoomlens_proto_decoded_total", "Decoded media packets per protocol plugin.", obs.L("proto", id.String()))
 	}
 	for _, kind := range []string{"flows", "streams", "tcp", "archived"} {
 		o.evicted[kind] = reg.Counter("zoomlens_evicted_total", "State entries evicted by idle TTL.", obs.L("kind", kind))
@@ -154,6 +166,20 @@ func (o *coreObs) zoomUDP() {
 		return
 	}
 	o.stageZoomUDP.Inc()
+}
+
+func (o *coreObs) protoDecoded(id rtcproto.ID) {
+	if o == nil {
+		return
+	}
+	o.protoDecodedC[id].Inc()
+}
+
+func (o *coreObs) protoUndecoded() {
+	if o == nil {
+		return
+	}
+	o.protoUndecodable.Inc()
 }
 
 func (o *coreObs) media() {

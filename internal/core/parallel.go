@@ -57,6 +57,7 @@ import (
 	"zoomlens/internal/metrics"
 	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
+	"zoomlens/internal/rtcproto"
 	"zoomlens/internal/zoom"
 )
 
@@ -302,9 +303,14 @@ func NewParallelAnalyzer(cfg Config, workers int) *ParallelAnalyzer {
 		pa.seq = NewAnalyzer(cfg)
 		return pa
 	}
+	protos := cfg.Protos
+	if protos == nil {
+		protos = rtcproto.DefaultSet()
+	}
 	pa.filter = capture.NewFilter(capture.Config{
 		ZoomNetworks:   cfg.ZoomNetworks,
 		CampusNetworks: cfg.CampusNetworks,
+		GenericRTC:     rtcproto.HasNonZoom(protos),
 	})
 	pa.rec = newReconState(cfg)
 	pa.shards = make([]*pshard, workers)
@@ -585,6 +591,10 @@ func mergeParts(cfg Config, parts []*Analyzer, head ClusterHead, rec reconState)
 		m.Undecodable += sa.Undecodable
 		m.TCPPackets += sa.TCPPackets
 		m.STUNPackets += sa.STUNPackets
+		m.STUNPortNonSTUN += sa.STUNPortNonSTUN
+		for i, v := range sa.ProtoDecoded {
+			m.ProtoDecoded[i] += v
+		}
 		m.UDPKeptPackets += sa.UDPKeptPackets
 		m.UDPKeptBytes += sa.UDPKeptBytes
 		m.PanicsRecovered += sa.PanicsRecovered

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"zoomlens/internal/layers"
+	"zoomlens/internal/rtcproto"
+	"zoomlens/internal/rtp"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/stun"
+	"zoomlens/internal/zoom"
+)
+
+// TestSTUNPortRequiresFraming is the regression test for the port-3478
+// misclassification: a packet that merely lands on the well-known STUN
+// port but lacks STUN framing must NOT count as STUN — it is counted in
+// STUNPortNonSTUN and falls through to the protocol decoders.
+func TestSTUNPortRequiresFraming(t *testing.T) {
+	a := NewAnalyzer(Config{PreFiltered: true})
+	src := netip.MustParseAddrPort("10.8.0.10:3478")
+	dst := netip.MustParseAddrPort("203.0.113.7:8801")
+	at := time.Unix(1700000000, 0)
+
+	// A Zoom media packet whose source port happens to be 3478.
+	zp := zoom.Packet{
+		Media: zoom.MediaEncap{Type: zoom.TypeAudio, Sequence: 1, Timestamp: 48000},
+		RTP: rtp.Packet{
+			Header:  rtp.Header{PayloadType: zoom.PTAudioSpeak, SequenceNumber: 1, Timestamp: 48000, SSRC: 11},
+			Payload: make([]byte, 60),
+		},
+	}
+	payload, err := zp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Packet(at, layers.EthernetIPv4UDP(src, dst, 64, payload))
+
+	if a.STUNPackets != 0 {
+		t.Errorf("STUNPackets = %d, want 0 (no STUN framing)", a.STUNPackets)
+	}
+	if a.STUNPortNonSTUN != 1 {
+		t.Errorf("STUNPortNonSTUN = %d, want 1", a.STUNPortNonSTUN)
+	}
+	if a.ProtoDecoded[rtcproto.IDZoom] != 1 {
+		t.Errorf("ProtoDecoded[zoom] = %d, want 1 (packet must fall through to the decoders)", a.ProtoDecoded[rtcproto.IDZoom])
+	}
+
+	// A real STUN packet on the same port counts as STUN, and not in the
+	// mismatch counter.
+	msg := stun.NewBindingRequest(stun.TransactionID{9})
+	a.Packet(at.Add(time.Millisecond), layers.EthernetIPv4UDP(src, dst, 64, msg.Marshal()))
+	if a.STUNPackets != 1 {
+		t.Errorf("STUNPackets = %d, want 1", a.STUNPackets)
+	}
+	if a.STUNPortNonSTUN != 1 {
+		t.Errorf("STUNPortNonSTUN = %d, want 1 (true STUN must not count)", a.STUNPortNonSTUN)
+	}
+}
+
+// webrtcMediaFrames synthesizes a small standards-RTC exchange: an ICE
+// STUN handshake from the campus client's bundled media port, then
+// bidirectional RTP between client and an off-Zoom media server.
+func webrtcMediaFrames(t *testing.T, client, server netip.AddrPort) (frames [][]byte, times []time.Time) {
+	t.Helper()
+	at := time.Unix(1700000000, 0)
+	add := func(f []byte) {
+		frames = append(frames, f)
+		times = append(times, at)
+		at = at.Add(10 * time.Millisecond)
+	}
+	// ICE connectivity check: client media port ↔ server STUN port.
+	stunSrv := netip.AddrPortFrom(server.Addr(), stun.Port)
+	tid := stun.TransactionID{1, 2, 3}
+	req := stun.NewBindingRequest(tid)
+	add(layers.EthernetIPv4UDP(client, stunSrv, 64, req.Marshal()))
+	resp := stun.NewBindingResponse(tid, client)
+	add(layers.EthernetIPv4UDP(stunSrv, client, 57, resp.Marshal()))
+	// Media: Opus up, VP8 down, same bundled flow.
+	for i := 0; i < 40; i++ {
+		up := rtp.Packet{
+			Header:  rtp.Header{PayloadType: 111, SequenceNumber: uint16(100 + i), Timestamp: uint32(48000 + 960*i), SSRC: 0xaaaa0001},
+			Payload: make([]byte, 80),
+		}
+		raw, err := up.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(layers.EthernetIPv4UDP(client, server, 64, raw))
+		down := rtp.Packet{
+			Header:  rtp.Header{PayloadType: 96, SequenceNumber: uint16(500 + i), Timestamp: uint32(90000 + 3000*i), SSRC: 0xbbbb0002, Marker: i%2 == 1},
+			Payload: make([]byte, 1000),
+		}
+		raw, err = down.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(layers.EthernetIPv4UDP(server, client, 57, raw))
+	}
+	return frames, times
+}
+
+// TestWebRTCEndToEnd drives a standards-RTC exchange through the full
+// unfiltered pipeline: the ICE STUN handshake must arm the capture
+// filter (GenericRTC mode — the server is NOT in a Zoom prefix), and the
+// media must decode under the webrtc plugin into proto-tagged streams
+// and a webrtc meeting.
+func TestWebRTCEndToEnd(t *testing.T) {
+	client := netip.MustParseAddrPort("10.8.0.10:50000")
+	server := netip.MustParseAddrPort("198.51.100.40:50004")
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+		CampusNetworks: []netip.Prefix{netip.MustParsePrefix("10.8.0.0/16")},
+	}
+	a := NewAnalyzer(cfg)
+	frames, times := webrtcMediaFrames(t, client, server)
+	for i, f := range frames {
+		a.Packet(times[i], f)
+	}
+	a.Finish()
+
+	if a.DroppedByFilter != 0 {
+		t.Errorf("DroppedByFilter = %d, want 0 (STUN must arm the generic filter)", a.DroppedByFilter)
+	}
+	if a.ProtoDecoded[rtcproto.IDWebRTC] != 80 {
+		t.Errorf("ProtoDecoded[webrtc] = %d, want 80", a.ProtoDecoded[rtcproto.IDWebRTC])
+	}
+	if a.ZoomUDP != 0 {
+		t.Errorf("ZoomUDP = %d, want 0 (nothing here is Zoom)", a.ZoomUDP)
+	}
+	ids := a.StreamIDs()
+	if len(ids) != 2 {
+		t.Fatalf("streams = %d, want 2 (audio up, video down)", len(ids))
+	}
+	kinds := map[zoom.MediaType]bool{}
+	for _, id := range ids {
+		if id.Key.Proto != uint8(rtcproto.IDWebRTC) {
+			t.Errorf("stream %v proto = %d, want webrtc", id, id.Key.Proto)
+		}
+		kinds[id.Key.Type] = true
+	}
+	if !kinds[zoom.TypeAudio] || !kinds[zoom.TypeVideo] {
+		t.Errorf("stream kinds = %v, want audio and video", kinds)
+	}
+	ms := a.Meetings()
+	if len(ms) != 1 {
+		t.Fatalf("meetings = %d, want 1", len(ms))
+	}
+	if ms[0].Proto != uint8(rtcproto.IDWebRTC) {
+		t.Errorf("meeting proto = %d, want webrtc", ms[0].Proto)
+	}
+	reps := a.MeetingReports()
+	if len(reps) != 1 || reps[0].App != "webrtc" {
+		t.Fatalf("meeting reports = %+v, want one webrtc report", reps)
+	}
+}
+
+// TestProtoPinnedToZoom pins the plugin set to Zoom alone: standards RTP
+// then counts as undecodable instead of being claimed by the webrtc
+// plugin, and GenericRTC filter arming is off (the ICE STUN exchange
+// with a non-Zoom server no longer arms media flows).
+func TestProtoPinnedToZoom(t *testing.T) {
+	client := netip.MustParseAddrPort("10.8.0.10:50000")
+	server := netip.MustParseAddrPort("198.51.100.40:50004")
+	cfg := Config{
+		ZoomNetworks:   []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+		CampusNetworks: []netip.Prefix{netip.MustParsePrefix("10.8.0.0/16")},
+		Protos:         []rtcproto.Plugin{rtcproto.Zoom()},
+	}
+	a := NewAnalyzer(cfg)
+	frames, times := webrtcMediaFrames(t, client, server)
+	for i, f := range frames {
+		a.Packet(times[i], f)
+	}
+	a.Finish()
+	if a.ProtoDecoded[rtcproto.IDWebRTC] != 0 {
+		t.Errorf("ProtoDecoded[webrtc] = %d, want 0 with -proto zoom", a.ProtoDecoded[rtcproto.IDWebRTC])
+	}
+	if got := a.DroppedByFilter; got == 0 {
+		t.Error("DroppedByFilter = 0, want the RTP flow dropped (GenericRTC arming off)")
+	}
+	if len(a.StreamIDs()) != 0 {
+		t.Errorf("streams = %d, want 0", len(a.StreamIDs()))
+	}
+}
+
+// TestCheckpointOldVersionRejected hand-crafts a checkpoint whose
+// analyzer payload carries the pre-refactor state version: restore must
+// fail with a clear versioned error, not misread the bytes.
+func TestCheckpointOldVersionRejected(t *testing.T) {
+	var enc statecodec.Writer
+	writeCheckpointHeader(&enc, engineKindSequential)
+	enc.U8(analyzerStateV2) // pre-protocol-plugin payload version
+	// A few plausible varint fields; the reader must fail on the version
+	// byte before interpreting any of this.
+	for i := 0; i < 8; i++ {
+		enc.U64(uint64(i))
+	}
+	var buf bytes.Buffer
+	if err := sealCheckpoint(&buf, &enc); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the file itself is well-formed (magic + CRC pass).
+	body := buf.Bytes()
+	if got := crc32.Checksum(body[:len(body)-4], crcTable); got != binary.LittleEndian.Uint32(body[len(body)-4:]) {
+		t.Fatal("test bug: CRC trailer does not match")
+	}
+	_, err := RestoreAnalyzer(bytes.NewReader(body), Config{})
+	if err == nil {
+		t.Fatal("restore of a V2 analyzer payload succeeded, want versioned rejection")
+	}
+	if !strings.Contains(err.Error(), "state version 2") || !strings.Contains(err.Error(), "supported: 3") {
+		t.Errorf("error %q does not name the rejected and supported versions", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"zoomlens/internal/flow"
 	"zoomlens/internal/meeting"
+	"zoomlens/internal/rtcproto"
 	"zoomlens/internal/zoom"
 )
 
@@ -45,7 +46,10 @@ type ParticipantReport struct {
 
 // MeetingReport is the per-meeting roll-up.
 type MeetingReport struct {
-	Meeting      meeting.Meeting
+	Meeting meeting.Meeting
+	// App names the protocol plugin every stream of the meeting decoded
+	// under ("zoom", "webrtc"): meetings never span applications.
+	App          string
 	Participants []ParticipantReport
 	// MeetingWideDegradation is set when most participants are degraded
 	// (a shared cause: the meeting "in general suffers"); if only some
@@ -58,8 +62,7 @@ type MeetingReport struct {
 
 // MeetingReports computes roll-ups for every inferred meeting.
 func (a *Analyzer) MeetingReports() []MeetingReport {
-	clientOf := meeting.ClientOf(a.isZoomAddr)
-	records := a.Dedup.Records(clientOf)
+	records := a.Dedup.RecordsBy(a.cfg.clientOf())
 	meetings := meeting.Group(records)
 
 	// Index stream records by unified ID for meeting membership, and
@@ -80,7 +83,7 @@ func (a *Analyzer) MeetingReports() []MeetingReport {
 
 	var out []MeetingReport
 	for _, m := range meetings {
-		rep := MeetingReport{Meeting: m}
+		rep := MeetingReport{Meeting: m, App: rtcproto.NameOf(m.Proto)}
 		perClient := map[netip.Addr]*ParticipantReport{}
 		var rttSum time.Duration
 		var rttN int

@@ -101,8 +101,7 @@ func (s snapshotSource) take(now time.Time, window time.Duration) []MeetingSnaps
 		window = time.Second
 	}
 	cut := now.Add(-window)
-	clientOf := meeting.ClientOf(s.cfg.isZoomAddr)
-	recs := s.dedup.Records(clientOf)
+	recs := s.dedup.RecordsBy(s.cfg.clientOf())
 	meetings := meeting.Group(recs)
 	if len(meetings) == 0 {
 		return nil

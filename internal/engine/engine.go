@@ -27,6 +27,7 @@ import (
 	"zoomlens/internal/core"
 	"zoomlens/internal/obs"
 	"zoomlens/internal/pcap"
+	"zoomlens/internal/rtcproto"
 )
 
 // Source is an opened capture input: a file or stdin ("-"), classic
@@ -86,6 +87,7 @@ func (s *Source) Close() error {
 // set.
 type Flags struct {
 	Input          string
+	Proto          string
 	Workers        int
 	MaxFlows       int
 	MaxStreams     int
@@ -129,6 +131,7 @@ type Flags struct {
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Input, "i", "", "input pcap path")
+	fs.StringVar(&f.Proto, "proto", "auto", "protocol plugins to decode: auto (all), a name (zoom, webrtc), or a comma list; probe order is always canonical")
 	fs.IntVar(&f.Workers, "workers", 1, "analysis shards: 1 = sequential, 0 = one per CPU")
 	fs.IntVar(&f.MaxFlows, "max-flows", 0, "cap concurrent flow-table entries; packets refused at the cap are counted (0 = unlimited)")
 	fs.IntVar(&f.MaxStreams, "max-streams", 0, "cap concurrent media-stream records (0 = unlimited)")
@@ -277,12 +280,17 @@ func (f *Flags) Run(zoomNets []netip.Prefix) (*Run, error) {
 // a generated workload through the exact production pipeline, signals,
 // checkpoints, and rotation included.
 func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, truncated func() bool) (*Run, error) {
+	protos, err := rtcproto.ParseSet(f.Proto)
+	if err != nil {
+		return nil, err
+	}
 	setup, err := f.Obs.Apply()
 	if err != nil {
 		return nil, err
 	}
 	cfg := core.Config{
 		ZoomNetworks: zoomNets,
+		Protos:       protos,
 		MaxFlows:     f.MaxFlows,
 		MaxStreams:   f.MaxStreams,
 		MaxFinished:  f.MaxFinished,
@@ -619,12 +627,19 @@ func (r *Run) EmitStatus() {
 		reason = "truncated_capture"
 	}
 	quarantined, quarDropped := r.flushQuarantine()
+	// Per-plugin decode counters mirror the zoomlens_proto_* metrics so
+	// a cluster aggregator (or an operator tailing stderr) sees the
+	// protocol mix without a metrics scrape.
+	protoFields := ""
+	for i, v := range s.ProtoDecoded {
+		protoFields += fmt.Sprintf(`,"proto_decoded_%s":%d`, rtcproto.NameOf(uint8(i)), v)
+	}
 	line := fmt.Sprintf(
-		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"quarantine_dropped":%d,"shed_packets":%d,"shed_bytes":%d,"truncated":%t,"checkpoints":%d,"delta_checkpoints":%d,"restore_fallbacks":%d,"tmp_cleaned":%d,"restored":%t,"rotations":%d,"rotate_failures":%d}`,
+		`{"partial":%t,"reason":%q,"packets":%d,"flows":%d,"streams":%d,"evicted_flows":%d,"evicted_streams":%d,"rejected_packets":%d,"panics_recovered":%d,"quarantined":%d,"quarantine_dropped":%d,"shed_packets":%d,"shed_bytes":%d,"truncated":%t,"checkpoints":%d,"delta_checkpoints":%d,"restore_fallbacks":%d,"tmp_cleaned":%d,"restored":%t,"rotations":%d,"rotate_failures":%d%s,"proto_undecodable":%d,"stun_port_nonstun":%d}`,
 		r.Interrupted || s.Truncated, reason, s.Packets, s.Flows, s.Streams,
 		s.EvictedFlows, s.EvictedStreams, s.RejectedPackets, s.PanicsRecovered, quarantined, quarDropped,
 		s.ShedPackets, s.ShedBytes, s.Truncated, r.Checkpoints, r.DeltaCheckpoints, r.RestoreFallbacks, r.TmpCleaned,
-		r.Restored, r.Rotations, r.RotateFailures)
+		r.Restored, r.Rotations, r.RotateFailures, protoFields, s.Undecodable, s.STUNPortNonSTUN)
 	fmt.Fprintln(os.Stderr, line)
 	if r.statusPath != "" {
 		if err := os.WriteFile(r.statusPath, []byte(line+"\n"), 0o644); err != nil {

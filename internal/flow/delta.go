@@ -15,7 +15,12 @@ import (
 // checkpoint record no tombstones and pay only a per-mutation bool
 // store.
 
-const tableDeltaV1 = 1
+// tableDeltaV2 added the protocol byte inside every encoded
+// zoom.StreamKey; V1 deltas are rejected by version.
+const (
+	tableDeltaV1 = 1
+	tableDeltaV2 = 2
+)
 
 // maxDeltaTombstones bounds the eviction backlog a delta is willing to
 // carry. Past it the table flags overflow and the next delta encode
@@ -80,7 +85,7 @@ func (t *Table) Disarm() {
 // DeltaOverflow first and must call MarkCheckpointed after a successful
 // encode.
 func (t *Table) StateDelta(w *statecodec.Writer) {
-	w.U8(tableDeltaV1)
+	w.U8(tableDeltaV2)
 	t.encodeScalars(w)
 
 	slices.SortFunc(t.deadFlows, layers.FiveTuple.Compare)
@@ -128,7 +133,7 @@ func (t *Table) StateDelta(w *statecodec.Writer) {
 // restored from); on error the table may hold partially applied state
 // and must be discarded.
 func (t *Table) ApplyDelta(r *statecodec.Reader) error {
-	r.Version("flow.Table delta", tableDeltaV1)
+	r.Version("flow.Table delta", tableDeltaV2)
 	t.decodeScalars(r)
 
 	ndf := r.Count(13)

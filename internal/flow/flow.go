@@ -28,7 +28,11 @@ type Record struct {
 	WireLen int
 	// UDPPayloadLen is the Zoom payload length.
 	UDPPayloadLen int
-	// Z is the parsed Zoom packet.
+	// Proto tags the protocol plugin (rtcproto.ID) whose decoder
+	// produced Z; it becomes part of every StreamKey the record creates.
+	Proto uint8
+	// Z is the parsed media packet, normalized to the Zoom container by
+	// the decoding plugin.
 	Z zoom.Packet
 }
 
@@ -199,14 +203,14 @@ func (t *Table) Observe(r *Record) *StreamStats {
 	var key zoom.StreamKey
 	switch {
 	case r.Z.IsMedia():
-		key = zoom.StreamKey{SSRC: r.Z.RTP.SSRC, Type: r.Z.Media.Type}
+		key = zoom.StreamKey{SSRC: r.Z.RTP.SSRC, Type: r.Z.Media.Type, Proto: r.Proto}
 	case r.Z.Media.Type.IsRTCP() && len(r.Z.RTCP.SenderReports) > 0:
 		// Attribute the report to the stream it describes. RTCP SRs for a
 		// media stream use the media type of their carrying encapsulation
 		// only (33/34), so find any existing stream on this flow with the
 		// SSRC.
 		ssrc := r.Z.RTCP.SenderReports[0].SSRC
-		if s := t.findStreamBySSRC(r.Flow, ssrc); s != nil {
+		if s := t.findStreamBySSRC(r.Flow, ssrc, r.Proto); s != nil {
 			s.RTCPPackets++
 			s.LastSeen = r.Time
 			s.dirty = true
@@ -327,9 +331,9 @@ func (t *Table) foldFlow(f *FlowStats) {
 	}
 }
 
-func (t *Table) findStreamBySSRC(ft layers.FiveTuple, ssrc uint32) *StreamStats {
+func (t *Table) findStreamBySSRC(ft layers.FiveTuple, ssrc uint32, proto uint8) *StreamStats {
 	for _, mt := range []zoom.MediaType{zoom.TypeVideo, zoom.TypeAudio, zoom.TypeScreenShare} {
-		if s, ok := t.streams[MediaStreamID{Flow: ft, Key: zoom.StreamKey{SSRC: ssrc, Type: mt}}]; ok {
+		if s, ok := t.streams[MediaStreamID{Flow: ft, Key: zoom.StreamKey{SSRC: ssrc, Type: mt, Proto: proto}}]; ok {
 			return s
 		}
 	}

@@ -13,7 +13,13 @@ import (
 // a checkpoint taken under one deployment's caps restores cleanly under
 // another's.
 
-const tableStateV1 = 1
+// tableStateV2 added the protocol byte inside every encoded
+// zoom.StreamKey (the rtcproto plugin refactor). V1 state interleaves
+// keys without it and cannot be decoded; it is rejected by version.
+const (
+	tableStateV1 = 1
+	tableStateV2 = 2
+)
 
 // encodeFlowStats writes one flow record (key included).
 func encodeFlowStats(w *statecodec.Writer, f *FlowStats) {
@@ -197,7 +203,7 @@ func (t *Table) decodeScalars(r *statecodec.Reader) {
 // State encodes the table for a checkpoint. Maps are written in sorted
 // key order so identical state yields identical bytes.
 func (t *Table) State(w *statecodec.Writer) {
-	w.U8(tableStateV1)
+	w.U8(tableStateV2)
 	t.encodeScalars(w)
 
 	flowKeys := make([]layers.FiveTuple, 0, len(t.flows))
@@ -235,7 +241,7 @@ func CompareStreamID(a, b MediaStreamID) int {
 // Restore rebuilds the table from a checkpoint, replacing every live map
 // but preserving the limits installed on the receiver.
 func (t *Table) Restore(r *statecodec.Reader) error {
-	r.Version("flow.Table", tableStateV1)
+	r.Version("flow.Table", tableStateV2)
 	t.decodeScalars(r)
 
 	// Flow and stream records decode into chunk-allocated slabs — one

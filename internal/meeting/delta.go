@@ -14,7 +14,12 @@ import (
 // deleted from d.streams — Evict only unlinks them from the index — so
 // there are no tombstones: a delta is scalars + upserts + list rewrites.
 
-const dedupDeltaV1 = 1
+// dedupDeltaV2 added the protocol byte inside every encoded
+// zoom.StreamKey; V1 deltas are rejected by version.
+const (
+	dedupDeltaV1 = 1
+	dedupDeltaV2 = 2
+)
 
 func (d *Dedup) markSSRCDirty(k zoom.StreamKey) {
 	if !d.armed {
@@ -74,7 +79,7 @@ func sortedFlowKeys(keys []flowKey) {
 // tie-break depends on — survives the round trip. Callers must call
 // MarkCheckpointed after a successful encode.
 func (d *Dedup) StateDelta(w *statecodec.Writer) {
-	w.U8(dedupDeltaV1)
+	w.U8(dedupDeltaV2)
 	d.encodeScalars(w)
 
 	dirty := make([]flowKey, 0, 64)
@@ -120,7 +125,7 @@ func (d *Dedup) StateDelta(w *statecodec.Writer) {
 // On error the detector may hold partially applied state and must be
 // discarded.
 func (d *Dedup) ApplyDelta(r *statecodec.Reader) error {
-	r.Version("meeting.Dedup delta", dedupDeltaV1)
+	r.Version("meeting.Dedup delta", dedupDeltaV2)
 	d.decodeScalars(r)
 
 	n := r.Count(12)

@@ -211,6 +211,15 @@ func (d *Dedup) Len() int { return len(d.streams) }
 // stream, ordered by start time, deriving the client endpoint with
 // clientOf.
 func (d *Dedup) Records(clientOf func(layers.FiveTuple) netip.AddrPort) []StreamRecord {
+	return d.RecordsBy(func(ft layers.FiveTuple, _ zoom.StreamKey) netip.AddrPort {
+		return clientOf(ft)
+	})
+}
+
+// RecordsBy is Records with a key-aware client derivation: clientOf also
+// receives the stream's key, so multi-protocol pipelines can apply
+// per-protocol endpoint conventions (see ClientOfProto).
+func (d *Dedup) RecordsBy(clientOf func(layers.FiveTuple, zoom.StreamKey) netip.AddrPort) []StreamRecord {
 	out := make([]StreamRecord, 0, len(d.streams))
 	flowKeys := make([]string, 0, len(d.streams))
 	for _, s := range d.streams {
@@ -220,7 +229,7 @@ func (d *Dedup) Records(clientOf func(layers.FiveTuple) netip.AddrPort) []Stream
 			Key:     s.key,
 			Start:   s.firstSeen,
 			End:     s.lastSeen,
-			Client:  clientOf(s.flow),
+			Client:  clientOf(s.flow, s.key),
 		})
 		// Rendered once up front: String() inside the comparator would
 		// allocate O(n log n) strings.
@@ -270,6 +279,30 @@ func ClientOf(serverIs func(netip.Addr) bool) func(layers.FiveTuple) netip.AddrP
 	}
 }
 
+// ClientOfProto derives client endpoints per protocol. Zoom streams
+// (StreamKey.Proto zero) keep the ClientOf convention exactly — the side
+// that is not a Zoom server — so Zoom-only results are unchanged. Other
+// protocols publish no server prefixes; the only structural hint is
+// campus membership, so the campus side of the flow is the client (the
+// source endpoint when membership does not disambiguate, mirroring
+// ClientOf's P2P fallback).
+func ClientOfProto(zoomServerIs, campusIs func(netip.Addr) bool) func(layers.FiveTuple, zoom.StreamKey) netip.AddrPort {
+	zoomOf := ClientOf(zoomServerIs)
+	return func(ft layers.FiveTuple, key zoom.StreamKey) netip.AddrPort {
+		if key.Proto == 0 {
+			return zoomOf(ft)
+		}
+		switch {
+		case campusIs(ft.Src) && !campusIs(ft.Dst):
+			return netip.AddrPortFrom(ft.Src, ft.SrcPort)
+		case campusIs(ft.Dst) && !campusIs(ft.Src):
+			return netip.AddrPortFrom(ft.Dst, ft.DstPort)
+		default:
+			return netip.AddrPortFrom(ft.Src, ft.SrcPort)
+		}
+	}
+}
+
 // Meeting is one inferred meeting: the set of unified streams, client
 // endpoints, and its observed time span.
 type Meeting struct {
@@ -278,6 +311,12 @@ type Meeting struct {
 	Clients []netip.AddrPort
 	Start   time.Time
 	End     time.Time
+	// Proto is the protocol-plugin ID every stream of this meeting
+	// decoded under (rtcproto.ID numeric value). Meetings never span
+	// applications: the grouper's client-endpoint maps are qualified by
+	// protocol, so a host running Zoom and a standards-RTC app
+	// concurrently yields two meetings.
+	Proto uint8
 }
 
 // Participants estimates the number of active participants as the count
@@ -291,16 +330,33 @@ func (m *Meeting) Participants() int {
 }
 
 // Grouper performs step 2 over stream records.
+//
+// The client maps are qualified by protocol plugin: a campus host in a
+// Zoom meeting and a WebRTC call at once must not have the two merged
+// into one "meeting" just because the client IP matches. Unified IDs
+// need no qualification — step 1 keys streams by zoom.StreamKey, which
+// already embeds Proto, so a unified stream can never span protocols.
 type Grouper struct {
 	nextMeeting int
 	byUnified   map[UnifiedID]int
-	byClientIP  map[netip.Addr]int
-	byClient    map[netip.AddrPort]int
+	byClientIP  map[clientIPKey]int
+	byClient    map[clientKey]int
 	meetings    map[int]*meetingState
+}
+
+type clientKey struct {
+	ep    netip.AddrPort
+	proto uint8
+}
+
+type clientIPKey struct {
+	addr  netip.Addr
+	proto uint8
 }
 
 type meetingState struct {
 	id      int
+	proto   uint8
 	streams map[UnifiedID]struct{}
 	clients map[netip.AddrPort]struct{}
 	start   time.Time
@@ -311,8 +367,8 @@ type meetingState struct {
 func NewGrouper() *Grouper {
 	return &Grouper{
 		byUnified:  make(map[UnifiedID]int),
-		byClientIP: make(map[netip.Addr]int),
-		byClient:   make(map[netip.AddrPort]int),
+		byClientIP: make(map[clientIPKey]int),
+		byClient:   make(map[clientKey]int),
 		meetings:   make(map[int]*meetingState),
 	}
 }
@@ -324,10 +380,10 @@ func (g *Grouper) Add(r StreamRecord) int {
 	if id, ok := g.byUnified[r.Unified]; ok {
 		matches[id] = struct{}{}
 	}
-	if id, ok := g.byClient[r.Client]; ok {
+	if id, ok := g.byClient[clientKey{r.Client, r.Key.Proto}]; ok {
 		matches[id] = struct{}{}
 	}
-	if id, ok := g.byClientIP[r.Client.Addr()]; ok {
+	if id, ok := g.byClientIP[clientIPKey{r.Client.Addr(), r.Key.Proto}]; ok {
 		matches[id] = struct{}{}
 	}
 	var target *meetingState
@@ -336,6 +392,7 @@ func (g *Grouper) Add(r StreamRecord) int {
 		g.nextMeeting++
 		target = &meetingState{
 			id:      g.nextMeeting,
+			proto:   r.Key.Proto,
 			streams: make(map[UnifiedID]struct{}),
 			clients: make(map[netip.AddrPort]struct{}),
 			start:   r.Start,
@@ -362,8 +419,8 @@ func (g *Grouper) Add(r StreamRecord) int {
 		target.end = r.End
 	}
 	g.byUnified[r.Unified] = target.id
-	g.byClient[r.Client] = target.id
-	g.byClientIP[r.Client.Addr()] = target.id
+	g.byClient[clientKey{r.Client, r.Key.Proto}] = target.id
+	g.byClientIP[clientIPKey{r.Client.Addr(), r.Key.Proto}] = target.id
 	return target.id
 }
 
@@ -377,8 +434,8 @@ func (g *Grouper) merge(dst, src *meetingState) {
 	}
 	for c := range src.clients {
 		dst.clients[c] = struct{}{}
-		g.byClient[c] = dst.id
-		g.byClientIP[c.Addr()] = dst.id
+		g.byClient[clientKey{c, src.proto}] = dst.id
+		g.byClientIP[clientIPKey{c.Addr(), src.proto}] = dst.id
 	}
 	if src.start.Before(dst.start) {
 		dst.start = src.start
@@ -403,7 +460,7 @@ func Group(records []StreamRecord) []Meeting {
 func (g *Grouper) Meetings() []Meeting {
 	out := make([]Meeting, 0, len(g.meetings))
 	for _, m := range g.meetings {
-		mm := Meeting{ID: m.id, Start: m.start, End: m.end}
+		mm := Meeting{ID: m.id, Start: m.start, End: m.end, Proto: m.proto}
 		for s := range m.streams {
 			mm.Streams = append(mm.Streams, s)
 		}

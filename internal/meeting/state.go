@@ -15,11 +15,17 @@ import (
 // preserving insertion order exactly. (The step-2 Grouper is rebuilt
 // from records on every Meetings() call and carries no state here.)
 
-const dedupStateV1 = 1
+// dedupStateV2 added the protocol byte inside every encoded
+// zoom.StreamKey (the rtcproto plugin refactor); V1 state is rejected
+// by version.
+const (
+	dedupStateV1 = 1
+	dedupStateV2 = 2
+)
 
 // State encodes the detector for a checkpoint.
 func (d *Dedup) State(w *statecodec.Writer) {
-	w.U8(dedupStateV1)
+	w.U8(dedupStateV2)
 	w.I64(d.TSWindow)
 	w.Duration(d.TimeWindow)
 	w.Int(d.MaxStreams)
@@ -73,7 +79,7 @@ func (d *Dedup) State(w *statecodec.Writer) {
 // including the tunable windows (they were live when the checkpoint was
 // taken and a mid-run change would alter linkage decisions).
 func (d *Dedup) Restore(r *statecodec.Reader) error {
-	r.Version("meeting.Dedup", dedupStateV1)
+	r.Version("meeting.Dedup", dedupStateV2)
 	d.TSWindow = r.I64()
 	d.TimeWindow = r.Duration()
 	d.MaxStreams = r.Int()

@@ -109,7 +109,9 @@ func (c *Client) MediaAddrPort() netip.AddrPort {
 // portFor returns the client-side UDP port carrying mt in the current
 // meeting mode.
 func (c *Client) portFor(mt zoom.MediaType) uint16 {
-	if c.meeting != nil && c.meeting.mode == modeP2P {
+	if c.meeting != nil && (c.meeting.mode == modeP2P || c.meeting.app == AppWebRTC) {
+		// P2P and webrtc-app meetings bundle all media on one UDP flow
+		// (WebRTC's BUNDLE: the flow the ICE STUN exchange armed).
 		return c.mediaPort
 	}
 	if p, ok := c.mediaPorts[mt]; ok {
@@ -241,8 +243,11 @@ func (c *Client) startSenders() {
 	// One RTCP SR per stream per second (§4.2.3), staggered.
 	c.w.Eng.After(jitterStart(c.rng, time.Second), c.tickRTCP)
 	// Opaque control traffic: ~1 packet/100 ms while active, giving the
-	// ~10 % undecodable share of Table 2.
-	c.w.Eng.After(jitterStart(c.rng, 100*time.Millisecond), c.tickControl)
+	// ~10 % undecodable share of Table 2. Zoom-specific (SFU type 0x07);
+	// the webrtc app has no equivalent in-band control stream here.
+	if c.meeting.app == AppZoom {
+		c.w.Eng.After(jitterStart(c.rng, 100*time.Millisecond), c.tickControl)
+	}
 }
 
 func jitterStart(rng *rand.Rand, max time.Duration) time.Duration {
@@ -356,6 +361,11 @@ func (s *streamSender) sendFrame(pt uint8, bytes int, hasCount bool) {
 	// FEC intensity varies by media type (Table 3: FEC ≈ 10 % of video
 	// packets, ≈ 3 % of audio, and screen share carries none).
 	fecRate := s.c.set.FECRate
+	if s.c.meeting.app == AppWebRTC {
+		// The standards app carries no separate FEC substream in this
+		// model (no PT-110 equivalent; protection is in-band).
+		fecRate = 0
+	}
 	switch s.mediaType {
 	case zoom.TypeAudio:
 		fecRate *= 0.33
@@ -401,7 +411,55 @@ type wirePacket struct {
 	p2p bool
 }
 
+// Standards RTP payload types the webrtc app uses: the conventional
+// Opus and VP8 dynamic mappings (both in the analyzer's known-PT maps).
+const (
+	webrtcPTAudio = 111
+	webrtcPTVideo = 96
+)
+
+// buildWebRTCPacket emits one packet of a webrtc-app stream: a plain
+// RTP header in the clear over SRTP-ciphertext payload — no Zoom
+// encapsulations, one sequence space, marker bit on the last packet of
+// a frame (how standards stacks delimit frames).
+func (s *streamSender) buildWebRTCPacket(payloadLen int, marker bool, nPkts uint8) *wirePacket {
+	s.mainSeq++
+	pt := uint8(webrtcPTVideo)
+	if s.mediaType == zoom.TypeAudio {
+		pt = webrtcPTAudio
+	}
+	rp := rtp.Packet{
+		Header: rtp.Header{
+			PayloadType:    pt,
+			SequenceNumber: s.mainSeq,
+			Timestamp:      s.rtpTS,
+			SSRC:           s.ssrc,
+			Marker:         marker,
+		},
+		Payload: s.c.encryptedPayload(payloadLen),
+	}
+	wire, err := rp.Marshal()
+	if err != nil {
+		panic("sim: marshal webrtc packet: " + err.Error())
+	}
+	return &wirePacket{
+		payload:   wire,
+		mediaType: s.mediaType,
+		pt:        pt,
+		ssrc:      s.ssrc,
+		rtpSeq:    s.mainSeq,
+		rtpTS:     s.rtpTS,
+		marker:    marker,
+		frameSeq:  s.frameSeq,
+		nPkts:     nPkts,
+		sender:    s.c,
+	}
+}
+
 func (s *streamSender) buildMediaPacket(pt uint8, payloadLen int, marker bool, nPkts uint8, hasCount, fec bool) *wirePacket {
+	if s.c.meeting.app == AppWebRTC {
+		return s.buildWebRTCPacket(payloadLen, marker, nPkts)
+	}
 	s.mediaSeq++
 	seq := &s.mainSeq
 	if fec {
@@ -492,9 +550,26 @@ func (c *Client) tickRTCP() {
 		if s.stopped {
 			continue
 		}
+		withSDES := c.rng.Float64() < 0.7 // most SRs carry an (empty) SDES
+		if c.meeting.app == AppWebRTC {
+			// Standards compound RTCP: SR (+SDES), demultiplexed from RTP
+			// by the RFC 5761 payload-type octet, on the bundled flow.
+			wire := rtp.MarshalSR(rtp.SenderReport{
+				SSRC:        s.ssrc,
+				NTPTS:       rtp.NTPFromTime(c.w.Now()),
+				RTPTS:       s.rtpTS,
+				PacketCount: s.pktCount,
+				OctetCount:  s.byteCount,
+			}, withSDES)
+			c.transmitMedia(s, &wirePacket{
+				payload: wire, mediaType: zoom.TypeRTCPSR, ssrc: s.ssrc, sender: c,
+				rtcpFlowType: s.mediaType,
+			}, 0)
+			continue
+		}
 		mt := zoom.TypeRTCPSR
-		if c.rng.Float64() < 0.7 {
-			mt = zoom.TypeRTCPSRSDES // most SRs carry an (empty) SDES
+		if withSDES {
+			mt = zoom.TypeRTCPSRSDES
 		}
 		p2p := c.meeting.mode == modeP2P
 		zp := zoom.Packet{
@@ -564,6 +639,9 @@ func (c *Client) transmitMedia(s *streamSender, pkt *wirePacket, retries int) {
 		p = c.w.pathP2P(c, to)
 	} else if !pkt.p2p && m.mode == modeSFU {
 		dst = c.w.SFUAddrPort()
+		if m.app == AppWebRTC {
+			dst = c.w.WebRTCAddrPort()
+		}
 		p = c.w.pathToSFU(c)
 	} else {
 		return // packet built for a mode the meeting already left

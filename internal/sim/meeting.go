@@ -16,12 +16,28 @@ const (
 	modeP2P
 )
 
+// App selects which conferencing application a meeting models.
+type App int
+
+// Applications.
+const (
+	// AppZoom is the paper's subject: proprietary SFU + media
+	// encapsulations, Zoom-net servers, zone-controller STUN for P2P.
+	AppZoom App = iota
+	// AppWebRTC is a standards-based RTC application (Meet/Webex-shaped):
+	// plain RTP/SRTP over one bundled UDP flow to a media server outside
+	// Zoom's prefixes, found by the capture filter only through its
+	// ICE-style STUN exchange.
+	AppWebRTC
+)
+
 // Meeting orchestrates participants, the SFU↔P2P transitions of §3, and
 // the STUN establishment of §4.1.
 type Meeting struct {
 	w        *World
 	id       int
 	ssrcBase uint32
+	app      App
 
 	participants []*Client
 	mode         meetingMode
@@ -38,6 +54,18 @@ type Meeting struct {
 // ID returns the meeting's simulator-internal identifier (not present in
 // any packet, per §4.3).
 func (m *Meeting) ID() int { return m.id }
+
+// App returns the application this meeting models.
+func (m *Meeting) App() App { return m.app }
+
+// serverAddr is the address of the application's server side: the Zoom
+// multimedia router or the standards-RTC media server.
+func (m *Meeting) serverAddr() netip.Addr {
+	if m.app == AppWebRTC {
+		return m.w.Opts.WebRTCAddr
+	}
+	return m.w.Opts.SFUAddr
+}
 
 // EnableP2P allows this meeting to use a direct connection while it has
 // exactly two participants.
@@ -58,9 +86,30 @@ func (m *Meeting) Join(c *Client, set MediaSet) {
 	m.participants = append(m.participants, c)
 	c.recv = newReceiver(c)
 	c.startTCPControl()
-	c.startSenders()
+	if m.app == AppWebRTC {
+		// ICE before media: the connectivity check (STUN from the media
+		// port to the server's well-known STUN port) completes before the
+		// first RTP packet, exactly the ordering the GenericRTC capture
+		// filter depends on to arm the endpoint.
+		c.sendICESTUN()
+		m.w.Eng.After(webrtcICEDelay, func() {
+			if c.active {
+				c.startSenders()
+			}
+		})
+	} else {
+		c.startSenders()
+	}
 	m.updateThumbnails()
 
+	if m.app == AppWebRTC {
+		// Standards-RTC meetings always relay through the media server in
+		// this model; the Zoom-specific P2P transitions do not apply.
+		if len(m.participants) >= 3 {
+			m.reverted = true
+		}
+		return
+	}
 	switch {
 	case len(m.participants) == 2 && m.p2pEnabled && !m.reverted:
 		// Second participant: begin the STUN exchange now, switch later.
@@ -195,6 +244,38 @@ func (c *Client) sendSTUN() {
 	}
 }
 
+// webrtcICEDelay is how long after the ICE STUN exchange begins that a
+// webrtc-app client starts sending media (connectivity checks complete
+// first; "tens to hundreds of milliseconds" in practice).
+const webrtcICEDelay = 500 * time.Millisecond
+
+// sendICESTUN performs the ICE-style connectivity check of a
+// standards-RTC client: STUN binding requests from the media port to
+// the media server's well-known STUN port, answered with the reflexive
+// address. Crossing the monitor, this exchange is what arms the capture
+// filter's endpoint table (GenericRTC mode) — the server's address
+// carries no Zoom-prefix hint.
+func (c *Client) sendICESTUN() {
+	w := c.w
+	srv := netip.AddrPortFrom(w.Opts.WebRTCAddr, stun.Port)
+	src := netip.AddrPortFrom(c.Addr, c.mediaPort)
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i) * 150 * time.Millisecond
+		w.Eng.After(delay, func() {
+			tid := stun.NewTransactionID()
+			req := stun.NewBindingRequest(tid)
+			frame := c.builder.BuildUDP(src, srv, 64, req.Marshal())
+			p := w.pathToSFU(c)
+			p.deliver(frame, func(at time.Time) {
+				resp := stun.NewBindingResponse(tid, src)
+				respFrame := w.sfu.builder.BuildUDP(srv, src, 57, resp.Marshal())
+				rp := w.pathFromSFU(c)
+				rp.deliver(respFrame, nil, nil)
+			}, nil)
+		})
+	}
+}
+
 // switchToP2P moves the meeting to the direct connection: both clients
 // start new flows from their STUN-announced ports; all media types share
 // one UDP flow (§3).
@@ -250,6 +331,11 @@ func (cc *controlConn) tick() {
 	}
 	w := c.w
 	server := netip.AddrPortFrom(w.Opts.SFUAddr, 443)
+	if c.meeting != nil {
+		// The control connection goes to the meeting's application: a
+		// webrtc-app client talks TLS to its own service, not to Zoom.
+		server = netip.AddrPortFrom(c.meeting.serverAddr(), 443)
+	}
 	client := netip.AddrPortFrom(c.Addr, cc.srcPort)
 
 	reqLen := 64 + c.rng.Intn(192)

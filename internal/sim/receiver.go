@@ -60,7 +60,7 @@ func (c *Client) receiveMedia(at time.Time, pkt *wirePacket) {
 }
 
 func (r *receiver) observe(at time.Time, pkt *wirePacket) {
-	if pkt.mediaType != zoom.TypeVideo || pkt.pt != zoom.PTVideoMain {
+	if pkt.mediaType != zoom.TypeVideo || (pkt.pt != zoom.PTVideoMain && pkt.pt != webrtcPTVideo) {
 		return
 	}
 	// Jitter accounting on the first packet of each frame.

@@ -50,16 +50,25 @@ func (s *sfu) receive(at time.Time, from *Client, pkt *wirePacket) {
 
 // forward re-wraps and sends one packet to a downlink participant.
 func (s *sfu) forward(to *Client, pkt *wirePacket) {
-	s.sfuSeq[to]++
-	// Rebuild the SFU encapsulation with the from-SFU direction while
-	// leaving the inner media encapsulation and RTP bytes untouched:
-	// Zoom's SFU does not translate timestamps or sequence numbers.
-	inner := pkt.payload[zoom.SFUEncapLen:]
-	hdr := zoom.SFUEncap{Type: zoom.SFUTypeMedia, Sequence: s.sfuSeq[to], Direction: zoom.DirFromSFU}
-	payload := hdr.AppendMarshal(make([]byte, 0, zoom.SFUEncapLen+len(inner)))
-	payload = append(payload, inner...)
+	var payload []byte
+	src := s.w.SFUAddrPort()
+	if to.meeting.app == AppWebRTC {
+		// The standards SFU relays the RTP packet unchanged (header
+		// rewriting is out of model) from its media port.
+		payload = pkt.payload
+		src = s.w.WebRTCAddrPort()
+	} else {
+		s.sfuSeq[to]++
+		// Rebuild the SFU encapsulation with the from-SFU direction while
+		// leaving the inner media encapsulation and RTP bytes untouched:
+		// Zoom's SFU does not translate timestamps or sequence numbers.
+		inner := pkt.payload[zoom.SFUEncapLen:]
+		hdr := zoom.SFUEncap{Type: zoom.SFUTypeMedia, Sequence: s.sfuSeq[to], Direction: zoom.DirFromSFU}
+		payload = hdr.AppendMarshal(make([]byte, 0, zoom.SFUEncapLen+len(inner)))
+		payload = append(payload, inner...)
+	}
 
-	frame := s.builder.BuildUDP(s.w.SFUAddrPort(), netip.AddrPortFrom(to.Addr, to.portFor(flowMediaType(pkt))), 57, payload)
+	frame := s.builder.BuildUDP(src, netip.AddrPortFrom(to.Addr, to.portFor(flowMediaType(pkt))), 57, payload)
 	p := s.w.pathFromSFU(to)
 	fwd := *pkt
 	fwd.payload = payload

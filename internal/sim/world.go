@@ -60,6 +60,12 @@ type Options struct {
 	ZCAddr  netip.Addr
 	// ZoomNet is the prefix announced as Zoom's (for the capture filter).
 	ZoomNet netip.Prefix
+	// WebRTCAddr is the media server of the standards-RTC application
+	// (webrtc-app meetings relay through it). It must NOT fall in
+	// ZoomNet: a standards RTC service's servers are not in Zoom's
+	// published prefixes, so the capture filter can only find these
+	// flows via the STUN exchange (GenericRTC mode).
+	WebRTCAddr netip.Addr
 
 	// CampusDelay/CampusJitter shape client↔border legs.
 	CampusDelay  time.Duration
@@ -88,6 +94,7 @@ func DefaultOptions() Options {
 		ZoomNet:      netip.MustParsePrefix("52.81.0.0/16"),
 		SFUAddr:      netip.MustParseAddr("52.81.10.20"),
 		ZCAddr:       netip.MustParseAddr("52.81.200.1"),
+		WebRTCAddr:   netip.MustParseAddr("198.51.100.40"),
 		CampusDelay:  2 * time.Millisecond,
 		CampusJitter: 1 * time.Millisecond,
 		WanDelay:     10 * time.Millisecond,
@@ -241,9 +248,29 @@ func (w *World) NewMeeting() *Meeting {
 	return m
 }
 
+// NewWebRTCMeeting creates a meeting of the standards-RTC application:
+// participants relay plain RTP/SRTP through the WebRTCAddr media server
+// after an ICE-style STUN exchange, with no Zoom encapsulations on the
+// wire.
+func (w *World) NewWebRTCMeeting() *Meeting {
+	m := w.NewMeeting()
+	m.app = AppWebRTC
+	return m
+}
+
 // SFUAddrPort returns the media server endpoint.
 func (w *World) SFUAddrPort() netip.AddrPort {
 	return netip.AddrPortFrom(w.Opts.SFUAddr, zoom.ServerMediaPort)
+}
+
+// webrtcMediaPort is the UDP port the standards-RTC media server sends
+// media from (distinct from the STUN port so the analyzer's STUN-port
+// accounting stays meaningful).
+const webrtcMediaPort = 50004
+
+// WebRTCAddrPort returns the standards-RTC media server endpoint.
+func (w *World) WebRTCAddrPort() netip.AddrPort {
+	return netip.AddrPortFrom(w.Opts.WebRTCAddr, webrtcMediaPort)
 }
 
 func (w *World) String() string {

@@ -37,6 +37,11 @@ type Config struct {
 	// BackgroundPPS is the average non-Zoom background packet rate at
 	// peak (Figure 17's "All" line).
 	BackgroundPPS float64
+	// WebRTCFraction is the fraction of meetings that belong to the
+	// standards-RTC application instead of Zoom (mixed-app campus
+	// traffic). 0 keeps the workload all-Zoom and byte-identical to
+	// pre-mixed-app traces at the same seed.
+	WebRTCFraction float64
 }
 
 // DefaultConfig is a small but shape-faithful campus day.
@@ -65,6 +70,9 @@ type MeetingPlan struct {
 	P2P bool
 	// Mobile marks a meeting with one mobile-audio participant.
 	Mobile bool
+	// WebRTC marks a meeting of the standards-RTC application (plain
+	// RTP/SRTP through a non-Zoom media server).
+	WebRTC bool
 }
 
 // Schedule draws the meeting plan for the configured day.
@@ -156,6 +164,13 @@ func drawMeeting(rng *rand.Rand, cfg Config, at time.Time) MeetingPlan {
 	p.Screen = rng.Float64() < 0.3
 	p.P2P = p.Participants == 2 && rng.Float64() < 0.5
 	p.Mobile = rng.Float64() < 0.15
+	// Drawn last, and only when mixing is on: an all-Zoom schedule
+	// consumes exactly the same random sequence as before this knob
+	// existed, keeping zoom-only traces byte-identical per seed.
+	if cfg.WebRTCFraction > 0 && rng.Float64() < cfg.WebRTCFraction {
+		p.WebRTC = true
+		p.P2P = false // the standards app always relays in this model
+	}
 	return p
 }
 
@@ -248,7 +263,12 @@ func (r *Runner) installCongestion() {
 }
 
 func (r *Runner) startMeeting(idx int, p MeetingPlan) {
-	m := r.W.NewMeeting()
+	var m *sim.Meeting
+	if p.WebRTC {
+		m = r.W.NewWebRTCMeeting()
+	} else {
+		m = r.W.NewMeeting()
+	}
 	if p.P2P {
 		m.EnableP2P(10*time.Second + time.Duration(r.rng.Intn(20))*time.Second)
 	}

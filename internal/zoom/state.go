@@ -10,19 +10,24 @@ import (
 // layers.FiveTuple, the key is pure state — the containing layer's
 // version byte governs.
 
-// EncodeTo appends the key's wire form to w.
+// EncodeTo appends the key's wire form to w. The Proto byte joined the
+// encoding when the key gained the field; every containing layer bumped
+// its version byte in the same change, so no reader ever sees a
+// Proto-less key under a current version.
 func (k StreamKey) EncodeTo(w *statecodec.Writer) {
 	w.U32(k.SSRC)
 	w.U8(uint8(k.Type))
+	w.U8(k.Proto)
 }
 
 // DecodeStreamKey reads a key written by EncodeTo.
 func DecodeStreamKey(r *statecodec.Reader) StreamKey {
-	return StreamKey{SSRC: r.U32(), Type: MediaType(r.U8())}
+	return StreamKey{SSRC: r.U32(), Type: MediaType(r.U8()), Proto: r.U8()}
 }
 
-// Compare orders keys by (SSRC, Type) for deterministic checkpoint
-// encoding.
+// Compare orders keys by (SSRC, Type, Proto) for deterministic
+// checkpoint encoding. Proto breaks ties last so all-Zoom state orders
+// exactly as before the field existed.
 func (k StreamKey) Compare(o StreamKey) int {
 	if k.SSRC != o.SSRC {
 		if k.SSRC < o.SSRC {
@@ -32,6 +37,12 @@ func (k StreamKey) Compare(o StreamKey) int {
 	}
 	if k.Type != o.Type {
 		if k.Type < o.Type {
+			return -1
+		}
+		return 1
+	}
+	if k.Proto != o.Proto {
+		if k.Proto < o.Proto {
 			return -1
 		}
 		return 1

@@ -78,8 +78,18 @@ func ClassifySubstream(mt MediaType, pt uint8) Substream {
 type StreamKey struct {
 	SSRC uint32
 	Type MediaType
+	// Proto tags the application protocol whose decoder produced the
+	// stream. 0 is Zoom's proprietary encapsulation (the zero value, so
+	// every key constructed by the Zoom pipeline is already correct);
+	// other values are assigned in internal/rtcproto. Proto is part of
+	// the stream identity: equal SSRCs from different applications never
+	// unify, dedup, or share metric engines.
+	Proto uint8
 }
 
 func (k StreamKey) String() string {
-	return fmt.Sprintf("%s/ssrc=%d", k.Type, k.SSRC)
+	if k.Proto == 0 {
+		return fmt.Sprintf("%s/ssrc=%d", k.Type, k.SSRC)
+	}
+	return fmt.Sprintf("%s/ssrc=%d/proto=%d", k.Type, k.SSRC, k.Proto)
 }

@@ -1,0 +1,214 @@
+package zoomlens
+
+// Differential test for the protocol-plugin layer: a mixed-app campus
+// trace — Zoom and standards-RTC meetings side by side on the same
+// border link — must render byte-identical reports across the
+// sequential engine, the sharded parallel engine at several widths, and
+// a 2-way cluster run, from classic pcap and pcapng serializations
+// alike. A second test pins the zoom-only invariant the refactor is
+// accountable to: on a pure Zoom trace, enabling the webrtc plugin (the
+// default set) and pinning -proto zoom produce the same report to the
+// byte.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zoomlens/internal/pcap"
+	"zoomlens/internal/rtcproto"
+	"zoomlens/internal/trace"
+)
+
+// mixedCampus is a fast mixed-app campus workload: roughly half the
+// scheduled meetings belong to the standards-RTC application.
+func mixedCampus() CampusConfig {
+	cfg := DefaultCampusConfig()
+	cfg.Start = time.Date(2022, 5, 5, 9, 58, 0, 0, time.UTC)
+	cfg.Duration = 2 * time.Minute
+	cfg.MeetingsPerHourPeak = 40
+	cfg.BackgroundPPS = 500
+	cfg.WebRTCFraction = 0.5
+	return cfg
+}
+
+// mixedTrace lazily records the mixed-app capture and serializes it to
+// classic pcap and pcapng, mirroring ingestTrace for the zoom-only
+// benchmark trace.
+var mixedTraceOnce sync.Once
+var mixedTracePcap, mixedTraceNG []byte
+var mixedTraceCfg Config
+
+func mixedTrace(tb testing.TB) (pcapBytes, ngBytes []byte, cfg Config) {
+	tb.Helper()
+	mixedTraceOnce.Do(func() {
+		ccfg := mixedCampus()
+		opts := DefaultWorldOptions()
+		opts.Seed = ccfg.Seed
+		opts.Start = ccfg.Start
+		opts.SkipExternalDelivery = true
+		w := NewWorld(opts)
+
+		var at []time.Time
+		var frames [][]byte
+		w.Monitor = func(t time.Time, frame []byte) {
+			cp := make([]byte, len(frame))
+			copy(cp, frame)
+			at = append(at, t)
+			frames = append(frames, cp)
+		}
+		r := trace.NewRunner(ccfg, w)
+		r.Install(trace.Schedule(ccfg))
+		w.Run(ccfg.Start.Add(ccfg.Duration))
+
+		var buf bytes.Buffer
+		pw, err := pcap.NewWriter(&buf, pcap.WriterOptions{Nanosecond: true})
+		if err != nil {
+			panic(err)
+		}
+		for i := range frames {
+			if err := pw.WriteRecord(at[i], frames[i]); err != nil {
+				panic(err)
+			}
+		}
+		mixedTracePcap = buf.Bytes()
+
+		var ngBuf bytes.Buffer
+		ng, err := pcap.NewNGWriter(&ngBuf, uint16(pcap.LinkTypeEthernet))
+		if err != nil {
+			panic(err)
+		}
+		for i := range frames {
+			if err := ng.WriteRecord(at[i], frames[i]); err != nil {
+				panic(err)
+			}
+		}
+		mixedTraceNG = ngBuf.Bytes()
+
+		mixedTraceCfg = Config{
+			ZoomNetworks:   []netip.Prefix{opts.ZoomNet},
+			CampusNetworks: []netip.Prefix{opts.CampusNet},
+		}
+	})
+	if len(mixedTracePcap) == 0 {
+		tb.Fatal("empty mixed-app trace")
+	}
+	return mixedTracePcap, mixedTraceNG, mixedTraceCfg
+}
+
+// replayProto replays one serialized capture through an engine built
+// from cfg and returns both the rendered report and the analyzer (for
+// counter assertions).
+func replayProto(t *testing.T, serialized []byte, cfg Config, workers int) (string, *Analyzer) {
+	t.Helper()
+	s, err := pcap.OpenStream(bytes.NewReader(serialized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng Engine
+	if workers > 1 {
+		eng = NewParallelAnalyzer(cfg, workers)
+	} else {
+		eng = NewAnalyzer(cfg)
+	}
+	var rec pcap.Record
+	for {
+		err := s.NextInto(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Packet(rec.Timestamp, rec.Data)
+	}
+	eng.Finish()
+	a := eng.Result()
+	return renderReport(a), a
+}
+
+func TestProtoDifferentialMixedApps(t *testing.T) {
+	raw, ngRaw, cfg := mixedTrace(t)
+
+	want, ref := replayProto(t, raw, cfg, 1)
+	if !strings.Contains(want, "stream ") {
+		t.Fatalf("sequential report is streamless:\n%.400s", want)
+	}
+	// The trace must genuinely exercise both plugins, through to the
+	// per-app report surfaces.
+	if ref.ProtoDecoded[rtcproto.IDZoom] == 0 || ref.ProtoDecoded[rtcproto.IDWebRTC] == 0 {
+		t.Fatalf("ProtoDecoded = %v, want both apps decoded", ref.ProtoDecoded)
+	}
+	apps := map[string]bool{}
+	for _, rep := range ref.MeetingReports() {
+		apps[rep.App] = true
+	}
+	if !apps["zoom"] || !apps["webrtc"] {
+		t.Fatalf("meeting report apps = %v, want both zoom and webrtc", apps)
+	}
+	if !strings.Contains(want, " webrtc ") || !strings.Contains(want, " zoom ") {
+		t.Fatal("rendered report lacks per-app stream/meeting tags")
+	}
+
+	for _, input := range []struct {
+		name string
+		data []byte
+	}{{"pcap", raw}, {"pcapng", ngRaw}} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", input.name, workers), func(t *testing.T) {
+				if got, _ := replayProto(t, input.data, cfg, workers); got != want {
+					t.Errorf("report diverges from sequential pcap replay (lens %d vs %d)\nfirst diff: %s",
+						len(got), len(want), firstDiffLine(want, got))
+				}
+			})
+		}
+	}
+
+	// Cluster tier: split the capture across two workers and aggregate;
+	// also across a mid-trace checkpoint-drain migration.
+	recs, truncated := tracePackets(t, raw)
+	if truncated {
+		t.Fatal("mixed trace unexpectedly truncated")
+	}
+	t.Run("cluster/workers=2", func(t *testing.T) {
+		if got := clusterRun(t, cfg, recs, 2, -1); got != want {
+			t.Errorf("cluster report diverges (lens %d vs %d)\nfirst diff: %s",
+				len(got), len(want), firstDiffLine(want, got))
+		}
+	})
+	t.Run("cluster/workers=2/migrate", func(t *testing.T) {
+		if got := clusterRun(t, cfg, recs, 2, len(recs)/2); got != want {
+			t.Errorf("post-migration cluster report diverges (lens %d vs %d)\nfirst diff: %s",
+				len(got), len(want), firstDiffLine(want, got))
+		}
+	})
+}
+
+// TestProtoZoomOnlyUnchanged pins the refactor's backward-compatibility
+// contract: on a pure Zoom trace, the default plugin set (zoom+webrtc)
+// and an explicitly pinned zoom-only set produce byte-identical
+// reports, and the webrtc plugin decodes nothing.
+func TestProtoZoomOnlyUnchanged(t *testing.T) {
+	raw, _ := ingestTrace(t)
+	_, _, cfg := benchTrace(t)
+
+	want, def := replayProto(t, raw, cfg, 1)
+	if !strings.Contains(want, "stream ") {
+		t.Fatalf("default-set report is streamless:\n%.400s", want)
+	}
+	if def.ProtoDecoded[rtcproto.IDWebRTC] != 0 {
+		t.Errorf("ProtoDecoded[webrtc] = %d on a zoom-only trace, want 0",
+			def.ProtoDecoded[rtcproto.IDWebRTC])
+	}
+	pinned := cfg
+	pinned.Protos = []rtcproto.Plugin{rtcproto.Zoom()}
+	if got, _ := replayProto(t, raw, pinned, 1); got != want {
+		t.Errorf("-proto zoom diverges from the default set on a zoom-only trace (lens %d vs %d)\nfirst diff: %s",
+			len(got), len(want), firstDiffLine(want, got))
+	}
+}
