@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke cluster-smoke proto-smoke clean
+.PHONY: all build test test-short bench bench-smoke alloc-check ablation cover tools examples ci fuzz-smoke soak-smoke cluster-smoke proto-smoke qoe-smoke clean
 
 all: build test
 
@@ -60,6 +60,7 @@ ci:
 	$(MAKE) alloc-check
 	$(MAKE) cluster-smoke
 	$(MAKE) proto-smoke
+	$(MAKE) qoe-smoke
 	$(MAKE) soak-smoke
 
 # The cluster scale-out invariant, end to end: the in-process
@@ -82,6 +83,16 @@ proto-smoke:
 	$(GO) test -count=1 ./internal/rtcproto/ ./internal/webrtc/
 	$(GO) test -count=1 -run 'TestSTUNPortRequiresFraming|TestWebRTCEndToEnd|TestProtoPinnedToZoom|TestCheckpointOldVersionRejected' -v ./internal/core/
 
+# The header-free QoE inference loop, end to end: the feature-row
+# differentials (sequential/parallel/cluster engines byte-identical from
+# pcap and pcapng, streaming == batch, checkpoint resume mid-drain), the
+# train-on-one-meeting / score-a-held-out-meeting accuracy smoke, and
+# the feature-layer ingest-overhead gate (≤1.10x the featureless path),
+# whose numbers land in BENCH_predict.json.
+qoe-smoke:
+	$(GO) test -count=1 -run 'TestFeaturesPipelineDifferential|TestFeaturesStreamingVsBatch|TestFeaturesCheckpointResume|TestQoESmoke' -v .
+	BENCH_PREDICT_OUT=$(CURDIR)/BENCH_predict.json $(GO) test -count=1 -run TestBenchPredictJSON -v .
+
 # The full-shape continuous-operation soak: 100k+ concurrent streams
 # with churn through the production driver on a compressed trace clock,
 # gated on flat goroutines, bounded retained memory, an active delta
@@ -102,6 +113,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLayersParse -fuzztime=$(FUZZTIME) ./internal/layers/
 	$(GO) test -fuzz=FuzzWebRTCParse -fuzztime=$(FUZZTIME) ./internal/webrtc/
 	$(GO) test -fuzz=FuzzCheckpointRestore -fuzztime=$(FUZZTIME) -fuzzminimizetime=5s ./internal/core/
+	$(GO) test -fuzz=FuzzQoSLog -fuzztime=$(FUZZTIME) ./internal/qos/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -115,8 +115,8 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("entropy: %s", out)
 	}
 
-	// 6. Feature export.
-	if out = runTool(t, bin, "zoomfeatures", "-i", meeting); !strings.Contains(out, "media_kbps") {
+	// 6. Feature export: versioned header plus a header-free column.
+	if out = runTool(t, bin, "zoomfeatures", "-i", meeting); !strings.Contains(out, "#zoomlens-features v2") || !strings.Contains(out, "wire_kbps") {
 		t.Fatalf("features: %s", out)
 	}
 

@@ -28,12 +28,14 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"zoomlens"
 	"zoomlens/internal/cluster"
 	"zoomlens/internal/cluster/agg"
 	"zoomlens/internal/core"
 	"zoomlens/internal/engine"
+	"zoomlens/internal/features"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 		metricsIn  = flag.String("metrics", "", "comma-separated Prometheus text dumps to merge onto stdout")
 		windows    = flag.String("windows", "", "comma-separated worker -rotate-out prefixes whose window files to merge")
 		windowsOut = flag.String("windows-out", "zoomagg-window", "output prefix for merged window files (with -windows)")
+		featOut    = flag.String("features", "", "with -cluster-merge: write the merged run's streaming feature rows as versioned CSV to this path (\"-\" = stdout); rows are byte-identical to a single engine reading the whole capture")
+		featWindow = flag.Duration("feature-window", time.Second, "feature aggregation window for -features")
 	)
 	flag.Parse()
 
@@ -58,8 +62,8 @@ func main() {
 		if *manifest == "" {
 			log.Fatal("-cluster-merge requires -manifest")
 		}
-		if *ckOut == "" && !*summary {
-			log.Fatal("-cluster-merge needs at least one output: -checkpoint-out and/or -summary")
+		if *ckOut == "" && !*summary && *featOut == "" {
+			log.Fatal("-cluster-merge needs at least one output: -checkpoint-out, -summary, and/or -features")
 		}
 		man, err := cluster.ReadManifest(*manifest)
 		if err != nil {
@@ -74,6 +78,16 @@ func main() {
 		}
 		obsPaths = append(obsPaths, splitList(*extraObs)...)
 		cfg := core.Config{ZoomNetworks: zoomlens.DefaultZoomNetworks()}
+		if *featOut != "" {
+			// The replayed observation logs feed the aggregator's windower,
+			// so the merged feature rows match a single-engine run with the
+			// same window.
+			fw := *featWindow
+			if fw <= 0 {
+				fw = time.Second
+			}
+			cfg.FeatureWindow = fw
+		}
 		merged, err := agg.Aggregate(cfg, man, states, obsPaths)
 		if err != nil {
 			log.Fatal(err)
@@ -86,13 +100,34 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if *summary {
+		if *summary || *featOut != "" {
 			merged.Finish()
+		}
+		if *summary {
 			data, err := json.MarshalIndent(merged.Summary(), "", "  ")
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Println(string(data))
+		}
+		if *featOut != "" {
+			rows := merged.DrainFeatures()
+			out := os.Stdout
+			if *featOut != "-" {
+				out, err = os.Create(*featOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := features.WriteCSV(out, rows); err != nil {
+				log.Fatal(err)
+			}
+			if out != os.Stdout {
+				if err := out.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			log.Printf("wrote %d feature rows", len(rows))
 		}
 	}
 	if *status != "" {

@@ -21,6 +21,7 @@ import (
 	"zoomlens/internal/cliobs"
 	"zoomlens/internal/netsim"
 	"zoomlens/internal/pcap"
+	"zoomlens/internal/qos"
 	"zoomlens/internal/sim"
 	"zoomlens/internal/trace"
 )
@@ -41,6 +42,7 @@ func main() {
 		bgPPS    = flag.Float64("bg", 400, "campus mode: background packet rate")
 		webrtcFr = flag.Float64("webrtc-frac", 0, "campus mode: fraction of meetings run over the standards WebRTC app instead of Zoom (0 keeps the trace byte-identical to earlier versions)")
 		format   = flag.String("format", "pcap", "output format: pcap | pcapng")
+		qosOut   = flag.String("qos-out", "", "meeting mode: write the clients' ground-truth QoS series (the SDK view) to this path for training/labeling")
 	)
 	obsFlags := cliobs.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
@@ -128,7 +130,28 @@ func main() {
 			)
 		}
 		world.Run(opts.Start.Add(*duration))
+		if *qosOut != "" {
+			clients := make(map[string][]qos.Entry)
+			for _, c := range []*sim.Client{a, b} {
+				if rec := c.QoS(); rec != nil {
+					clients[rec.Name] = rec.Entries
+				}
+			}
+			qf, err := os.Create(*qosOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := qos.WriteLog(qf, clients); err != nil {
+				log.Fatal(err)
+			}
+			if err := qf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
 	case "campus":
+		if *qosOut != "" {
+			log.Fatal("-qos-out records the per-client SDK series; only available in meeting mode")
+		}
 		cfg := zoomlens.DefaultCampusConfig()
 		cfg.Seed = *seed
 		cfg.Duration = *duration

@@ -106,6 +106,12 @@ func (f *Flags) SnapshotWriter(s *Setup, snap func(time.Time, time.Duration) []c
 	return &core.SnapshotWriter{Interval: f.SnapshotInterval, W: s.snapW, Snap: snap}
 }
 
+// SnapshotSink returns the destination the -snapshot-out flag selected
+// (stderr by default). Line-oriented side channels — the engine
+// driver's live QoE prediction records — share it with the periodic
+// snapshots, so one flag steers all trace-time JSON lines.
+func (s *Setup) SnapshotSink() io.Writer { return s.snapW }
+
 // Stage times one CLI stage under the configured tracer (no-op when
 // tracing is off). Use as: defer setup.Stage("ingest")().
 func (s *Setup) Stage(name string) func() { return obs.Stage(s.Tracer, name) }

@@ -26,8 +26,9 @@ import (
 const (
 	obsMagic = "ZLOB"
 	// obsVersion 2 added the protocol byte inside every encoded
-	// zoom.StreamKey; version-1 logs are rejected.
-	obsVersion = 2
+	// zoom.StreamKey; version 3 added the wire and payload lengths that
+	// feed the feature windower. Older logs are rejected.
+	obsVersion = 3
 	// obsTagRecord precedes every record; the 'Z' of a segment header
 	// is the only other byte legal at a record boundary.
 	obsTagRecord = 0x01
@@ -68,6 +69,8 @@ func (ow *ObsWriter) Add(o core.ClusterObs) {
 	ow.enc.U8(o.PT)
 	ow.enc.U16(o.RTPSeq)
 	ow.enc.U32(o.RTPTS)
+	ow.enc.U32(uint32(o.WireLen))
+	ow.enc.U32(uint32(o.PayloadLen))
 	if ow.enc.Len() >= obsFlushLen {
 		ow.flush()
 	}
@@ -142,6 +145,8 @@ func (or *ObsReader) Next() (core.ClusterObs, bool, error) {
 			o.PT = or.r.U8()
 			o.RTPSeq = or.r.U16()
 			o.RTPTS = or.r.U32()
+			o.WireLen = int(or.r.U32())
+			o.PayloadLen = int(or.r.U32())
 			if err := or.r.Err(); err != nil {
 				return core.ClusterObs{}, false, err
 			}

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"time"
 
+	"zoomlens/internal/features"
 	"zoomlens/internal/flow"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
@@ -68,6 +69,10 @@ const (
 	// interleave keys without the protocol byte and cannot be decoded;
 	// they are rejected by version.
 	analyzerStateV3 = 3
+	// analyzerStateV4 appended the streaming feature-windower block
+	// (presence flag + windower state) after the archived streams. V3
+	// payloads restore with the feature layer absent.
+	analyzerStateV4 = 4
 	// parallelStateV2 dropped the per-shard observation logs (the
 	// checkpoint reconciles them before encoding) and added the
 	// reconciliation Dedup/CopyMatcher state. V1 files are rejected by
@@ -79,6 +84,10 @@ const (
 	// parallelStateV4 carries analyzerStateV3 shard payloads (StreamKey
 	// protocol byte); V2/V3 files are rejected by version.
 	parallelStateV4 = 4
+	// parallelStateV5 appended the reconciliation feature-windower block
+	// after the reconciliation CopyMatcher, and carries analyzerStateV4
+	// shard payloads. V4 files restore with the feature layer absent.
+	parallelStateV5 = 5
 
 	// maxCheckpointWorkers bounds the shard count a hostile checkpoint
 	// can demand (each shard costs a goroutine and an analyzer).
@@ -157,7 +166,7 @@ func readAllCheckpoint(rd io.Reader) ([]byte, error) {
 // State encodes the analyzer's complete mutable state. Maps are written
 // in sorted key order so identical state yields identical bytes.
 func (a *Analyzer) State(w *statecodec.Writer) {
-	w.U8(analyzerStateV3)
+	w.U8(analyzerStateV4)
 	w.U64(a.ShedPackets)
 	w.U64(a.ShedBytes)
 	w.U64(a.Packets)
@@ -232,6 +241,14 @@ func (a *Analyzer) State(w *statecodec.Writer) {
 		w.Time(f.LastSeen)
 		f.Metrics.State(w)
 	}
+
+	// V4 feature block: the streaming windower, including pending rows,
+	// so a restored run emits exactly the rows an uninterrupted one
+	// would.
+	w.Bool(a.feats != nil)
+	if a.feats != nil {
+		a.feats.State(w)
+	}
 }
 
 func sortAddrPorts(aps []netip.AddrPort) {
@@ -247,14 +264,15 @@ func sortAddrPorts(aps []netip.AddrPort) {
 // mutable state but keeping its configuration and wiring (obs handles,
 // obsSink, parser). The receiver must come from NewAnalyzer.
 func (a *Analyzer) restoreState(r *statecodec.Reader) error {
-	switch v := r.U8(); v {
-	case analyzerStateV3:
+	v := r.U8()
+	switch v {
+	case analyzerStateV3, analyzerStateV4:
 		a.ShedPackets = r.U64()
 		a.ShedBytes = r.U64()
 	default:
 		// V1/V2 payloads predate the StreamKey protocol byte and cannot
 		// be decoded under the current key layout.
-		r.Failf("core.Analyzer state version %d (supported: %d)", v, analyzerStateV3)
+		r.Failf("core.Analyzer state version %d (supported: %d-%d)", v, analyzerStateV3, analyzerStateV4)
 		return r.Err()
 	}
 	a.Packets = r.U64()
@@ -365,6 +383,19 @@ func (a *Analyzer) restoreState(r *statecodec.Reader) error {
 		}
 		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: last, Metrics: sm})
 	}
+
+	if v >= analyzerStateV4 {
+		// The checkpoint's feature layer wins over the restoring
+		// process's configuration: presence, window duration, and all
+		// windower state (including undrained rows) come from the file.
+		a.feats = nil
+		if r.Bool() {
+			a.feats = features.RestoreWindower(r)
+			if a.feats == nil {
+				return r.Err()
+			}
+		}
+	}
 	return r.Err()
 }
 
@@ -414,7 +445,7 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	enc.Grow(hint)
 	writeCheckpointHeader(&enc, engineKindParallel)
 	enc.Int(pa.workers)
-	enc.U8(parallelStateV4)
+	enc.U8(parallelStateV5)
 	enc.U64(pa.shedPackets)
 	enc.U64(pa.shedBytes)
 	enc.U64(pa.nextSeq)
@@ -429,6 +460,12 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 	pa.filter.State(&enc)
 	pa.rec.dedup.State(&enc)
 	pa.rec.copies.State(&enc)
+	// V5 feature block: the reconciliation windower (shards never carry
+	// one — scaleLimits zeroes FeatureWindow).
+	enc.Bool(pa.rec.win != nil)
+	if pa.rec.win != nil {
+		pa.rec.win.State(&enc)
+	}
 	for _, sh := range pa.shards {
 		enc.U64(sh.ingested)
 		sh.a.State(&enc)
@@ -445,13 +482,14 @@ func (pa *ParallelAnalyzer) Checkpoint(w io.Writer) error {
 // shard goroutines are parked on their channels and their analyzers are
 // safely writable from this goroutine).
 func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
-	switch v := r.U8(); v {
-	case parallelStateV4:
+	v := r.U8()
+	switch v {
+	case parallelStateV4, parallelStateV5:
 		pa.shedPackets = r.U64()
 		pa.shedBytes = r.U64()
 	default:
 		// V2/V3 shard payloads predate the StreamKey protocol byte.
-		r.Failf("core.ParallelAnalyzer state version %d (supported: %d)", v, parallelStateV4)
+		r.Failf("core.ParallelAnalyzer state version %d (supported: %d-%d)", v, parallelStateV4, parallelStateV5)
 		return r.Err()
 	}
 	pa.nextSeq = r.U64()
@@ -471,6 +509,17 @@ func (pa *ParallelAnalyzer) restoreState(r *statecodec.Reader) error {
 	}
 	if err := pa.rec.copies.Restore(r); err != nil {
 		return err
+	}
+	if v >= parallelStateV5 {
+		// The checkpoint's feature layer wins over cfg (see the
+		// sequential restore).
+		pa.rec.win = nil
+		if r.Bool() {
+			pa.rec.win = features.RestoreWindower(r)
+			if pa.rec.win == nil {
+				return r.Err()
+			}
+		}
 	}
 	for _, sh := range pa.shards {
 		sh.ingested = r.U64()
@@ -656,6 +705,13 @@ func (pa *ParallelAnalyzer) Rotate(now time.Time) *Analyzer {
 	}
 	defer pa.cfg.trace("rotate")()
 	pa.quiesce()
+	// The feature windower is continuous across report windows (its
+	// windows live on the capture clock, not the report grid): advance
+	// reconciliation so it has consumed every dispatched packet, then
+	// detach it so the merge's window report does not flush or adopt it.
+	pa.advanceRecon()
+	liveWin := pa.rec.win
+	pa.rec.win = nil
 	win := pa.merge()
 
 	pa.packets, pa.bytes, pa.undecodable, pa.dropped, pa.panics = 0, 0, 0, 0, 0
@@ -672,8 +728,11 @@ func (pa *ParallelAnalyzer) Rotate(now time.Time) *Analyzer {
 		sh.ingested = 0
 	}
 	// merge adopted the reconciliation Dedup/CopyMatcher into the window
-	// report; the next window starts with fresh ones.
+	// report; the next window starts with fresh ones. The detached
+	// feature windower reattaches — feature windows span report
+	// rotations.
 	pa.rec = newReconState(pa.cfg)
+	pa.rec.win = liveWin
 	// Fresh shard analyzers re-registered the unlabeled cap gauges with
 	// their per-shard values; re-register the dispatcher's handles so the
 	// unlabeled series reflect the global configuration again (same dance

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"zoomlens/internal/capture"
+	"zoomlens/internal/features"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/rtcproto"
@@ -48,13 +49,17 @@ import (
 type ClusterObs struct {
 	// Seq is the splitter-assigned global capture sequence number of
 	// the packet; the aggregator replays observations in Seq order.
-	Seq    uint64
-	At     time.Time
-	Flow   layers.FiveTuple
-	Key    zoom.StreamKey
-	PT     uint8
-	RTPSeq uint16
-	RTPTS  uint32
+	Seq  uint64
+	At   time.Time
+	Flow layers.FiveTuple
+	Key  zoom.StreamKey
+	// WireLen/PayloadLen carry the packet sizes the aggregator's feature
+	// windower consumes (obslog v3).
+	WireLen    int
+	PayloadLen int
+	PT         uint8
+	RTPSeq     uint16
+	RTPTS      uint32
 }
 
 // SetClusterSink diverts this analyzer's media observations to sink
@@ -66,6 +71,7 @@ func (a *Analyzer) SetClusterSink(sink func(ClusterObs)) error {
 	a.obsSink = func(o mediaObs) {
 		sink(ClusterObs{
 			Seq: o.seq, At: o.at, Flow: o.flow, Key: o.key,
+			WireLen: int(o.wireLen), PayloadLen: int(o.payloadLen),
 			PT: o.pt, RTPSeq: o.rtpSeq, RTPTS: o.rtpTS,
 		})
 	}
@@ -304,6 +310,13 @@ func MergeCluster(cfg Config, parts []*Analyzer, head ClusterHead, next func() (
 			Time: o.At, Flow: o.Flow, Key: o.Key, Seq: o.RTPSeq, TS: o.RTPTS,
 		})
 		rec.copies.Observe(unified, o.Flow, o.PT, o.RTPSeq, o.RTPTS, o.At)
+		if rec.win != nil {
+			rec.win.Observe(features.Obs{
+				At: o.At, Flow: o.Flow, Key: o.Key,
+				WireLen: o.WireLen, PayloadLen: o.PayloadLen,
+				PT: o.PT, RTPSeq: o.RTPSeq, RTPTS: o.RTPTS,
+			})
+		}
 	}
 	return mergeParts(cfg, parts, head, rec)
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"zoomlens/internal/capture"
+	"zoomlens/internal/features"
 	"zoomlens/internal/flow"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
@@ -93,6 +94,13 @@ type Config struct {
 	// sheds.
 	Shed bool
 
+	// FeatureWindow, when positive, enables the streaming feature
+	// windower: per-stream feature rows on the capture clock over
+	// epoch-aligned windows of this duration (see internal/features).
+	// Rows accumulate until DrainFeatures. Zero disables the layer
+	// entirely — no per-packet cost.
+	FeatureWindow time.Duration
+
 	// Obs, when non-nil, receives live pipeline metrics: per-stage packet
 	// counters, state-table occupancy against the caps above, eviction
 	// and panic counts (see internal/obs). Nil costs one branch per hook.
@@ -129,12 +137,12 @@ type Analyzer struct {
 	TCP map[netip.AddrPort]*tcprtt.Tracker
 
 	// Totals.
-	Packets         uint64
-	Bytes           uint64
-	ZoomUDP         uint64
-	Undecodable     uint64
-	TCPPackets      uint64
-	STUNPackets     uint64
+	Packets     uint64
+	Bytes       uint64
+	ZoomUDP     uint64
+	Undecodable uint64
+	TCPPackets  uint64
+	STUNPackets uint64
 	// STUNPortNonSTUN counts packets on the well-known STUN port whose
 	// payload lacks STUN framing. They are NOT counted in STUNPackets;
 	// they fall through to the protocol decoders like any other UDP
@@ -226,6 +234,14 @@ type Analyzer struct {
 	// sequence number of the packet currently being ingested.
 	obsSink func(mediaObs)
 	obsSeq  uint64
+
+	// feats is the streaming feature windower (Config.FeatureWindow).
+	// It consumes the same globally ordered observation stream as
+	// Dedup/Copies: inline here when the analyzer runs sequentially,
+	// or on the reconciliation path when this analyzer's observations
+	// are routed through obsSink (parallel shards, cluster workers) —
+	// never both.
+	feats *features.Windower
 }
 
 // NewAnalyzer builds an analyzer.
@@ -260,6 +276,9 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	})
 	a.Dedup.MaxStreams = cfg.MaxMeetingStreams
 	a.Copies.MaxPending = effectiveMaxCopyPending(cfg)
+	if cfg.FeatureWindow > 0 {
+		a.feats = features.NewWindower(cfg.FeatureWindow)
+	}
 	a.bindObs("")
 	return a
 }
@@ -446,6 +465,7 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 	if a.obsSink != nil {
 		a.obsSink(mediaObs{
 			seq: a.obsSeq, at: at, flow: ft, key: key,
+			wireLen: int32(wireLen), payloadLen: int32(len(pkt.Payload)),
 			pt: zp.RTP.PayloadType, rtpSeq: zp.RTP.SequenceNumber, rtpTS: zp.RTP.Timestamp,
 		})
 	} else {
@@ -454,6 +474,13 @@ func (a *Analyzer) observeUDP(at time.Time, pkt *layers.Packet, wireLen int) {
 			Seq: zp.RTP.SequenceNumber, TS: zp.RTP.Timestamp,
 		})
 		a.Copies.Observe(unified, ft, zp.RTP.PayloadType, zp.RTP.SequenceNumber, zp.RTP.Timestamp, at)
+		if a.feats != nil {
+			a.feats.Observe(features.Obs{
+				At: at, Flow: ft, Key: key,
+				WireLen: wireLen, PayloadLen: len(pkt.Payload),
+				PT: zp.RTP.PayloadType, RTPSeq: zp.RTP.SequenceNumber, RTPTS: zp.RTP.Timestamp,
+			})
+		}
 	}
 
 	id := flow.MediaStreamID{Flow: ft, Key: key}
@@ -505,7 +532,20 @@ func (a *Analyzer) Finish() {
 	for _, sm := range a.StreamMetrics {
 		sm.Finish()
 	}
+	if a.feats != nil {
+		a.feats.FinishFlush()
+	}
 	a.updateObsGauges()
+}
+
+// DrainFeatures returns the feature rows emitted since the previous
+// drain (nil when the feature layer is disabled). Drain cadence never
+// affects row content or order.
+func (a *Analyzer) DrainFeatures() []features.Row {
+	if a.feats == nil {
+		return nil
+	}
+	return a.feats.Drain()
 }
 
 // ReadPCAP feeds an entire capture stream (classic pcap or pcapng)
@@ -560,8 +600,8 @@ type Summary struct {
 	ProtoDecoded [rtcproto.NumIDs]uint64
 	Undecodable  uint64
 	Flows        int
-	Streams     int
-	Meetings    int
+	Streams      int
+	Meetings     int
 	// EvictedFlows/EvictedStreams count idle-TTL evictions; the evicted
 	// entries' packets and bytes remain in the report aggregates.
 	EvictedFlows   uint64

@@ -23,6 +23,7 @@ import (
 	"net/netip"
 	"slices"
 
+	"zoomlens/internal/features"
 	"zoomlens/internal/flow"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/metrics"
@@ -39,12 +40,16 @@ var ErrDeltaUnavailable = fmt.Errorf("core: delta checkpoint unavailable (write 
 
 const (
 	// V2 deltas carry the StreamKey protocol byte, the per-protocol
-	// decode counters, and the STUN port-mismatch counter; V1 records
-	// are rejected by version.
+	// decode counters, and the STUN port-mismatch counter; V3 appends
+	// the feature windower, which (like the capture filter) is bounded
+	// cross-flow state and rides along whole. Older records are
+	// rejected by version.
 	analyzerDeltaV1 = 1
 	analyzerDeltaV2 = 2
+	analyzerDeltaV3 = 3
 	parallelDeltaV1 = 1
 	parallelDeltaV2 = 2
+	parallelDeltaV3 = 3
 
 	// maxCoreTombstones bounds the eviction backlog a delta carries;
 	// past it the next delta encode reports unavailable and the caller
@@ -144,7 +149,7 @@ func (a *Analyzer) deltaReady() bool {
 // observations plus an ever-growing sample series) contributes its own
 // delta.
 func (a *Analyzer) stateDelta(w *statecodec.Writer) {
-	w.U8(analyzerDeltaV2)
+	w.U8(analyzerDeltaV3)
 	w.U64(a.ckPackets)
 
 	w.U64(a.ShedPackets)
@@ -233,13 +238,21 @@ func (a *Analyzer) stateDelta(w *statecodec.Writer) {
 		w.Time(f.LastSeen)
 		f.Metrics.State(w)
 	}
+
+	// The feature windower has no dirty tracking (its live state is a
+	// handful of open accumulators, bounded by idle eviction), so it
+	// rides along whole like the capture filter.
+	w.Bool(a.feats != nil)
+	if a.feats != nil {
+		a.feats.State(w)
+	}
 }
 
 // applyDeltaPayload replays one analyzer delta payload onto the
 // receiver. On error the analyzer may be partially mutated and must be
 // discarded by the caller.
 func (a *Analyzer) applyDeltaPayload(r *statecodec.Reader) error {
-	r.Version("core.Analyzer delta", analyzerDeltaV2)
+	r.Version("core.Analyzer delta", analyzerDeltaV3)
 	base := r.U64()
 	if err := r.Err(); err != nil {
 		return err
@@ -361,6 +374,16 @@ func (a *Analyzer) applyDeltaPayload(r *statecodec.Reader) error {
 		}
 		a.Finished = append(a.Finished, FinishedStream{ID: id, LastSeen: last, Metrics: sm})
 	}
+
+	// Feature windower rides whole: the record's feature layer replaces
+	// the engine's, presence included.
+	a.feats = nil
+	if r.Bool() {
+		a.feats = features.RestoreWindower(r)
+		if a.feats == nil {
+			return r.Err()
+		}
+	}
 	return r.Err()
 }
 
@@ -454,7 +477,7 @@ func (pa *ParallelAnalyzer) CheckpointDelta(w io.Writer) error {
 	enc.Grow(1 << 16)
 	writeCheckpointHeader(&enc, engineKindParallelDelta)
 	enc.Int(pa.workers)
-	enc.U8(parallelDeltaV2)
+	enc.U8(parallelDeltaV3)
 	enc.U64(pa.ckPackets)
 	enc.U64(pa.shedPackets)
 	enc.U64(pa.shedBytes)
@@ -470,6 +493,10 @@ func (pa *ParallelAnalyzer) CheckpointDelta(w io.Writer) error {
 	pa.filter.State(&enc)
 	pa.rec.dedup.StateDelta(&enc)
 	pa.rec.copies.StateDelta(&enc)
+	enc.Bool(pa.rec.win != nil)
+	if pa.rec.win != nil {
+		pa.rec.win.State(&enc)
+	}
 	for _, sh := range pa.shards {
 		enc.U64(sh.ingested)
 		sh.a.stateDelta(&enc)
@@ -511,7 +538,7 @@ func (pa *ParallelAnalyzer) ApplyDelta(rd io.Reader) error {
 	if workers != pa.workers {
 		return fmt.Errorf("%w: delta for %d workers applied to %d-worker engine", statecodec.ErrCorrupt, workers, pa.workers)
 	}
-	r.Version("core.ParallelAnalyzer delta", parallelDeltaV2)
+	r.Version("core.ParallelAnalyzer delta", parallelDeltaV3)
 	base := r.U64()
 	if err := r.Err(); err != nil {
 		return err
@@ -538,6 +565,13 @@ func (pa *ParallelAnalyzer) ApplyDelta(rd io.Reader) error {
 	}
 	if err := pa.rec.copies.ApplyDelta(r); err != nil {
 		return err
+	}
+	pa.rec.win = nil
+	if r.Bool() {
+		pa.rec.win = features.RestoreWindower(r)
+		if pa.rec.win == nil {
+			return r.Err()
+		}
 	}
 	for _, sh := range pa.shards {
 		sh.ingested = r.U64()

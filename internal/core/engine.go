@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"zoomlens/internal/features"
 	"zoomlens/internal/flow"
 	"zoomlens/internal/meeting"
 	"zoomlens/internal/metrics"
@@ -55,6 +56,11 @@ type Engine interface {
 	// Rotate finalizes the current report window, returns it for
 	// rendering, and re-seeds the live state for the next window.
 	Rotate(now time.Time) *Analyzer
+	// DrainFeatures returns the streaming feature rows emitted since the
+	// previous drain, in (window, stream) order; nil when the feature
+	// layer is disabled (Config.FeatureWindow == 0). Drain cadence never
+	// affects row content or order. Call from the ingest goroutine.
+	DrainFeatures() []features.Row
 }
 
 // Both pipelines satisfy Engine; a missing method is a compile error

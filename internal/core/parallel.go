@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"zoomlens/internal/capture"
+	"zoomlens/internal/features"
 	"zoomlens/internal/flow"
 	"zoomlens/internal/layers"
 	"zoomlens/internal/meeting"
@@ -64,13 +65,17 @@ import (
 // mediaObs is one media-packet observation logged by a shard for the
 // ordered Dedup/CopyMatcher reconciliation.
 type mediaObs struct {
-	seq    uint64 // global capture sequence number (dispatcher-assigned)
-	at     time.Time
-	flow   layers.FiveTuple
-	key    zoom.StreamKey
-	pt     uint8
-	rtpSeq uint16
-	rtpTS  uint32
+	seq  uint64 // global capture sequence number (dispatcher-assigned)
+	at   time.Time
+	flow layers.FiveTuple
+	key  zoom.StreamKey
+	// wireLen/payloadLen feed the streaming feature windower, which
+	// shares the reconciliation stream.
+	wireLen    int32
+	payloadLen int32
+	pt         uint8
+	rtpSeq     uint16
+	rtpTS      uint32
 }
 
 const (
@@ -115,7 +120,7 @@ type pshard struct {
 	a     *pshardAnalyzer
 	ring  *spscRing
 	done  chan struct{}
-	cur   *pbatch   // batch under construction (dispatcher-owned)
+	cur   *pbatch // batch under construction (dispatcher-owned)
 	depth *obs.Gauge
 
 	parser layers.Parser
@@ -282,6 +287,11 @@ type ParallelAnalyzer struct {
 type reconState struct {
 	dedup  *meeting.Dedup
 	copies *metrics.CopyMatcher
+	// win is the streaming feature windower (nil unless
+	// Config.FeatureWindow is set). Like dedup/copies it consumes the
+	// globally ordered observation stream, which is exactly what makes
+	// parallel feature rows byte-identical to sequential ones.
+	win *features.Windower
 }
 
 func newReconState(cfg Config) reconState {
@@ -289,7 +299,11 @@ func newReconState(cfg Config) reconState {
 	d.MaxStreams = cfg.MaxMeetingStreams
 	c := metrics.NewCopyMatcher()
 	c.MaxPending = effectiveMaxCopyPending(cfg)
-	return reconState{dedup: d, copies: c}
+	rec := reconState{dedup: d, copies: c}
+	if cfg.FeatureWindow > 0 {
+		rec.win = features.NewWindower(cfg.FeatureWindow)
+	}
+	return rec
 }
 
 // NewParallelAnalyzer builds a sharded analyzer with the given worker
@@ -360,6 +374,9 @@ func scaleLimits(cfg Config, workers int) Config {
 	// MaxMeetingStreams stays global: shard Dedups never observe (the
 	// obsSink diverts media observations to the reconciliation pass), so
 	// the cap only binds on the reconciliation state.
+	// FeatureWindow is zeroed for the same reason — the windower lives
+	// on the reconciliation state, not in the shards.
+	cfg.FeatureWindow = 0
 	return cfg
 }
 
@@ -631,6 +648,11 @@ func mergeParts(cfg Config, parts []*Analyzer, head ClusterHead, rec reconState)
 	})
 	m.Dedup = rec.dedup
 	m.Copies = rec.copies
+	// The merged analyzer adopts the reconciliation windower wholesale
+	// (NewAnalyzer built a fresh, empty one when FeatureWindow is set —
+	// discard it; the reconciled one holds the real state and pending
+	// rows).
+	m.feats = rec.win
 	return m
 }
 
@@ -672,6 +694,13 @@ func (pa *ParallelAnalyzer) advanceRecon() {
 			Time: o.at, Flow: o.flow, Key: o.key, Seq: o.rtpSeq, TS: o.rtpTS,
 		})
 		pa.rec.copies.Observe(unified, o.flow, o.pt, o.rtpSeq, o.rtpTS, o.at)
+		if pa.rec.win != nil {
+			pa.rec.win.Observe(features.Obs{
+				At: o.at, Flow: o.flow, Key: o.key,
+				WireLen: int(o.wireLen), PayloadLen: int(o.payloadLen),
+				PT: o.pt, RTPSeq: o.rtpSeq, RTPTS: o.rtpTS,
+			})
+		}
 	}
 	for _, sh := range pa.shards {
 		for c := sh.obsHead; c != nil; {
@@ -826,4 +855,24 @@ func (pa *ParallelAnalyzer) StreamIDs() []flow.MediaStreamID { return pa.Result(
 // MetricsFor returns the metric engine of one stream (after Finish).
 func (pa *ParallelAnalyzer) MetricsFor(id flow.MediaStreamID) (*metrics.StreamMetrics, bool) {
 	return pa.Result().MetricsFor(id)
+}
+
+// DrainFeatures returns the feature rows emitted since the previous
+// drain (nil when the feature layer is disabled). Before Finish it
+// quiesces the shards and advances reconciliation so the windower has
+// consumed every dispatched packet; call only from the dispatching
+// goroutine, like Snapshot.
+func (pa *ParallelAnalyzer) DrainFeatures() []features.Row {
+	if pa.seq != nil {
+		return pa.seq.DrainFeatures()
+	}
+	if pa.merged != nil {
+		return pa.merged.DrainFeatures()
+	}
+	if pa.rec.win == nil {
+		return nil
+	}
+	pa.quiesce()
+	pa.advanceRecon()
+	return pa.rec.win.Drain()
 }

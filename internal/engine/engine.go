@@ -109,6 +109,13 @@ type Flags struct {
 	Shed        bool
 	MaxFinished int
 
+	// Streaming feature extraction and live QoE inference (the
+	// header-free pipeline: windower rows → CSV and/or model).
+	Features      string
+	FeatureWindow time.Duration
+	Predict       bool
+	Model         string
+
 	// ClusterPart runs this process as one cluster worker: the input is
 	// a splitter stream (pcapng frames stamped with global sequence
 	// numbers), media observations are exported to <part>.obs, the
@@ -146,6 +153,10 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.MaxFinished, "max-finished", 0, "cap archived finished streams; at the cap the oldest are dropped and counted (0 = unlimited)")
 	fs.DurationVar(&f.Rotate, "rotate", 0, "close and emit the report window every this much trace time, writing <rotate-out>-NNNN.json per window (0 = one report)")
 	fs.StringVar(&f.RotateOut, "rotate-out", "zoomlens-window", "path prefix for rotated window report files")
+	fs.StringVar(&f.Features, "features", "", "stream per-stream feature rows (header-free QoE inputs) as versioned CSV to this path; \"-\" = stdout")
+	fs.DurationVar(&f.FeatureWindow, "feature-window", time.Second, "feature aggregation window on the capture clock (with -features or -predict)")
+	fs.BoolVar(&f.Predict, "predict", false, "classify each video feature window with the -model QoE model; predictions surface as zoomlens_qoe_* metrics and qoe_prediction JSON lines on the snapshot sink")
+	fs.StringVar(&f.Model, "model", "", "QoE model JSON for -predict (train one with zoomfeatures -train)")
 	fs.StringVar(&f.ClusterPart, "cluster-part", "", "run as one cluster worker under this path prefix: export media observations to <prefix>.obs, default the shutdown checkpoint to <prefix>.state.zlcp, and mirror the status JSON to <prefix>.status.json (input should be a zoomsplit stream; requires -workers 1)")
 	f.Obs = cliobs.Register(fs)
 	f.fs = fs
@@ -207,6 +218,11 @@ type Run struct {
 	// TmpCleaned counts orphaned checkpoint temp files swept at startup
 	// (debris of a crash mid-write).
 	TmpCleaned int
+	// FeatureRows counts streaming feature rows drained to the -features
+	// CSV (and through the -predict model).
+	FeatureRows int
+	// Predictions counts video rows the -predict model classified.
+	Predictions int
 
 	quarantine  *core.Quarantine
 	quarPath    string
@@ -305,6 +321,26 @@ func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, 
 		// accounting split a single engine's dispatch path would produce.
 		cfg.PreFiltered = true
 	}
+	var fsink *featureSink
+	if f.Features != "" || f.Predict {
+		if f.ClusterPart != "" {
+			// A worker's observations ride the cluster sink instead of the
+			// local reconciliation path, so its windower would see nothing;
+			// the aggregator builds the rows (zoomagg -features).
+			setup.Close()
+			return nil, errors.New("engine: -features/-predict are unavailable with -cluster-part; feature rows for a cluster run come from zoomagg -features")
+		}
+		fw := f.FeatureWindow
+		if fw <= 0 {
+			fw = time.Second
+		}
+		cfg.FeatureWindow = fw
+		fsink, err = newFeatureSink(f, setup, fw)
+		if err != nil {
+			setup.Close()
+			return nil, err
+		}
+	}
 	run := &Run{Setup: setup, quarPath: f.QuarantinePath}
 	run.ckm = obs.NewCheckpointMetrics(setup.Registry)
 	if f.QuarantinePath != "" {
@@ -334,6 +370,7 @@ func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, 
 		var fallbacks int
 		eng, fallbacks, err = RestoreEngine(f.Restore, cfg, run.ckm)
 		if err != nil {
+			fsink.discard()
 			setup.Close()
 			return nil, err
 		}
@@ -425,11 +462,11 @@ func (f *Flags) RunFrom(zoomNets []netip.Prefix, next func(*pcap.Record) error, 
 	sw := f.Obs.SnapshotWriter(setup, eng.Snapshot)
 	var lastTS time.Time
 	var rec pcap.Record
-	// Rotation and checkpoint deadlines run on the trace clock, armed by
-	// the first packet. Full checkpoints run on -checkpoint-interval;
-	// delta records on the (typically much shorter) -checkpoint-delta
-	// cadence between them.
-	var rotateAt, winStart, ckptAt, deltaAt time.Time
+	// Rotation, checkpoint, and feature-drain deadlines run on the trace
+	// clock, armed by the first packet. Full checkpoints run on
+	// -checkpoint-interval; delta records on the (typically much
+	// shorter) -checkpoint-delta cadence between them.
+	var rotateAt, winStart, ckptAt, deltaAt, drainAt time.Time
 	ingestDone := setup.Stage("ingest")
 readLoop:
 	for {
@@ -453,6 +490,9 @@ readLoop:
 			core.Discard(eng)
 			run.flushQuarantine()
 			closeObsLog()
+			if cerr := fsink.close(); cerr != nil {
+				log.Print(cerr)
+			}
 			setup.Close()
 			return nil, err
 		}
@@ -477,6 +517,16 @@ readLoop:
 		}
 		lastTS = rec.Timestamp
 		sw.Tick(rec.Timestamp)
+		if fsink != nil {
+			if drainAt.IsZero() {
+				drainAt = rec.Timestamp.Add(fsink.every)
+			} else if !rec.Timestamp.Before(drainAt) {
+				fsink.drain(eng.DrainFeatures())
+				for !rec.Timestamp.Before(drainAt) {
+					drainAt = drainAt.Add(fsink.every)
+				}
+			}
+		}
 		if run.ck != nil && f.CheckpointInterval > 0 {
 			if ckptAt.IsZero() {
 				ckptAt = rec.Timestamp.Add(f.CheckpointInterval)
@@ -518,6 +568,16 @@ readLoop:
 		run.writeFull(eng)
 	}
 	eng.Finish()
+	// Finish closed every open feature window; the final drain picks the
+	// partials up, completing the CSV.
+	if fsink != nil {
+		fsink.drain(eng.DrainFeatures())
+		if err := fsink.close(); err != nil {
+			log.Print(err)
+		}
+		run.FeatureRows = fsink.rows
+		run.Predictions = fsink.predictions
+	}
 	// Finishing emits no observations, so the log is complete here; it
 	// must be on disk before the aggregator can be pointed at it.
 	closeObsLog()

@@ -1,129 +1,120 @@
-// Package features turns per-stream metric series into per-second
-// feature vectors for machine-learned QoE inference — the application
-// the paper proposes in §8 ("our system can help automatically generate
-// large, feature-rich data sets from real-world traffic", citing
-// Bronzino et al.'s encrypted-video QoE work).
+// Package features is the streaming feature-extraction layer of the
+// engine: per-stream windowed feature vectors built on the capture
+// clock for machine-learned QoE inference — the application the paper
+// proposes in §8 ("our system can help automatically generate large,
+// feature-rich data sets from real-world traffic"), extended to the
+// header-free scenario of Sharma et al. (frame rate/freeze prediction
+// from flow statistics) and Song et al. (QoS prediction over concurrent
+// RTP flows).
 //
-// Each row describes one stream-second: passive, in-network observables
-// only. When ground truth is available (simulation, or an instrumented
-// client), rows can be joined with labels to train models; LabelFromQoS
-// derives a simple quality label from the client's own statistics.
+// The Windower consumes the analyzer's per-packet media observations —
+// the same globally ordered stream the cross-flow Dedup/CopyMatcher
+// reconciliation consumes — and emits one Row per stream per window.
+// Because the observation stream is identical across the sequential,
+// sharded-parallel, and cluster execution tiers, the emitted rows are
+// byte-identical across all three.
+//
+// A Row's inputs split in two:
+//
+//   - Header-free observables: packet/byte counts and rates,
+//     inter-arrival statistics, burst shape, and packet-size
+//     distribution (including entropy). These need nothing beyond the
+//     five-tuple and capture timestamps, so they survive full header
+//     encryption — the "what if you can't parse the RTP header at all"
+//     scenario.
+//   - Oracle columns: loss/duplicate estimates from RTP sequence
+//     numbers and frame transitions from RTP timestamps. They require a
+//     readable RTP header and exist for dataset enrichment and model
+//     comparison; header-free predictors must not consume them.
 package features
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"strconv"
 	"time"
 
-	"zoomlens/internal/metrics"
+	"zoomlens/internal/flow"
+	"zoomlens/internal/layers"
 	"zoomlens/internal/qos"
 	"zoomlens/internal/zoom"
 )
 
-// Row is one stream-second feature vector.
+// Obs is one media-packet observation: the windower's input record,
+// mirroring the fields the analyzer's reconciliation path carries per
+// packet.
+type Obs struct {
+	At   time.Time
+	Flow layers.FiveTuple
+	Key  zoom.StreamKey
+	// WireLen/PayloadLen are the captured frame and UDP payload sizes —
+	// the header-free size observables.
+	WireLen    int
+	PayloadLen int
+	// PT/RTPSeq/RTPTS are header-derived (oracle) inputs.
+	PT     uint8
+	RTPSeq uint16
+	RTPTS  uint32
+}
+
+// Row is one stream-window feature vector.
 type Row struct {
-	Time      time.Time
-	SSRC      uint32
-	MediaType zoom.MediaType
+	// Start is the window's inclusive start on the capture clock; the
+	// window covers [Start, Start+Window). Windows are aligned to
+	// absolute multiples of Window since the Unix epoch.
+	Start  time.Time
+	Window time.Duration
+	// ID identifies the stream (flow five-tuple + SSRC/type/proto).
+	ID flow.MediaStreamID
 
-	// Passive observables (§5 metrics, binned to the second).
-	MediaKbps     float64
-	WireKbps      float64
-	FPSDelivered  float64
-	FPSEncoder    float64
-	MeanFrameSize float64
-	MaxFrameSize  float64
-	JitterMS      float64
-	FrameDelayMS  float64
-	Frames        float64
-	// Stalled reports the stall model's state during this second.
-	Stalled bool
+	// Header-free observables.
+	Packets      uint64
+	WireBytes    uint64
+	PayloadBytes uint64
+	// Inter-arrival statistics in milliseconds. The gap to the stream's
+	// previous packet counts even when that packet fell in an earlier
+	// window; a stream's very first packet contributes no gap.
+	IATMeanMS float64
+	IATStdMS  float64
+	IATMinMS  float64
+	IATMaxMS  float64
+	// Bursts counts maximal runs of packets separated by no more than
+	// BurstGap within the window; MaxBurstPkts is the longest run.
+	Bursts       int
+	MaxBurstPkts int
+	// Packet-size (wire length) distribution.
+	SizeMeanB float64
+	SizeStdB  float64
+	SizeMinB  int
+	SizeMaxB  int
+	// SizeEntropy is the Shannon entropy (bits) of the wire-length
+	// distribution over logarithmic size buckets.
+	SizeEntropy float64
+
+	// Oracle columns (RTP-header derived; optional).
+	SeqLost    int
+	SeqDup     int
+	FrameMarks int
 }
 
-// Columns is the CSV header, kept in sync with WriteCSV.
-var Columns = []string{
-	"time", "ssrc", "media_type",
-	"media_kbps", "wire_kbps", "fps_delivered", "fps_encoder",
-	"mean_frame_bytes", "max_frame_bytes", "jitter_ms", "frame_delay_ms",
-	"frames", "stalled",
+// PktRate is the window-normalized packet rate (packets/s).
+func (r Row) PktRate() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Window.Seconds()
 }
 
-// Extract converts one stream's metrics into per-second rows covering
-// the stream's active interval.
-func Extract(ssrc uint32, mt zoom.MediaType, sm *metrics.StreamMetrics) []Row {
-	if len(sm.MediaRate.Samples) == 0 {
-		return nil
+// WireKbps is the window-normalized wire bitrate in kbit/s.
+func (r Row) WireKbps() float64 {
+	if r.Window <= 0 {
+		return 0
 	}
-	origin := sm.MediaRate.Samples[0].Time.Truncate(time.Second)
-	sec := func(s []metrics.Sample) map[int64]float64 {
-		out := make(map[int64]float64, len(s))
-		for _, x := range s {
-			out[x.Time.Unix()] = x.Value
-		}
-		return out
-	}
-	media := sec(sm.MediaRate.Samples) // already 1-second bins
-	wire := sec(sm.WireRate.Samples)
-	fps := sec(sm.FrameRate.Bin(origin, time.Second, "last"))
-	enc := sec(sm.EncoderRate.Bin(origin, time.Second, "mean"))
-	meanSize := sec(sm.FrameSize.Bin(origin, time.Second, "mean"))
-	maxSize := sec(maxBin(sm.FrameSize, origin))
-	jit := sec(sm.JitterMS.Bin(origin, time.Second, "mean"))
-	delay := sec(sm.FrameDelay.Bin(origin, time.Second, "mean"))
-	frames := sec(sm.FrameSize.Bin(origin, time.Second, "count"))
-
-	stalledAt := map[int64]bool{}
-	if sm.Stall != nil {
-		for _, e := range sm.Stall.Events {
-			for t := e.Start.Unix(); t <= e.Start.Add(e.Duration).Unix(); t++ {
-				stalledAt[t] = true
-			}
-		}
-	}
-
-	keys := make([]int64, 0, len(media))
-	for k := range media {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-
-	rows := make([]Row, 0, len(keys))
-	for _, k := range keys {
-		rows = append(rows, Row{
-			Time:          time.Unix(k, 0).UTC(),
-			SSRC:          ssrc,
-			MediaType:     mt,
-			MediaKbps:     media[k] / 1000,
-			WireKbps:      wire[k] / 1000,
-			FPSDelivered:  fps[k],
-			FPSEncoder:    enc[k],
-			MeanFrameSize: meanSize[k],
-			MaxFrameSize:  maxSize[k],
-			JitterMS:      jit[k],
-			FrameDelayMS:  delay[k],
-			Frames:        frames[k],
-			Stalled:       stalledAt[k],
-		})
-	}
-	return rows
+	return float64(r.WireBytes) * 8 / 1000 / r.Window.Seconds()
 }
 
-func maxBin(s metrics.Series, origin time.Time) []metrics.Sample {
-	byBin := map[int64]float64{}
-	for _, sm := range s.Samples {
-		k := sm.Time.Unix()
-		if sm.Value > byBin[k] {
-			byBin[k] = sm.Value
-		}
-	}
-	out := make([]metrics.Sample, 0, len(byBin))
-	for k, v := range byBin {
-		out = append(out, metrics.Sample{Time: time.Unix(k, 0).UTC(), Value: v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
-	return out
+// windowIndex floors t onto the absolute window grid: index i covers
+// [i*window, (i+1)*window) on the Unix timeline. A timestamp exactly on
+// an edge belongs to the window it opens.
+func windowIndex(t time.Time, window time.Duration) int64 {
+	return t.UnixNano() / int64(window)
 }
 
 // Label is a coarse quality label for supervised training.
@@ -134,6 +125,8 @@ const (
 	LabelGood Label = iota
 	LabelDegraded
 	LabelBad
+	// NumLabels sizes per-class arrays.
+	NumLabels = 3
 )
 
 func (l Label) String() string {
@@ -168,16 +161,30 @@ type LabeledRow struct {
 	Label Label
 }
 
-// Join matches rows to QoS entries by second. Rows without a matching
-// entry are dropped (the client was not recording).
+// Join matches rows to QoS entries by window bin. An entry at time T
+// labels the row whose window [Start, Start+Window) contains T — bin
+// matching is floor-based on the same absolute grid the Windower emits
+// on. The boundary semantics follow the half-open window: an entry
+// falling exactly on a window edge labels the window that edge opens,
+// never the one it closes, while an entry one nanosecond earlier labels
+// the closing window (regression-tested in TestJoinWindowEdge). When
+// several entries land in one window the last in input order wins. Rows
+// without a matching entry are dropped (the client was not recording).
 func Join(rows []Row, entries []qos.Entry, targetFPS float64) []LabeledRow {
-	byTime := make(map[int64]qos.Entry, len(entries))
+	if len(rows) == 0 {
+		return nil
+	}
+	win := rows[0].Window
+	if win <= 0 {
+		return nil
+	}
+	byBin := make(map[int64]qos.Entry, len(entries))
 	for _, e := range entries {
-		byTime[e.Time.Unix()] = e
+		byBin[windowIndex(e.Time, win)] = e
 	}
 	out := make([]LabeledRow, 0, len(rows))
 	for _, r := range rows {
-		e, ok := byTime[r.Time.Unix()]
+		e, ok := byBin[windowIndex(r.Start, win)]
 		if !ok {
 			continue
 		}
@@ -185,44 +192,3 @@ func Join(rows []Row, entries []qos.Entry, targetFPS float64) []LabeledRow {
 	}
 	return out
 }
-
-// WriteCSV writes rows (with an optional header) to w.
-func WriteCSV(w io.Writer, rows []Row, header bool) error {
-	if header {
-		if err := writeLine(w, Columns); err != nil {
-			return err
-		}
-	}
-	for _, r := range rows {
-		rec := []string{
-			r.Time.Format(time.RFC3339),
-			strconv.FormatUint(uint64(r.SSRC), 10),
-			r.MediaType.String(),
-			f1(r.MediaKbps), f1(r.WireKbps), f1(r.FPSDelivered), f1(r.FPSEncoder),
-			f1(r.MeanFrameSize), f1(r.MaxFrameSize), f2(r.JitterMS), f2(r.FrameDelayMS),
-			f1(r.Frames), strconv.FormatBool(r.Stalled),
-		}
-		if err := writeLine(w, rec); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeLine(w io.Writer, fields []string) error {
-	for i, f := range fields {
-		if i > 0 {
-			if _, err := io.WriteString(w, ","); err != nil {
-				return err
-			}
-		}
-		if _, err := io.WriteString(w, f); err != nil {
-			return err
-		}
-	}
-	_, err := io.WriteString(w, "\n")
-	return err
-}
-
-func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

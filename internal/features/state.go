@@ -1,0 +1,209 @@
+package features
+
+import (
+	"slices"
+	"time"
+
+	"zoomlens/internal/flow"
+	"zoomlens/internal/layers"
+	"zoomlens/internal/statecodec"
+	"zoomlens/internal/zoom"
+)
+
+// featuresStateV1 is the windower layer's state format version.
+const featuresStateV1 = 1
+
+// State encodes the windower — configuration, clock, per-stream
+// continuity state, open accumulators, and the undrained pending rows —
+// so a restored engine emits exactly the rows an uninterrupted run
+// would. Streams are written sorted by identity for byte-identical
+// checkpoints.
+func (w *Windower) State(sw *statecodec.Writer) {
+	sw.U8(featuresStateV1)
+	sw.Duration(w.window)
+	sw.Time(w.clock)
+	sw.I64(w.curIdx)
+	sw.Bool(w.started)
+
+	ids := make([]flow.MediaStreamID, 0, len(w.streams))
+	for id := range w.streams {
+		ids = append(ids, id)
+	}
+	slices.SortFunc(ids, flow.CompareStreamID)
+	sw.Int(len(ids))
+	for _, id := range ids {
+		s := w.streams[id]
+		id.Flow.EncodeTo(sw)
+		id.Key.EncodeTo(sw)
+		sw.Time(s.lastAt)
+		for i := range s.seqValid {
+			sw.Bool(s.seqValid[i])
+			sw.U16(s.lastSeq[i])
+		}
+		sw.Bool(s.tsValid)
+		sw.U32(s.lastTS)
+		sw.Bool(s.open)
+		if s.open {
+			encodeAcc(sw, &s.acc)
+		}
+	}
+
+	sw.Int(len(w.pending))
+	for i := range w.pending {
+		encodeRow(sw, &w.pending[i])
+	}
+}
+
+func encodeAcc(sw *statecodec.Writer, a *winAcc) {
+	sw.U64(a.pkts)
+	sw.U64(a.wireBytes)
+	sw.U64(a.payloadBytes)
+	sw.U64(a.iatN)
+	sw.F64(a.iatSum)
+	sw.F64(a.iatSumSq)
+	sw.F64(a.iatMin)
+	sw.F64(a.iatMax)
+	sw.Int(a.bursts)
+	sw.Int(a.curRun)
+	sw.Int(a.maxRun)
+	sw.F64(a.sizeSum)
+	sw.F64(a.sizeSumSq)
+	sw.Int(a.sizeMin)
+	sw.Int(a.sizeMax)
+	for _, c := range a.hist {
+		sw.U64(c)
+	}
+	sw.Int(a.seqLost)
+	sw.Int(a.seqDup)
+	sw.Int(a.frameMarks)
+}
+
+func decodeAcc(r *statecodec.Reader, a *winAcc) {
+	a.pkts = r.U64()
+	a.wireBytes = r.U64()
+	a.payloadBytes = r.U64()
+	a.iatN = r.U64()
+	a.iatSum = r.F64()
+	a.iatSumSq = r.F64()
+	a.iatMin = r.F64()
+	a.iatMax = r.F64()
+	a.bursts = r.Int()
+	a.curRun = r.Int()
+	a.maxRun = r.Int()
+	a.sizeSum = r.F64()
+	a.sizeSumSq = r.F64()
+	a.sizeMin = r.Int()
+	a.sizeMax = r.Int()
+	for i := range a.hist {
+		a.hist[i] = r.U64()
+	}
+	a.seqLost = r.Int()
+	a.seqDup = r.Int()
+	a.frameMarks = r.Int()
+}
+
+func encodeRow(sw *statecodec.Writer, r *Row) {
+	sw.Time(r.Start)
+	sw.Duration(r.Window)
+	r.ID.Flow.EncodeTo(sw)
+	r.ID.Key.EncodeTo(sw)
+	sw.U64(r.Packets)
+	sw.U64(r.WireBytes)
+	sw.U64(r.PayloadBytes)
+	sw.F64(r.IATMeanMS)
+	sw.F64(r.IATStdMS)
+	sw.F64(r.IATMinMS)
+	sw.F64(r.IATMaxMS)
+	sw.Int(r.Bursts)
+	sw.Int(r.MaxBurstPkts)
+	sw.F64(r.SizeMeanB)
+	sw.F64(r.SizeStdB)
+	sw.Int(r.SizeMinB)
+	sw.Int(r.SizeMaxB)
+	sw.F64(r.SizeEntropy)
+	sw.Int(r.SeqLost)
+	sw.Int(r.SeqDup)
+	sw.Int(r.FrameMarks)
+}
+
+func decodeRow(r *statecodec.Reader) Row {
+	var row Row
+	row.Start = r.Time().UTC()
+	row.Window = r.Duration()
+	row.ID.Flow = layers.DecodeFiveTuple(r)
+	row.ID.Key = zoom.DecodeStreamKey(r)
+	row.Packets = r.U64()
+	row.WireBytes = r.U64()
+	row.PayloadBytes = r.U64()
+	row.IATMeanMS = r.F64()
+	row.IATStdMS = r.F64()
+	row.IATMinMS = r.F64()
+	row.IATMaxMS = r.F64()
+	row.Bursts = r.Int()
+	row.MaxBurstPkts = r.Int()
+	row.SizeMeanB = r.F64()
+	row.SizeStdB = r.F64()
+	row.SizeMinB = r.Int()
+	row.SizeMaxB = r.Int()
+	row.SizeEntropy = r.F64()
+	row.SeqLost = r.Int()
+	row.SeqDup = r.Int()
+	row.FrameMarks = r.Int()
+	return row
+}
+
+// RestoreWindower decodes a windower encoded by State. The window
+// duration comes from the checkpoint (it is part of the emitted rows'
+// identity), so a restored engine keeps the original grid regardless of
+// the restoring process's configuration.
+func RestoreWindower(r *statecodec.Reader) *Windower {
+	r.Version("features.windower", featuresStateV1)
+	w := &Windower{
+		window:  r.Duration(),
+		clock:   r.Time(),
+		curIdx:  r.I64(),
+		started: r.Bool(),
+		streams: make(map[flow.MediaStreamID]*streamWin),
+	}
+	if w.window >= time.Millisecond {
+		w.setWindow(w.curIdx)
+	}
+	if w.window < time.Millisecond {
+		if r.Err() == nil {
+			r.Failf("features.windower: bad window %v", w.window)
+		}
+		return nil
+	}
+	n := r.Count(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var id flow.MediaStreamID
+		id.Flow = layers.DecodeFiveTuple(r)
+		id.Key = zoom.DecodeStreamKey(r)
+		s := &streamWin{}
+		s.lastAt = r.Time()
+		for j := range s.seqValid {
+			s.seqValid[j] = r.Bool()
+			s.lastSeq[j] = r.U16()
+		}
+		s.tsValid = r.Bool()
+		s.lastTS = r.U32()
+		s.open = r.Bool()
+		if s.open {
+			decodeAcc(r, &s.acc)
+		}
+		if r.Err() == nil {
+			w.streams[id] = s
+		}
+	}
+	np := r.Count(8)
+	for i := 0; i < np && r.Err() == nil; i++ {
+		row := decodeRow(r)
+		if r.Err() == nil {
+			w.pending = append(w.pending, row)
+		}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,120 @@
+package qos
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleClients() map[string][]Entry {
+	t0 := time.Date(2022, 5, 5, 9, 0, 0, 0, time.UTC)
+	return map[string][]Entry{
+		"alice": {
+			{Time: t0, Stats: Stats{VideoFPS: 24.5, LatencyMS: 120, JitterMS: 1.2}},
+			{Time: t0.Add(time.Second), Stats: Stats{VideoFPS: 25, LatencyMS: 120, JitterMS: 1.1}},
+		},
+		"bob": {
+			{Time: t0.Add(500 * time.Millisecond), Stats: Stats{VideoFPS: 30, LatencyMS: 40, JitterMS: 0.4}},
+		},
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	want := sampleClients()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#zoomlens-qos v1\nclient,time,") {
+		t.Fatalf("missing version/header:\n%s", buf.String())
+	}
+	got, err := ParseLog(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteLogRejects(t *testing.T) {
+	for _, bad := range []map[string][]Entry{
+		{"a,b": nil},
+		{"": nil},
+		{"a\nb": nil},
+	} {
+		if err := WriteLog(&bytes.Buffer{}, bad); err == nil {
+			t.Errorf("WriteLog(%v) accepted a bad client name", bad)
+		}
+	}
+	nan := map[string][]Entry{"a": {{Stats: Stats{VideoFPS: 0 / zero()}}}}
+	if err := WriteLog(&bytes.Buffer{}, nan); err == nil {
+		t.Error("WriteLog accepted a NaN stat")
+	}
+}
+
+// zero defeats the compile-time division-by-zero check.
+func zero() float64 { return 0 }
+
+func TestParseLogRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad version": "#zoomlens-qos v9\nclient,time,video_fps,latency_ms,jitter_ms\n",
+		"no header":   "#zoomlens-qos v1\n",
+		"bad header":  "#zoomlens-qos v1\nclient,when,fps\n",
+		"short row":   "#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\na,2022-05-05T09:00:00Z,1,2\n",
+		"bad time":    "#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\na,yesterday,1,2,3\n",
+		"bad float":   "#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\na,2022-05-05T09:00:00Z,x,2,3\n",
+		"nan float":   "#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\na,2022-05-05T09:00:00Z,NaN,2,3\n",
+		"empty name":  "#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\n,2022-05-05T09:00:00Z,1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseLog([]byte(in)); err == nil {
+			t.Errorf("%s: ParseLog accepted malformed input", name)
+		}
+	}
+}
+
+func TestParseLogSkipsBlankLines(t *testing.T) {
+	in := "#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\n\na,2022-05-05T09:00:00Z,1,2,3\n\n"
+	got, err := ParseLog([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["a"]) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// FuzzQoSLog fuzzes the ground-truth log parser: it must never panic,
+// and anything it accepts must survive a write/parse round trip
+// unchanged (the serializer and parser agree on the grammar).
+func FuzzQoSLog(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteLog(&seed, sampleClients()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\n"))
+	f.Add([]byte("#zoomlens-qos v1\nclient,time,video_fps,latency_ms,jitter_ms\nx,2022-05-05T09:00:00.25+01:00,1e-3,2,3\n"))
+	f.Add([]byte("not a log"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		logs, err := ParseLog(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, logs); err != nil {
+			t.Fatalf("parsed log failed to re-serialize: %v", err)
+		}
+		again, err := ParseLog(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-serialized log failed to parse: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(logs, again) {
+			t.Fatalf("round trip changed the log:\n got %+v\nwant %+v", again, logs)
+		}
+	})
+}
